@@ -1,0 +1,38 @@
+"""Extension: market-concentration indices over the national rankings.
+
+Quantifies the paper's §5.4 aside — "the prefix coverage percentage
+values of all metrics are lower in Table 8, suggesting a less
+concentrated U.S. market" — as HHI / CR1 / CR4 per case-study country.
+"""
+
+from conftest import once
+
+from repro.analysis.concentration import (
+    country_concentrations,
+    render_concentrations,
+)
+
+COUNTRIES = ("US", "AU", "JP", "RU", "TW")
+
+
+def test_ext_concentration(benchmark, paper2021, emit):
+    result = paper2021
+    reports = once(
+        benchmark,
+        lambda: {
+            metric: country_concentrations(result, COUNTRIES, metric)
+            for metric in ("AHN", "CCN")
+        },
+    )
+    text = "\n\n".join(
+        f"[{metric}]\n" + render_concentrations(by_country)
+        for metric, by_country in reports.items()
+    )
+    emit("ext_concentration", text)
+
+    for metric in ("AHN", "CCN"):
+        by_country = reports[metric]
+        # The U.S. is the least concentrated market (paper §5.4).
+        assert by_country["US"].hhi == min(r.hhi for r in by_country.values())
+        for report in by_country.values():
+            assert 0 < report.hhi <= 10000

@@ -1,0 +1,31 @@
+"""Extension: the inter-country dependency matrix (§1's sovereignty
+question made a first-class metric).
+
+Not a table in the paper, but the measurement its introduction
+motivates: per destination country, the maximum AHI held by each
+serving country's ASes. Asserts the §6 findings fall out of the matrix.
+"""
+
+from conftest import once
+
+from repro.analysis.sovereignty import dependency_matrix, render_dependencies
+
+
+def test_ext_sovereignty_matrix(benchmark, paper2021, emit):
+    result = paper2021
+    matrix = once(benchmark, lambda: dependency_matrix(result))
+
+    interesting = ("TW", "KZ", "KG", "AU", "UA", "US")
+    emit("ext_sovereignty", "\n\n".join(
+        render_dependencies(matrix, code) for code in interesting
+    ))
+
+    # Taiwan: independent of China, served by the U.S. (§6.2).
+    assert matrix.dependency("TW", "CN") < 0.05
+    assert matrix.dependency("TW", "US") > 0.2
+    # Central Asia leans on Russia; Ukraine does not (§6.1, Figure 7).
+    assert matrix.dependency("KZ", "RU") > 0.5
+    assert matrix.dependency("UA", "RU") < 0.1
+    # The U.S. is nobody's dependent but everybody's dependency.
+    us_dependents = matrix.dependents_of("US", threshold=0.1)
+    assert len(us_dependents) >= 10

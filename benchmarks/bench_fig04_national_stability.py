@@ -1,0 +1,51 @@
+"""Figure 4: NDCG of national rankings (AHN, CCN) vs in-country VPs.
+
+Paper: on the five best-instrumented countries, AHN/CCN reached
+NDCG ≥ 0.8 with 9/6 VPs and ≥ 0.9 with 25/19. We sweep the same five
+countries on the generated world (whose VP counts scale the paper's
+down ~3×) and report the same thresholds.
+"""
+
+from conftest import once
+
+from repro.analysis.stability import national_stability
+
+COUNTRIES = ("NL", "GB", "US", "DE", "BR")
+SIZES = [2, 3, 4, 6, 9, 12, 16, 20, 25, 30, 40]
+
+
+def test_fig04_national_stability(benchmark, default_result, emit):
+    def sweep():
+        curves = {}
+        for metric in ("AHN", "CCN"):
+            for country in COUNTRIES:
+                curves[(metric, country)] = national_stability(
+                    default_result, country, metric,
+                    sizes=SIZES, trials=8, seed=4,
+                )
+        return curves
+
+    curves = once(benchmark, sweep)
+    lines = []
+    for (metric, country), curve in sorted(curves.items()):
+        series = "  ".join(
+            f"{size}:{mean:.2f}" for size, mean, _ in curve.as_rows()
+        )
+        lines.append(
+            f"{metric} {country} (of {curve.total_vps} VPs)  {series}"
+            f"   [>=0.8 @ {curve.min_vps_for(0.8)}, >=0.9 @ {curve.min_vps_for(0.9)}]"
+        )
+    emit("fig04_national_stability", "\n".join(lines))
+
+    for (metric, country), curve in curves.items():
+        rows = curve.as_rows()
+        # Full VP set reproduces the reference ranking exactly.
+        full = national_stability(
+            default_result, country, metric, sizes=[curve.total_vps], trials=1
+        )
+        assert full.points[0].mean_ndcg == 1.0
+        # Stability improves from the small end to the large end.
+        assert rows[-1][1] >= rows[0][1] - 0.05
+        # A modest number of VPs suffices for NDCG 0.8 (paper: 6–9).
+        threshold = curve.min_vps_for(0.8)
+        assert threshold is not None and threshold <= curve.total_vps

@@ -1,0 +1,35 @@
+"""Figure 6: the end-to-end pipeline (RIBs → sanitize → geolocate →
+views → rankings).
+
+Figure 6 is the paper's pipeline diagram; the benchmark measures the
+real thing: a full pipeline execution on the small world, with
+per-stage record counts emitted as the "diagram"."""
+
+from repro import GeneratorConfig, PipelineConfig, generate_world, run_pipeline, small_profiles
+
+
+def test_fig06_pipeline(benchmark, emit):
+    world = generate_world(
+        GeneratorConfig(profiles=small_profiles(), clique_homes=("US", "US", "SE", "JP")),
+        seed=1, name="small",
+    )
+
+    result = benchmark.pedantic(
+        lambda: run_pipeline(world, PipelineConfig()), rounds=3, iterations=1
+    )
+
+    stages = [
+        ("announcements (5 days)", result.ribs.total_announcements()),
+        ("deduplicated records", result.ribs.num_records()),
+        ("accepted paths", len(result.paths)),
+        ("located VPs", len(result.vp_geo.located())),
+        ("geolocated prefixes", len(result.prefix_geo.country_of)),
+        ("countries with national view (>=7 VPs)",
+         len(result.countries_with_national_view())),
+    ]
+    text = "\n".join(f"{label:<42}{value:>10}" for label, value in stages)
+    emit("fig06_pipeline", text)
+
+    assert len(result.paths) > 0
+    assert result.ribs.num_records() <= result.ribs.total_announcements()
+    assert len(result.prefix_geo.country_of) > 0

@@ -1,0 +1,35 @@
+"""Figure 7: Russian ASes' international hegemony over former-Soviet
+countries.
+
+Paper: Russian ASes held AHI > 20 % only over Turkmenistan, Russia
+itself, Tajikistan, Kazakhstan, and Kyrgyzstan; the Western and Central
+former republics do not depend on Russian infrastructure.
+"""
+
+from conftest import once
+
+from repro.analysis.regions import country_hegemony_over
+
+
+def test_fig07_russia_hegemony(benchmark, paper2021, emit):
+    result = paper2021
+    hegemony = once(benchmark, lambda: country_hegemony_over(result, "RU"))
+
+    former_soviet = {c.code for c in result.world.countries.former_soviet()}
+    lines = [f"{'country':<8}{'max RU AHI':>12}{'former soviet':>15}"]
+    for code, value in sorted(hegemony.items(), key=lambda kv: -kv[1]):
+        if value > 0.01:
+            lines.append(
+                f"{code:<8}{100 * value:>11.1f}%{'yes' if code in former_soviet else '':>15}"
+            )
+    emit("fig07_russia_hegemony", "\n".join(lines))
+
+    strong = {code for code, value in hegemony.items() if value > 0.2}
+    # Central-Asian former republics depend on Russian transit…
+    assert "RU" in strong
+    assert len({"KZ", "KG", "TJ", "TM"} & strong) >= 3
+    # …while the Western former republics do not (paper Figure 7).
+    for code in ("UA", "BY", "EE", "LV", "LT", "MD"):
+        assert hegemony.get(code, 0.0) <= 0.2, code
+    # And every strongly-dependent country is former-Soviet.
+    assert strong <= former_soviet

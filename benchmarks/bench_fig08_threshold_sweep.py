@@ -1,0 +1,43 @@
+"""Figure 8: countries' prefix-geolocation success vs the majority
+threshold.
+
+Paper: at the 50 % threshold nearly every country keeps > 99 % of its
+prefixes; only a handful (Guernsey, Martinique, Namibia) fall below.
+Raising the threshold pushes more countries into the lower bands.
+"""
+
+from conftest import once
+
+from repro.analysis.filtering_stats import threshold_sweep
+
+THRESHOLDS = (0.05, 0.25, 0.45, 0.5, 0.65, 0.8, 0.95)
+BANDS = ((0.99, 1.01), (0.9, 0.99), (0.5, 0.9), (-0.01, 0.5))
+
+
+def test_fig08_threshold_sweep(benchmark, paper2021, emit):
+    result = paper2021
+    points = once(
+        benchmark,
+        lambda: threshold_sweep(
+            result.world.announced_prefixes(), result.geodb, THRESHOLDS
+        ),
+    )
+
+    lines = [f"{'threshold':>10} " + " ".join(f"{low:.2f}-{high:.2f}" for low, high in BANDS)]
+    for point in points:
+        counts = [point.countries_in_band(low, high) for low, high in BANDS]
+        lines.append(f"{point.threshold:>10.2f} " + " ".join(f"{c:>9}" for c in counts))
+    emit("fig08_threshold_sweep", "\n".join(lines))
+
+    by_threshold = {p.threshold: p for p in points}
+    # At 50 %, most countries keep nearly all their prefixes.
+    at_half = by_threshold[0.5]
+    top_band = at_half.countries_in_band(0.99, 1.01)
+    assert top_band >= 0.6 * len(at_half.assigned_fraction)
+    # The split countries fall below the top band at 50 %.
+    assert any(
+        at_half.assigned_fraction[code] < 0.99
+        for code in ("GG", "HR", "NA", "LT") if code in at_half.assigned_fraction
+    )
+    # Tightening the threshold shrinks the fully-assigned band.
+    assert by_threshold[0.95].countries_in_band(0.99, 1.01) <= top_band

@@ -1,0 +1,36 @@
+"""Figure 9: prefix-length distribution of filtered prefixes.
+
+Paper: 85 % of filtered prefixes are dropped because more-specifics
+entirely cover them; 15 % for lack of a geolocation consensus. The
+covered ones are short aggregates (their more-specifics are longer).
+"""
+
+from conftest import once
+
+from repro.analysis.filtering_stats import filtered_length_distribution
+
+
+def test_fig09_filtered_lengths(benchmark, paper2021, emit):
+    result = paper2021
+    histogram = once(benchmark, lambda: filtered_length_distribution(result.prefix_geo))
+
+    lines = [f"{'length':>7}{'covered':>9}{'no-consensus':>14}"]
+    for length, bucket in histogram.items():
+        lines.append(
+            f"/{length:<6}{bucket['covered']:>9}{bucket['no_consensus']:>14}"
+        )
+    emit("fig09_filtered_lengths", "\n".join(lines))
+
+    covered = sum(bucket["covered"] for bucket in histogram.values())
+    no_consensus = sum(bucket["no_consensus"] for bucket in histogram.values())
+    assert covered > 0 and no_consensus > 0
+    # Covered aggregates dominate the filtered set (paper: 85 / 15).
+    assert covered >= no_consensus
+    # Covered prefixes are the shorter (aggregate) ones on average.
+    mean_covered = sum(
+        length * bucket["covered"] for length, bucket in histogram.items()
+    ) / covered
+    mean_split = sum(
+        length * bucket["no_consensus"] for length, bucket in histogram.items()
+    ) / no_consensus
+    assert mean_covered <= mean_split

@@ -1,0 +1,28 @@
+"""Figure 10 / Appendix C: VP concentration across ASes.
+
+Paper: 81 % of VP ASes host exactly one VP and 96 % host at most two,
+so AS-level concentration does not bias the per-VP metrics.
+"""
+
+from conftest import once
+
+from repro.analysis.vp_distribution import single_vp_share, vp_concentration
+
+
+def test_fig10_vp_concentration(benchmark, paper2021, emit):
+    result = paper2021
+    histogram = once(benchmark, lambda: vp_concentration(result))
+
+    lines = []
+    for country, buckets in histogram.items():
+        series = "  ".join(f"{n}vp:{count}as" for n, count in buckets.items())
+        lines.append(f"{country:<4} {series}")
+    emit("fig10_vp_concentration", "\n".join(lines))
+
+    star = histogram["*"]
+    total_ases = sum(star.values())
+    # Most VP ASes host a single VP (paper: 81 %).
+    assert star.get(1, 0) / total_ases > 0.5
+    # …and one-or-two VPs covers the overwhelming majority (paper: 96 %).
+    assert (star.get(1, 0) + star.get(2, 0)) / total_ases > 0.8
+    assert 0.5 < single_vp_share(result) <= 1.0

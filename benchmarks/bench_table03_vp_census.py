@@ -1,0 +1,20 @@
+"""Table 3: the five countries with the most located in-country VPs.
+
+Paper: NL (141), GB (105), US (101), DE (73), BR (46) — the countries whose national views support systematic downsampling. Our worlds keep
+the same leaders in the same order at a smaller scale.
+"""
+
+from conftest import once
+
+from repro.analysis.vp_distribution import render_census, top_vp_countries
+
+
+def test_table03_vp_census(benchmark, default_result, emit):
+    rows = once(benchmark, lambda: top_vp_countries(default_result, k=5))
+    emit("table03_vp_census", render_census(rows))
+
+    codes = [row.country for row in rows]
+    assert codes[0] == "NL"
+    assert set(codes) >= {"NL", "US", "GB"}
+    counts = [row.vp_ips for row in rows]
+    assert counts == sorted(counts, reverse=True)

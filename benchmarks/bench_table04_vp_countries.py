@@ -1,0 +1,27 @@
+"""Table 4: every country with ≥ 7 in-country VPs, with its VP, ASN,
+prefix and address footprint.
+
+The paper's 16-country table (NL 141 … JP 7) gates which countries get
+national rankings. We regenerate it on the generated default world,
+whose VP plan follows the paper's ordering.
+"""
+
+from conftest import once
+
+from repro.analysis.vp_distribution import render_census, vp_census
+
+
+def test_table04_vp_countries(benchmark, default_result, emit):
+    rows = once(benchmark, lambda: vp_census(default_result, min_vps=7))
+    emit("table04_vp_countries", render_census(rows))
+
+    by_code = {row.country: row for row in rows}
+    # The paper's leaders, in order.
+    codes = [row.country for row in rows]
+    assert codes[:5] == ["NL", "GB", "US", "DE", "BR"]
+    # Case-study countries make the >= 7 VP cut (paper §5).
+    for code in ("AU", "JP", "RU", "US"):
+        assert code in by_code, code
+        assert by_code[code].vp_ips >= 7
+    for row in rows:
+        assert row.prefixes > 0 and row.addresses > 0

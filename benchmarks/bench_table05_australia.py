@@ -1,0 +1,31 @@
+"""Table 5: top-2 ASes per metric in Australia.
+
+Paper: Telstra 1221 tops AHI/AHN; Vocus 4826 tops CCN (80 %) and is
+CCI #2 behind Arelion 1299; Telstra Global 4637 is AHI #2 with ~zero
+AHN. Our curated world reproduces the winners and the dual-AS split.
+"""
+
+from conftest import run_case_study
+
+
+def test_table05_australia(benchmark, paper2021, emit, name_of):
+    result = paper2021
+    rows = run_case_study(benchmark, result, "AU", emit, "table05_australia", name_of)
+    by_asn = {row.asn: row for row in rows}
+
+    # Arelion #1 / Vocus #2 by international cone (paper: 1 and 2).
+    assert by_asn[1299].cells["CCI"][0] == 1
+    assert by_asn[4826].cells["CCI"][0] == 2
+    # Vocus #1 / Telstra #2 by national cone (paper: 1 and 2).
+    assert by_asn[4826].cells["CCN"][0] == 1
+    assert by_asn[1221].cells["CCN"][0] == 2
+    # Telstra #1 / Vocus #2 by national hegemony (paper: 1 and 2).
+    assert by_asn[1221].cells["AHN"][0] == 1
+    assert by_asn[4826].cells["AHN"][0] == 2
+    # The Telstra pair leads international hegemony (paper: 1 and 2).
+    ahi_ranks = {asn: row.cells["AHI"][0] for asn, row in by_asn.items()}
+    assert min(ahi_ranks[1221], ahi_ranks[4637]) == 1
+    # Telstra Global barely exists domestically (paper: rank 140, ~0 %).
+    assert (by_asn[4637].cells["AHN"][1] or 0.0) < 0.1
+    # Arelion has the second-largest global cone (paper subscript).
+    assert by_asn[1299].ccg_rank == 2

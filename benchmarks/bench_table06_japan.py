@@ -1,0 +1,31 @@
+"""Table 6: top-2 ASes per metric in Japan.
+
+Paper: NTT America 2914 tops both international metrics; NTT OCN 4713
+and KDDI 2516 lead the national ones; GTT 3257 is CCI #2 with no
+domestic presence — the same split our curated world produces.
+"""
+
+from conftest import run_case_study
+
+
+def test_table06_japan(benchmark, paper2021, emit, name_of):
+    result = paper2021
+    rows = run_case_study(benchmark, result, "JP", emit, "table06_japan", name_of)
+    by_asn = {row.asn: row for row in rows}
+
+    # NTT America leads internationally (paper: CCI #1, AHI #1).
+    assert by_asn[2914].cells["CCI"][0] == 1
+    assert by_asn[2914].cells["AHI"][0] == 1
+    # GTT has a top-3 international cone (paper: #2)…
+    assert by_asn[3257].cells["CCI"][0] <= 3
+    # …but no meaningful national standing (paper: CCN 123, AHN 236).
+    assert (by_asn[3257].cells["AHN"][1] or 0.0) < 0.05
+    # Domestic carriers top the national views (paper: KDDI #1).
+    ccn = result.ranking("CCN", "JP")
+    assert ccn.top_asns(1) == [2516]
+    ahn = result.ranking("AHN", "JP")
+    assert set(ahn.top_asns(3)) <= {2516, 4713, 17676, 9605}
+    # NTT's domestic arm ranks top-3 nationally while its international
+    # arm does not (the dual-AS division, §5.2).
+    assert ahn.rank_of(4713) <= 3
+    assert ahn.rank_of(2914) > 3

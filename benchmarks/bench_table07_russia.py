@@ -1,0 +1,31 @@
+"""Table 7: top-2 ASes per metric in Russia.
+
+Paper: state-owned Rostelecom 12389 tops AHI and AHN; the CCI top is
+all foreign multinationals (Lumen 97 %, Arelion 86 %); MTS 8359 only
+surfaces near the top in AHN. Same structure here.
+"""
+
+from conftest import run_case_study
+
+
+def test_table07_russia(benchmark, paper2021, emit, name_of):
+    result = paper2021
+    rows = run_case_study(benchmark, result, "RU", emit, "table07_russia", name_of)
+    by_asn = {row.asn: row for row in rows}
+
+    assert by_asn[12389].cells["AHI"][0] == 1
+    assert by_asn[12389].cells["AHN"][0] == 1
+    # Foreign multinationals top the international cone (paper: Lumen,
+    # Arelion first two).
+    cci = result.ranking("CCI", "RU")
+    assert cci.top_asns(2) == [3356, 1299]
+    graph = result.world.graph
+    foreign = [
+        asn for asn in cci.top_asns(3)
+        if graph.node(asn).registry_country != "RU"
+    ]
+    assert len(foreign) >= 2
+    # Domestic eyeball carriers surface in the national hegemony.
+    ahn = result.ranking("AHN", "RU")
+    assert ahn.rank_of(8359) <= 6
+    assert ahn.rank_of(20485) <= 6

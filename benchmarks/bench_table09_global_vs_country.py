@@ -1,0 +1,38 @@
+"""Table 9: Australia's country rankings vs CCG/AHG/AHC.
+
+Paper's argument: culling Australian ASes out of a global ranking
+misorders them (CCG ranks Telstra Global above the domestically
+critical ASes), and IHR's AHC confounds the national and international
+roles that AHI/AHN separate — plus Amazon appears in AHN but not AHC.
+"""
+
+from conftest import once
+
+from repro.analysis.case_studies import (
+    global_comparison_table,
+    render_global_comparison,
+)
+
+
+def test_table09_global_vs_country(benchmark, paper2021, emit):
+    result = paper2021
+    rows = once(benchmark, lambda: global_comparison_table(result, "AU"))
+    emit("table09_global_vs_country", render_global_comparison(rows, "AU"))
+
+    # Arelion leads CCI and holds the 2nd-largest global cone.
+    assert rows[0].cci_asn == 1299
+    assert rows[0].cci_ccg_rank == 2
+    # The global cone ranking misorders Australia: Telstra Global above
+    # the domestically dominant Telstra AS (paper §5.1.1).
+    ccg = result.ranking("CCG")
+    assert ccg.rank_of(4637) < ccg.rank_of(1221)
+    # AHC mixes the AHI and AHN leaders into one list (paper §5.1.2).
+    ahc_top = set(result.ranking("AHC", "AU").top_asns(6))
+    assert set(result.ranking("AHI", "AU").top_asns(2)) & ahc_top
+    assert set(result.ranking("AHN", "AU").top_asns(2)) & ahc_top
+    # Amazon: present in AHN (prefix geolocation) with a larger share
+    # than AHC (AS registration) gives it.
+    ahn = result.ranking("AHN", "AU")
+    ahc = result.ranking("AHC", "AU")
+    assert ahn.rank_of(16509) is not None
+    assert (ahc.share_of(16509) or 0.0) < (ahn.share_of(16509) or 0.0)

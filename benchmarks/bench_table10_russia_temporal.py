@@ -1,0 +1,43 @@
+"""Table 10: Russia's CCI/AHI, April 2021 vs March 2023.
+
+Paper: despite the invasion and carrier announcements, Russia's
+dependence on foreign transit barely moved — GTT left the top-10,
+Orange joined, Cogent rose, Lumen stayed #1.
+"""
+
+from conftest import once
+
+from repro.analysis.temporal import compare_snapshots
+
+
+def test_table10_russia_temporal(benchmark, paper2021, paper2023, emit, name_of):
+    def build():
+        return (
+            compare_snapshots(paper2021, paper2023, "RU", "CCI",
+                              before_label="20210401", after_label="20230301"),
+            compare_snapshots(paper2021, paper2023, "RU", "AHI",
+                              before_label="20210401", after_label="20230301"),
+        )
+
+    cone, hegemony = once(benchmark, build)
+    lookup = name_of(paper2021)
+    emit("table10_russia_temporal",
+         cone.render(lookup) + "\n\n" + hegemony.render(lookup))
+
+    # GTT drops out of the cone top-10; Orange enters (paper).
+    assert 3257 in cone.departed()
+    assert 5511 in cone.entered()
+    # Lumen keeps the #1 cone in both snapshots (paper: rank 1 → 1).
+    assert cone.rows[0].before_asn == 3356
+    assert cone.rows[0].after_asn == 3356
+    # Rostelecom keeps the #1 hegemony (paper: rank 1 → 1, +0.5 %).
+    assert hegemony.rows[0].before_asn == 12389
+    assert hegemony.rows[0].after_asn == 12389
+    # Foreign transit dependence persists: the 2023 cone top-3 still
+    # holds at least two non-Russian ASes.
+    graph = paper2023.world.graph
+    foreign_2023 = [
+        row.after_asn for row in cone.rows[:3]
+        if row.after_asn and graph.node(row.after_asn).registry_country != "RU"
+    ]
+    assert len(foreign_2023) >= 2

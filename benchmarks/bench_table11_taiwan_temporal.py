@@ -1,0 +1,45 @@
+"""Table 11: Taiwan's CCI/AHI, April 2021 vs March 2023.
+
+Paper: Taiwanese and U.S. ISPs dominate both snapshots; China Telecom
+4134 drops out of the CCI top-10 (7th → 77th) between 2021 and 2023 —
+evidence of Taiwan's Internet independence from China.
+"""
+
+from conftest import once
+
+from repro.analysis.temporal import compare_snapshots
+
+
+def test_table11_taiwan_temporal(benchmark, paper2021, paper2023, emit, name_of):
+    def build():
+        return (
+            compare_snapshots(paper2021, paper2023, "TW", "CCI",
+                              before_label="20210401", after_label="20230301"),
+            compare_snapshots(paper2021, paper2023, "TW", "AHI",
+                              before_label="20210401", after_label="20230301"),
+        )
+
+    cone, hegemony = once(benchmark, build)
+    lookup = name_of(paper2021)
+    emit("table11_taiwan_temporal",
+         cone.render(lookup) + "\n\n" + hegemony.render(lookup))
+
+    # China Telecom is in the 2021 cone top-10 and gone by 2023.
+    assert paper2021.ranking("CCI", "TW").rank_of(4134) <= 10
+    after = paper2023.ranking("CCI", "TW").rank_of(4134)
+    assert after is None or after > 10
+    # Chunghwa's domestic AS tops AHI in both snapshots (paper: 3462
+    # #1 in 2021 and 2023).
+    assert hegemony.rows[0].before_asn == 3462
+    assert hegemony.rows[0].after_asn == 3462
+    # No Chinese AS anywhere in the 2023 top-10s (§6.2 self-reliance).
+    graph = paper2023.world.graph
+    for row in list(cone.rows) + list(hegemony.rows):
+        if row.after_asn is not None:
+            assert graph.node(row.after_asn).registry_country != "CN"
+    # Most of the AHI top-10 is Taiwanese (paper: 7 of 10).
+    taiwanese = [
+        row.after_asn for row in hegemony.rows
+        if row.after_asn and graph.node(row.after_asn).registry_country == "TW"
+    ]
+    assert len(taiwanese) >= 4

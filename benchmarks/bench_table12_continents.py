@@ -1,0 +1,35 @@
+"""Table 12: which countries' ASes provide international connectivity
+(AHI > 0.1) across each continent.
+
+Paper: the U.S. serves 76 % of the world's countries; Sweden (Arelion)
+is second; France/UK/Italy serve Africa along colonial-era lines;
+Australia dominates Oceania; Spain serves Spanish-speaking South
+America; Russia serves Central Asia.
+"""
+
+from conftest import once
+
+from repro.analysis.regions import continental_dominance, render_dominance_table
+
+
+def test_table12_continents(benchmark, paper2021, emit):
+    result = paper2021
+    rows = once(benchmark, lambda: continental_dominance(result, threshold=0.1))
+    emit("table12_continents", render_dominance_table(rows, result))
+
+    by_country = {row.serving_country: row for row in rows}
+    # The U.S. serves the most countries, on every continent.
+    assert rows[0].serving_country == "US"
+    us = by_country["US"]
+    assert us.total() >= 2 * rows[2].total() if len(rows) > 2 else True
+    continents_served = sum(1 for count in us.by_continent.values() if count)
+    assert continents_served >= 5
+    # Regional hegemons appear with their home continents.
+    assert by_country["SE"].total() >= 3          # Arelion
+    assert by_country["ES"].by_continent.get("South America", 0) >= 2
+    assert by_country["GB"].by_continent.get("Africa", 0) >= 1   # Liquid
+    assert by_country["FR"].by_continent.get("Africa", 0) >= 1   # Orange
+    assert by_country["RU"].by_continent.get("Asia", 0) >= 2     # ex-Soviet
+    # Each row's top AS actually serves at least one country.
+    for row in rows[:8]:
+        assert row.top_as is not None and row.top_as[1] >= 1

@@ -1,0 +1,34 @@
+"""Table 13: percentage of each country's prefixes dropped by the 50 %
+geolocation threshold.
+
+Paper: the case-study countries lose at most 0.1 % of prefixes, while
+the worst-split countries (Isle of Man, Guernsey, Martinique, Namibia)
+lose 1.0–1.4 %. Our engineered split-geography countries take the
+worst-filtered slots while the case studies stay near zero.
+"""
+
+from conftest import once
+
+from repro.analysis.filtering_stats import filtering_table, render_filtering_table
+
+
+def test_table13_filtered_prefixes(benchmark, paper2021, emit):
+    result = paper2021
+    rows = once(
+        benchmark,
+        lambda: filtering_table(result.prefix_geo, worst=4, by_addresses=False),
+    )
+    emit("table13_filtered_prefixes", render_filtering_table(rows, by_addresses=False))
+
+    by_code = {row.country: row for row in rows}
+    # Case-study countries lose (almost) nothing.
+    for code in ("RU", "TW", "US", "AU", "JP"):
+        if code in by_code:
+            assert by_code[code].pct_prefixes_filtered < 2.0, code
+    # The worst-filtered countries are the engineered split ones.
+    worst = [row.country for row in rows if row.country not in
+             ("RU", "TW", "UA", "US", "AU", "JP")]
+    assert worst, "no worst-filtered tail"
+    split = {"GG", "HR", "NA", "LT", "MU", "AF", "GB", "AT", "ZA", "LV", "IN"}
+    assert set(worst) & split
+    assert max(by_code[c].pct_prefixes_filtered for c in worst) > 1.0

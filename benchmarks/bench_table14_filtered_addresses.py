@@ -1,0 +1,29 @@
+"""Table 14: percentage of each country's addresses dropped by the 50 %
+geolocation threshold.
+
+Paper: case studies lose ≤ 7.6 % of addresses (US/RU/TW: 0); the worst
+countries (Afghanistan, Croatia, India, Lithuania) lose 15–18 %.
+"""
+
+from conftest import once
+
+from repro.analysis.filtering_stats import filtering_table, render_filtering_table
+
+
+def test_table14_filtered_addresses(benchmark, paper2021, emit):
+    result = paper2021
+    rows = once(
+        benchmark,
+        lambda: filtering_table(result.prefix_geo, worst=4, by_addresses=True),
+    )
+    emit("table14_filtered_addresses", render_filtering_table(rows, by_addresses=True))
+
+    by_code = {row.country: row for row in rows}
+    for code in ("US", "RU", "TW"):
+        if code in by_code:
+            assert by_code[code].pct_addresses_filtered < 1.0, code
+    worst = [row for row in rows if row.country not in
+             ("RU", "TW", "UA", "US", "AU", "JP")]
+    assert worst
+    # The tail loses a double-digit share of addresses (paper: 15–18 %).
+    assert max(row.pct_addresses_filtered for row in worst) > 10.0

@@ -1,0 +1,89 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures. Worlds
+and pipelines are expensive, so they are built once per session; the
+benchmarked callable is the analysis step itself. Every benchmark also
+writes its rendered table/series to ``benchmarks/output/`` so a run
+leaves the full set of reproduced artifacts behind.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import PipelineConfig, generate_world, run_pipeline
+from repro.topology.paper_world import (
+    SNAPSHOT_2021,
+    SNAPSHOT_2023,
+    build_paper_world,
+    paper_as_names,
+)
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def paper2021():
+    """Pipeline result on the curated April-2021 world."""
+    return run_pipeline(build_paper_world(SNAPSHOT_2021))
+
+
+@pytest.fixture(scope="session")
+def paper2023():
+    """Pipeline result on the curated March-2023 world."""
+    return run_pipeline(build_paper_world(SNAPSHOT_2023))
+
+
+@pytest.fixture(scope="session")
+def default_result():
+    """Pipeline result on the generated ~1000-AS world (stability work)."""
+    return run_pipeline(generate_world(seed=42, name="default"))
+
+
+@pytest.fixture(scope="session")
+def names():
+    """ASN → display name covering curated and generated ASes."""
+    return paper_as_names()
+
+
+@pytest.fixture(scope="session")
+def name_of(names):
+    def lookup(result):
+        def inner(asn: int) -> str:
+            return names.get(asn) or result.as_name(asn)
+        return inner
+    return lookup
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write a reproduced artifact to benchmarks/output/ and echo it."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n--- {name} ---\n{text}\n")
+
+    return write
+
+
+def once(benchmark, fn):
+    """Run an analysis exactly once under the benchmark timer.
+
+    Table regeneration is deterministic and often seconds-long; there
+    is no value in pytest-benchmark's default multi-round calibration.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def run_case_study(benchmark, result, country, emit, name, lookup):
+    """Shared driver for the Table 5–8 case-study benchmarks."""
+    from repro.analysis.case_studies import case_study_table, render_case_study
+
+    rows = benchmark.pedantic(
+        lambda: case_study_table(result, country), rounds=1, iterations=1
+    )
+    emit(name, render_case_study(rows, country))
+    return rows

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Deep-dive one country on the curated paper world.
+
+Prints the country's Table-5-style case study, the Table-9 comparison
+against global rankings and IHR's AHC, the CTI baseline, and the VP
+census behind the national view.
+
+    python examples/country_profile.py [COUNTRY]    # default AU
+"""
+
+import sys
+
+from repro import run_pipeline
+from repro.analysis.case_studies import (
+    case_study_table,
+    global_comparison_table,
+    render_case_study,
+    render_global_comparison,
+)
+from repro.analysis.vp_distribution import render_census, vp_census
+from repro.topology.paper_world import build_paper_world, paper_as_names
+
+
+def main() -> None:
+    country = sys.argv[1] if len(sys.argv) > 1 else "AU"
+    names = paper_as_names()
+
+    result = run_pipeline(build_paper_world())
+
+    def name_of(asn: int) -> str:
+        return names.get(asn) or result.as_name(asn)
+
+    print(render_case_study(case_study_table(result, country), country))
+    print()
+    print(render_global_comparison(global_comparison_table(result, country), country))
+    print()
+    print(result.ranking("CTI", country).render(5, name_of))
+    print()
+    census = [row for row in vp_census(result) if row.country == country]
+    print(render_census(census))
+
+    # How much of the country's space does each metric's leader hold?
+    print()
+    for metric in ("CCI", "CCN", "AHI", "AHN"):
+        ranking = result.ranking(metric, country)
+        leader = ranking.entries[0]
+        print(
+            f"{metric}: {name_of(leader.asn):<24} "
+            f"{leader.share_pct():5.1f}% of {country}'s"
+            f" {'address space' if metric.startswith('CC') else 'observed paths'}"
+        )
+
+
+if __name__ == "__main__":
+    main()

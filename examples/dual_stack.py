@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Rank IPv4 and IPv6 as separate universes, as IHR does.
+
+Builds a dual-stack world (every IPv4 origination gets a 6to4-style
+IPv6 twin) and runs the pipeline once per family. Because the v6 plan
+mirrors v4, the rankings should nearly coincide — the residual
+difference is family-specific measurement noise, a miniature of how
+the real v4/v6 rankings differ through deployment gaps.
+
+    python examples/dual_stack.py
+"""
+
+from repro import GeneratorConfig, PipelineConfig, generate_world, run_pipeline, small_profiles
+from repro.core.ndcg import ndcg
+
+
+def main() -> None:
+    config = GeneratorConfig(
+        profiles=small_profiles(),
+        clique_homes=("US", "US", "SE", "JP"),
+        ipv6=True,
+    )
+    world = generate_world(config, seed=4, name="dual-stack")
+    v4 = run_pipeline(world, PipelineConfig(family=4))
+    v6 = run_pipeline(world, PipelineConfig(family=6))
+
+    print(f"prefixes: {len(v4.prefix_geo.country_of)} v4, "
+          f"{len(v6.prefix_geo.country_of)} v6")
+    au4 = v4.country_addresses().get('AU', 0)
+    au6 = v6.country_addresses().get('AU', 0)
+    print(f"AU address space: {au4:,} v4 vs {au6:,} v6")
+
+    for metric, country in (("AHN", "AU"), ("CCI", "AU"), ("AHI", "US")):
+        r4 = v4.ranking(metric, country)
+        r6 = v6.ranking(metric, country)
+        print(f"\n{metric}:{country}  v4-vs-v6 NDCG {ndcg(r4, r6):.3f}")
+        for family, ranking in (("v4", r4), ("v6", r6)):
+            tops = ", ".join(
+                f"{v4.as_name(e.asn)}({e.share_pct():.0f}%)"
+                for e in ranking.top(3)
+            )
+            print(f"  {family}: {tops}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""The paper's §6 geopolitical analyses on the curated world:
+
+* Russia 2021 vs 2023 (Table 10): did sanctions move the rankings?
+* Taiwan 2021 vs 2023 (Table 11): independence from Chinese transit.
+* Russian hegemony over former-Soviet countries (Figure 7).
+* Continental dominance of national carriers (Table 12).
+
+    python examples/geopolitics.py
+"""
+
+from repro import run_pipeline
+from repro.analysis.resilience import ases_registered_in, disconnection_impact
+from repro.analysis.regions import (
+    continental_dominance,
+    country_hegemony_over,
+    render_dominance_table,
+)
+from repro.analysis.temporal import compare_snapshots
+from repro.topology.paper_world import (
+    SNAPSHOT_2021,
+    SNAPSHOT_2023,
+    build_paper_world,
+    paper_as_names,
+)
+
+
+def main() -> None:
+    names = paper_as_names()
+    before = run_pipeline(build_paper_world(SNAPSHOT_2021))
+    after = run_pipeline(build_paper_world(SNAPSHOT_2023))
+
+    def name_of(asn: int) -> str:
+        return names.get(asn) or before.as_name(asn)
+
+    for country, metric in (("RU", "CCI"), ("RU", "AHI"), ("TW", "CCI")):
+        comparison = compare_snapshots(
+            before, after, country, metric,
+            before_label="20210401", after_label="20230301",
+        )
+        print(comparison.render(name_of))
+        if comparison.entered():
+            print("  entered:", [name_of(a) for a in comparison.entered()])
+        if comparison.departed():
+            print("  departed:", [name_of(a) for a in comparison.departed()])
+        print()
+
+    print("Russian AHI over other countries (Figure 7):")
+    hegemony = country_hegemony_over(before, "RU")
+    soviet = {c.code for c in before.world.countries.former_soviet()}
+    for code, value in sorted(hegemony.items(), key=lambda kv: -kv[1]):
+        if value > 0.05:
+            tag = " (former Soviet)" if code in soviet else ""
+            print(f"  {code}: {100 * value:5.1f}%{tag}")
+    print()
+
+    print(render_dominance_table(continental_dominance(before), before))
+    print()
+
+    print("What-if: disconnect every Russian-registered AS (§7 says BGP")
+    print("data cannot assess this; the simulator can):")
+    impact = disconnection_impact(
+        before.world, ases_registered_in(before.world, "RU")
+    )
+    print(impact.render(8))
+    print("stranded:", ", ".join(impact.stranded_countries()) or "nobody")
+
+
+if __name__ == "__main__":
+    main()

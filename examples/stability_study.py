@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's §4 stability methodology (Figures 4–5).
+
+Downsamples vantage points and measures how quickly the top-10 ranking
+(the TRA) converges to the full-VP ranking, via NDCG. Prints ASCII
+curves plus the minimum VP counts for the paper's 0.8/0.9 thresholds.
+
+    python examples/stability_study.py
+"""
+
+from repro import generate_world, run_pipeline
+from repro.analysis.stability import international_stability, national_stability
+
+
+def ascii_curve(rows: list[tuple[int, float, float]], width: int = 40) -> str:
+    lines = []
+    for size, mean, std in rows:
+        bar = "#" * int(mean * width)
+        lines.append(f"  {size:>4} VPs |{bar:<{width}}| {mean:.2f} ±{std:.2f}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print("building the default world (~1000 ASes)…")
+    result = run_pipeline(generate_world(seed=42, name="default"))
+
+    print("\nNational stability (Figure 4): the five best-covered countries")
+    for country in ("NL", "GB", "US", "DE", "BR"):
+        for metric in ("AHN", "CCN"):
+            curve = national_stability(
+                result, country, metric,
+                sizes=[2, 4, 6, 9, 12, 16, 20, 30], trials=8,
+            )
+            print(f"\n{metric} {country} ({curve.total_vps} VPs total)")
+            print(ascii_curve(curve.as_rows()))
+            print(f"  NDCG>=0.8 from {curve.min_vps_for(0.8)} VPs, "
+                  f">=0.9 from {curve.min_vps_for(0.9)} VPs")
+
+    print("\nInternational stability (Figure 5): every country qualifies")
+    for country in ("AU", "JP"):
+        curve = international_stability(
+            result, country, "AHI",
+            sizes=[5, 10, 20, 40, 80, 160, 240], trials=6,
+        )
+        print(f"\nAHI {country} ({curve.total_vps} external VPs)")
+        print(ascii_curve(curve.as_rows()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Paper-evaluation analyses: stability, case studies, temporal and
+regional views, filtering statistics, VP distribution."""
+
+from repro.analysis.case_studies import (
+    CaseStudyRow,
+    case_study_table,
+    global_comparison_table,
+    render_case_study,
+    render_global_comparison,
+)
+from repro.analysis.filtering_stats import (
+    filtered_length_distribution,
+    filtering_table,
+    threshold_sweep,
+)
+from repro.analysis.regions import (
+    continental_dominance,
+    country_hegemony_over,
+    render_dominance_table,
+)
+from repro.analysis.stability import (
+    StabilityCurve,
+    StabilityPoint,
+    international_stability,
+    national_stability,
+)
+from repro.analysis.concentration import (
+    ConcentrationReport,
+    concentration,
+    country_concentrations,
+    render_concentrations,
+)
+from repro.analysis.rank_correlation import (
+    RankAgreement,
+    agreement,
+    metric_matrix,
+    rank_biased_overlap,
+    render_matrix,
+)
+from repro.analysis.reports import CountryReport, country_report
+from repro.analysis.resilience import (
+    CountryImpact,
+    DisconnectionImpact,
+    ases_registered_in,
+    disconnection_impact,
+)
+from repro.analysis.sovereignty import (
+    DependencyMatrix,
+    dependency_matrix,
+    render_dependencies,
+)
+from repro.analysis.temporal import TemporalComparison, compare_snapshots
+from repro.analysis.vp_distribution import (
+    CountryVPStats,
+    top_vp_countries,
+    vp_census,
+    vp_concentration,
+)
+
+__all__ = [
+    "CaseStudyRow",
+    "ConcentrationReport",
+    "CountryImpact",
+    "CountryReport",
+    "RankAgreement",
+    "DependencyMatrix",
+    "DisconnectionImpact",
+    "CountryVPStats",
+    "StabilityCurve",
+    "StabilityPoint",
+    "TemporalComparison",
+    "agreement",
+    "ases_registered_in",
+    "case_study_table",
+    "compare_snapshots",
+    "continental_dominance",
+    "concentration",
+    "country_concentrations",
+    "country_hegemony_over",
+    "country_report",
+    "dependency_matrix",
+    "disconnection_impact",
+    "filtered_length_distribution",
+    "filtering_table",
+    "global_comparison_table",
+    "international_stability",
+    "metric_matrix",
+    "national_stability",
+    "rank_biased_overlap",
+    "render_case_study",
+    "render_concentrations",
+    "render_matrix",
+    "render_dependencies",
+    "render_dominance_table",
+    "render_global_comparison",
+    "threshold_sweep",
+    "top_vp_countries",
+    "vp_census",
+    "vp_concentration",
+]

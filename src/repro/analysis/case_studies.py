@@ -1,0 +1,161 @@
+"""Case-study tables (paper Tables 5–9).
+
+Tables 5–8 show, per country, the union of the top-2 ASes of each of
+the four country metrics, annotated with every metric's rank and share
+and with the AS's global customer-cone (CCG) rank as a subscript.
+Table 9 contrasts the country-specific rankings with what filtering a
+global ranking — or IHR's AHC — would have produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pipeline import PipelineResult
+
+#: Column order of the paper's case-study tables.
+CASE_METRICS = ("CCI", "AHI", "CCN", "AHN")
+
+
+@dataclass(frozen=True, slots=True)
+class CaseStudyRow:
+    """One AS's standing across the four country metrics."""
+
+    asn: int
+    name: str
+    registry_country: str
+    #: metric -> (rank, share 0..1); rank may be None when unranked
+    cells: dict[str, tuple[int | None, float]]
+    ccg_rank: int | None
+
+    def best_rank(self) -> int:
+        """The AS's best rank across metrics (sort key for the table)."""
+        ranks = [rank for rank, _ in self.cells.values() if rank is not None]
+        return min(ranks) if ranks else 10**9
+
+
+def case_study_table(
+    result: PipelineResult,
+    country: str,
+    metrics: tuple[str, ...] = CASE_METRICS,
+    top_per_metric: int = 2,
+) -> list[CaseStudyRow]:
+    """Tables 5–8: the union of each metric's top ASes, fully annotated."""
+    rankings = {metric: result.ranking(metric, country) for metric in metrics}
+    ccg = result.ranking("CCG")
+    member_asns: list[int] = []
+    for metric in metrics:
+        for asn in rankings[metric].top_asns(top_per_metric):
+            if asn not in member_asns:
+                member_asns.append(asn)
+    rows = []
+    for asn in member_asns:
+        cells = {
+            metric: (
+                rankings[metric].rank_of(asn),
+                rankings[metric].share_of(asn) or 0.0,
+            )
+            for metric in metrics
+        }
+        node = result.world.graph.maybe_node(asn)
+        rows.append(
+            CaseStudyRow(
+                asn=asn,
+                name=node.name if node else f"AS{asn}",
+                registry_country=node.registry_country if node else "??",
+                cells=cells,
+                ccg_rank=ccg.rank_of(asn),
+            )
+        )
+    rows.sort(key=CaseStudyRow.best_rank)
+    return rows
+
+
+def render_case_study(
+    rows: list[CaseStudyRow],
+    country: str,
+    metrics: tuple[str, ...] = CASE_METRICS,
+) -> str:
+    """Printable Table 5–8 lookalike."""
+    header = f"{'ASN':>6} {'name':<24} {'reg':<4}"
+    for metric in metrics:
+        header += f" {metric:>10}"
+    header += f" {'CCG':>5}"
+    lines = [f"== Top ASes per metric, {country} ==", header]
+    for row in rows:
+        line = f"{row.asn:>6} {row.name:<24.24} {row.registry_country:<4}"
+        for metric in metrics:
+            rank, share = row.cells[metric]
+            cell = f"{rank or '-':>3} {100 * share:4.0f}%"
+            line += f" {cell:>10}"
+        line += f" {row.ccg_rank or '-':>5}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True, slots=True)
+class ComparisonRow:
+    """One rank position in the Table-9 comparison."""
+
+    rank: int
+    cci_asn: int
+    cci_name: str
+    cci_ccg_rank: int | None
+    ahi_asn: int
+    ahi_name: str
+    ahi_ahg_rank: int | None
+    ahi_ahc_rank: int | None
+    ahi_ahn_rank: int | None
+
+
+def global_comparison_table(
+    result: PipelineResult, country: str, k: int = 10
+) -> list[ComparisonRow]:
+    """Table 9: country CCI/AHI tops vs their global/AHC/AHN standings."""
+    cci = result.ranking("CCI", country)
+    ccg = result.ranking("CCG")
+    ahi = result.ranking("AHI", country)
+    ahg = result.ranking("AHG")
+    ahc = result.ranking("AHC", country)
+    ahn = result.ranking("AHN", country)
+
+    def name(asn: int) -> str:
+        node = result.world.graph.maybe_node(asn)
+        return node.name if node else f"AS{asn}"
+
+    rows = []
+    cci_top = cci.top_asns(k)
+    ahi_top = ahi.top_asns(k)
+    for index in range(min(k, len(cci_top), len(ahi_top))):
+        cci_asn = cci_top[index]
+        ahi_asn = ahi_top[index]
+        rows.append(
+            ComparisonRow(
+                rank=index + 1,
+                cci_asn=cci_asn,
+                cci_name=name(cci_asn),
+                cci_ccg_rank=ccg.rank_of(cci_asn),
+                ahi_asn=ahi_asn,
+                ahi_name=name(ahi_asn),
+                ahi_ahg_rank=ahg.rank_of(ahi_asn),
+                ahi_ahc_rank=ahc.rank_of(ahi_asn),
+                ahi_ahn_rank=ahn.rank_of(ahi_asn),
+            )
+        )
+    return rows
+
+
+def render_global_comparison(rows: list[ComparisonRow], country: str) -> str:
+    """Printable Table 9 lookalike."""
+    lines = [
+        f"== Country vs global rankings, {country} ==",
+        f"{'CCI':>4} {'CCG':>4}  {'cone AS':<22} | "
+        f"{'AHI':>4} {'AHG':>4} {'AHC':>4} {'AHN':>4}  hegemony AS",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.rank:>4} {row.cci_ccg_rank or '-':>4}  {row.cci_name:<22.22} | "
+            f"{row.rank:>4} {row.ahi_ahg_rank or '-':>4} "
+            f"{row.ahi_ahc_rank or '-':>4} {row.ahi_ahn_rank or '-':>4}  {row.ahi_name}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Market-concentration indices over country rankings.
+
+The paper observes (§5.4) that U.S. shares are lower across all four
+metrics, "suggesting a less concentrated U.S. market". This module
+makes that observation a first-class measurement: the
+Herfindahl–Hirschman Index (HHI) and top-k concentration ratios over a
+metric's shares, per country — the quantities regulators actually use
+when they discuss telecom market concentration.
+
+For hegemony metrics the shares are path fractions (they need not sum
+to one — ASes share paths), so we normalise before computing HHI; for
+cone metrics we use each AS's *exclusive* contribution approximated by
+the share vector normalised the same way. The resulting numbers are
+comparative, not absolute antitrust thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pipeline import PipelineResult
+from repro.core.ranking import Ranking
+
+
+@dataclass(frozen=True, slots=True)
+class ConcentrationReport:
+    """Concentration summary of one country ranking."""
+
+    metric: str
+    country: str
+    #: Herfindahl–Hirschman Index over normalised shares, 0..10000
+    hhi: float
+    #: share of the top AS (CR1) and top four ASes (CR4), 0..1
+    cr1: float
+    cr4: float
+    contributors: int
+
+    def band(self) -> str:
+        """The conventional HHI interpretation band."""
+        if self.hhi < 1500:
+            return "unconcentrated"
+        if self.hhi < 2500:
+            return "moderately concentrated"
+        return "highly concentrated"
+
+
+def _normalised_shares(ranking: Ranking, k: int | None = None) -> list[float]:
+    entries = ranking.entries if k is None else ranking.top(k)
+    shares = [entry.share or 0.0 for entry in entries if (entry.share or 0.0) > 0]
+    total = sum(shares)
+    if total <= 0.0:
+        return []
+    return [share / total for share in shares]
+
+
+def concentration(ranking: Ranking, k: int | None = 20) -> ConcentrationReport:
+    """Concentration indices for one ranking (top-k contributors)."""
+    shares = _normalised_shares(ranking, k)
+    hhi = 10000.0 * sum(share * share for share in shares)
+    cr1 = shares[0] if shares else 0.0
+    cr4 = sum(shares[:4])
+    return ConcentrationReport(
+        metric=ranking.metric,
+        country=ranking.country or "global",
+        hhi=hhi,
+        cr1=cr1,
+        cr4=cr4,
+        contributors=len(shares),
+    )
+
+
+def country_concentrations(
+    result: PipelineResult,
+    countries: tuple[str, ...],
+    metric: str = "AHN",
+) -> dict[str, ConcentrationReport]:
+    """Concentration per country for one metric."""
+    return {
+        country: concentration(result.ranking(metric, country))
+        for country in countries
+    }
+
+
+def render_concentrations(reports: dict[str, ConcentrationReport]) -> str:
+    """A printable concentration comparison."""
+    lines = [f"{'country':<8}{'HHI':>8}{'CR1':>7}{'CR4':>7}  band"]
+    for country, report in sorted(
+        reports.items(), key=lambda kv: -kv[1].hhi
+    ):
+        lines.append(
+            f"{country:<8}{report.hhi:>8.0f}{100 * report.cr1:>6.1f}%"
+            f"{100 * report.cr4:>6.1f}%  {report.band()}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""Rank agreement between metrics.
+
+The paper's §3.3 argues the four metrics "capture different properties"
+and therefore rank a country's ASes differently. This module turns that
+claim into numbers: Kendall's τ and Spearman's ρ over the ASes two
+rankings share, rank-biased overlap (RBO) for top-weighted agreement,
+and a full metric-by-metric correlation matrix per country.
+
+Expected structure (asserted in tests/benchmarks): CC metrics correlate
+strongly with each other, AH metrics with each other, and the
+cross-family correlations (cone vs hegemony) are visibly weaker — the
+quantitative form of "complementary properties".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.pipeline import PipelineResult
+from repro.core.ranking import Ranking
+
+
+@dataclass(frozen=True, slots=True)
+class RankAgreement:
+    """Agreement of two rankings over their shared ASes."""
+
+    left: str
+    right: str
+    shared: int
+    kendall_tau: float
+    spearman_rho: float
+    rbo: float
+
+
+def _shared_ranks(a: Ranking, b: Ranking, k: int | None) -> list[tuple[int, int]]:
+    asns = [entry.asn for entry in (a.entries if k is None else a.top(k))]
+    pairs = []
+    for asn in asns:
+        rank_b = b.rank_of(asn)
+        if rank_b is not None:
+            pairs.append((a.rank_of(asn), rank_b))
+    return pairs
+
+
+def kendall_tau(pairs: list[tuple[int, int]]) -> float:
+    """Kendall's τ-a over (rank_left, rank_right) pairs."""
+    n = len(pairs)
+    if n < 2:
+        return 1.0
+    concordant = discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            left = pairs[i][0] - pairs[j][0]
+            right = pairs[i][1] - pairs[j][1]
+            product = left * right
+            if product > 0:
+                concordant += 1
+            elif product < 0:
+                discordant += 1
+    total = n * (n - 1) // 2
+    return (concordant - discordant) / total
+
+
+def spearman_rho(pairs: list[tuple[int, int]]) -> float:
+    """Spearman's ρ over (rank_left, rank_right) pairs (no tie handling
+    needed: ranks within one ranking are distinct)."""
+    n = len(pairs)
+    if n < 2:
+        return 1.0
+    mean_l = sum(p[0] for p in pairs) / n
+    mean_r = sum(p[1] for p in pairs) / n
+    cov = sum((l - mean_l) * (r - mean_r) for l, r in pairs)
+    var_l = sum((l - mean_l) ** 2 for l, _ in pairs)
+    var_r = sum((r - mean_r) ** 2 for _, r in pairs)
+    if var_l == 0 or var_r == 0:
+        return 1.0
+    return cov / math.sqrt(var_l * var_r)
+
+
+def rank_biased_overlap(a: Ranking, b: Ranking, p: float = 0.9, depth: int = 50) -> float:
+    """Rank-biased overlap (Webber et al. 2010), truncated at ``depth``.
+
+    Top-weighted: agreement at rank 1 matters more than at rank 50.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p out of range: {p}")
+    list_a = a.top_asns(depth)
+    list_b = b.top_asns(depth)
+    if not list_a or not list_b:
+        return 0.0
+    seen_a: set[int] = set()
+    seen_b: set[int] = set()
+    score = 0.0
+    weight_sum = 0.0
+    overlap = 0
+    for d in range(1, min(depth, max(len(list_a), len(list_b))) + 1):
+        if d <= len(list_a):
+            seen_a.add(list_a[d - 1])
+        if d <= len(list_b):
+            seen_b.add(list_b[d - 1])
+        overlap = len(seen_a & seen_b)
+        weight = p ** (d - 1)
+        score += weight * overlap / d
+        weight_sum += weight
+    return score / weight_sum if weight_sum else 0.0
+
+
+def agreement(
+    a: Ranking, b: Ranking, k: int | None = 20
+) -> RankAgreement:
+    """Full agreement summary between two rankings."""
+    pairs = _shared_ranks(a, b, k)
+    return RankAgreement(
+        left=a.metric,
+        right=b.metric,
+        shared=len(pairs),
+        kendall_tau=kendall_tau(pairs),
+        spearman_rho=spearman_rho(pairs),
+        rbo=rank_biased_overlap(a, b),
+    )
+
+
+def metric_matrix(
+    result: PipelineResult,
+    country: str,
+    metrics: tuple[str, ...] = ("CCI", "CCN", "AHI", "AHN"),
+    k: int = 20,
+) -> dict[tuple[str, str], RankAgreement]:
+    """Pairwise agreement between a country's metric rankings."""
+    rankings = {metric: result.ranking(metric, country) for metric in metrics}
+    out: dict[tuple[str, str], RankAgreement] = {}
+    for i, left in enumerate(metrics):
+        for right in metrics[i + 1:]:
+            out[(left, right)] = agreement(rankings[left], rankings[right], k)
+    return out
+
+
+def render_matrix(matrix: dict[tuple[str, str], RankAgreement]) -> str:
+    """A printable pairwise-agreement table."""
+    lines = [f"{'pair':<12}{'shared':>7}{'tau':>8}{'rho':>8}{'RBO':>8}"]
+    for (left, right), result in sorted(matrix.items()):
+        short_l = left.split(":")[0]
+        short_r = right.split(":")[0]
+        lines.append(
+            f"{short_l}~{short_r:<8}{result.shared:>7}"
+            f"{result.kendall_tau:>8.2f}{result.spearman_rho:>8.2f}"
+            f"{result.rbo:>8.2f}"
+        )
+    return "\n".join(lines)

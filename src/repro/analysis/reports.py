@@ -1,0 +1,109 @@
+"""One-stop country reports.
+
+Stitches a country's full picture — the four country metrics, the
+baselines, sovereignty dependencies, market concentration, and the VP
+census behind the national view — into a single markdown document, the
+artifact a policy analyst would actually read. Exposed on the CLI as
+``repro-rank report <CC>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.case_studies import case_study_table
+from repro.analysis.concentration import concentration
+from repro.analysis.sovereignty import DependencyMatrix, dependency_matrix
+from repro.analysis.vp_distribution import vp_census
+from repro.core.pipeline import PipelineResult
+
+#: Metrics shown in the per-metric leader board, in order.
+REPORT_METRICS = ("CCI", "AHI", "CCN", "AHN", "AHC", "CTI")
+
+
+@dataclass(frozen=True)
+class CountryReport:
+    """A rendered report plus the data behind it."""
+
+    country: str
+    markdown: str
+    matrix: DependencyMatrix
+
+
+def country_report(
+    result: PipelineResult,
+    country: str,
+    k: int = 5,
+    matrix: DependencyMatrix | None = None,
+) -> CountryReport:
+    """Build the markdown report for one country."""
+    if matrix is None:
+        matrix = dependency_matrix(result)
+    graph = result.world.graph
+
+    def name(asn: int) -> str:
+        node = graph.maybe_node(asn)
+        return node.name if node else f"AS{asn}"
+
+    lines: list[str] = [f"# Internet profile: {country}", ""]
+
+    census = [row for row in vp_census(result) if row.country == country]
+    if census:
+        row = census[0]
+        lines += [
+            f"*{row.vp_ips} located vantage points in {row.vp_asns} ASes; "
+            f"{row.asns} origin ASes announcing {row.prefixes} prefixes "
+            f"({row.addresses:,} addresses).*",
+            "",
+        ]
+        national_ok = row.vp_ips >= 7
+    else:
+        lines += ["*No located in-country vantage points: national views "
+                  "(CCN/AHN) are unavailable or unstable.*", ""]
+        national_ok = False
+
+    lines += ["## Rankings", "",
+              "| metric | # | AS | share |", "|---|---|---|---|"]
+    for metric in REPORT_METRICS:
+        if metric in ("CCN", "AHN") and not national_ok:
+            continue
+        ranking = result.ranking(metric, country)
+        for entry in ranking.top(k):
+            lines.append(
+                f"| {metric} | {entry.rank} | {name(entry.asn)} (AS{entry.asn}) "
+                f"| {entry.share_pct():.1f}% |"
+            )
+    lines.append("")
+
+    lines += ["## Cross-metric view (top 2 per metric)", ""]
+    rows = case_study_table(result, country)
+    lines += ["| AS | reg | CCI | AHI | CCN | AHN | CCG |", "|---|---|---|---|---|---|---|"]
+    for row in rows:
+        cells = []
+        for metric in ("CCI", "AHI", "CCN", "AHN"):
+            rank, share = row.cells[metric]
+            cells.append(f"{rank or '–'} ({100 * share:.0f}%)")
+        lines.append(
+            f"| {row.name} (AS{row.asn}) | {row.registry_country} | "
+            + " | ".join(cells) + f" | {row.ccg_rank or '–'} |"
+        )
+    lines.append("")
+
+    lines += ["## Foreign dependence", "",
+              f"Self-reliance score: **{matrix.self_reliance(country):.2f}** "
+              "(domestic carriers' hegemony relative to the strongest carrier).",
+              ""]
+    for serving, value in matrix.top_dependencies(country, k=5):
+        lines.append(f"- {serving}: max AHI {100 * value:.1f}%")
+    lines.append("")
+
+    lines += ["## Market concentration", ""]
+    for metric in ("AHN", "CCN") if national_ok else ("AHI", "CCI"):
+        report = concentration(result.ranking(metric, country))
+        lines.append(
+            f"- {metric}: HHI {report.hhi:.0f} ({report.band()}), "
+            f"CR1 {100 * report.cr1:.1f}%, CR4 {100 * report.cr4:.1f}%"
+        )
+    lines.append("")
+
+    return CountryReport(country=country, markdown="\n".join(lines), matrix=matrix)

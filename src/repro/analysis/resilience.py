@@ -1,0 +1,161 @@
+"""What-if disconnection analysis.
+
+The paper's introduction motivates the metrics with the weaponization
+scenario — a state "could weaponize ASes headquartered within their
+sovereign borders … to monitor, disrupt, or censor traffic" — and its
+§7 notes that public BGP data cannot support resilience assessments
+because backup paths are invisible. Our substrate has no such
+limitation: it can *remove* ASes and re-propagate, revealing exactly
+which countries lose reachability and which merely re-route.
+
+``disconnection_impact`` removes a set of ASes (e.g. every AS
+registered in a hostile country) from a world and reports, per
+destination country:
+
+* the share of addresses that become **unreachable** from the top tier;
+* the share that survives but **re-homes** through different paths.
+
+The strongest validation: removing Russia's carriers strands exactly
+the Central-Asian countries Figure 7 shows depending on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.propagation import propagate_all
+from repro.topology.model import ASRole
+from repro.topology.world import World
+
+
+@dataclass(frozen=True, slots=True)
+class CountryImpact:
+    """One destination country's exposure to a disconnection."""
+
+    country: str
+    total_addresses: int
+    lost_addresses: int
+    rerouted_addresses: int
+
+    @property
+    def lost_share(self) -> float:
+        """Fraction of the country's addresses with no route left."""
+        return self.lost_addresses / self.total_addresses if self.total_addresses else 0.0
+
+    @property
+    def rerouted_share(self) -> float:
+        """Fraction that stays reachable but over different paths."""
+        return (
+            self.rerouted_addresses / self.total_addresses
+            if self.total_addresses else 0.0
+        )
+
+
+@dataclass(frozen=True)
+class DisconnectionImpact:
+    """Full result of one what-if removal."""
+
+    removed: frozenset[int]
+    by_country: dict[str, CountryImpact]
+
+    def stranded_countries(self, threshold: float = 0.5) -> list[str]:
+        """Countries losing more than ``threshold`` of their addresses."""
+        return sorted(
+            code
+            for code, impact in self.by_country.items()
+            if impact.lost_share > threshold
+        )
+
+    def render(self, k: int = 12) -> str:
+        """Printable impact table, worst-hit first."""
+        lines = [f"== Disconnecting {len(self.removed)} ASes ==",
+                 f"{'country':<8}{'lost':>8}{'rerouted':>10}"]
+        ordered = sorted(
+            self.by_country.values(),
+            key=lambda i: (-i.lost_share, -i.rerouted_share, i.country),
+        )
+        for impact in ordered[:k]:
+            lines.append(
+                f"{impact.country:<8}{100 * impact.lost_share:>7.1f}%"
+                f"{100 * impact.rerouted_share:>9.1f}%"
+            )
+        return "\n".join(lines)
+
+
+def ases_registered_in(world: World, country: str) -> frozenset[int]:
+    """The removal set for a country-level scenario: every operational
+    AS registered there (route servers excluded — they carry nothing)."""
+    return frozenset(
+        asn
+        for asn in world.graph.by_registry_country(country)
+        if world.graph.node(asn).role is not ASRole.ROUTE_SERVER
+    )
+
+
+def disconnection_impact(
+    world: World,
+    removed: frozenset[int] | set[int],
+    family: int = 4,
+) -> DisconnectionImpact:
+    """Remove ASes, re-propagate, and measure per-country impact.
+
+    Reachability is judged from the surviving top-tier clique: an
+    origin is *lost* when no surviving clique member holds any route to
+    it (if the core cannot reach it, neither can the wider Internet);
+    *rerouted* when reachable but over a different path at some clique
+    member.
+    """
+    removed = frozenset(removed)
+    baseline_graph = world.graph
+    clique = frozenset(baseline_graph.clique()) - removed
+    if not clique:
+        raise ValueError("removal set destroys the entire top tier")
+
+    degraded_graph = baseline_graph.copy()
+    for asn in removed:
+        if asn in degraded_graph:
+            degraded_graph.remove_as(asn)
+
+    origins = [
+        asn for asn in baseline_graph.asns()
+        if asn not in removed and any(
+            record.prefix.version == family
+            for record in baseline_graph.node(asn).prefixes
+        )
+    ]
+    before = propagate_all(baseline_graph, origins=origins, keep=clique)
+    after = propagate_all(degraded_graph, origins=origins, keep=clique)
+
+    per_country: dict[str, list[int]] = {}
+    for origin in origins:
+        addresses: dict[str, int] = {}
+        for record in baseline_graph.node(origin).prefixes:
+            if record.prefix.version != family:
+                continue
+            addresses[record.country] = (
+                addresses.get(record.country, 0) + record.prefix.num_addresses()
+            )
+        old_routes = before.routes.get(origin, {})
+        new_routes = after.routes.get(origin, {})
+        lost = len(new_routes) == 0
+        rerouted = not lost and any(
+            new_routes.get(member) is not None
+            and old_routes.get(member) is not None
+            and new_routes[member].path != old_routes[member].path
+            for member in clique
+        )
+        for country, count in addresses.items():
+            bucket = per_country.setdefault(country, [0, 0, 0])
+            bucket[0] += count
+            if lost:
+                bucket[1] += count
+            elif rerouted:
+                bucket[2] += count
+
+    return DisconnectionImpact(
+        removed=removed,
+        by_country={
+            country: CountryImpact(country, total, lost, rerouted)
+            for country, (total, lost, rerouted) in sorted(per_country.items())
+        },
+    )

@@ -1,0 +1,98 @@
+"""Country-on-country dependency: the paper's motivating sovereignty
+question ("how dependent is Taiwan on Chinese ISPs?", §1).
+
+For destination country *D* and serving country *S*, the dependency is
+the largest international hegemony (AHI) any AS registered in *S*
+holds over *D* — the likelihood that paths into *D* cross an AS that
+*S* could statutorily control. ``dependency_matrix`` computes the full
+matrix; helpers extract a country's top foreign dependencies and the
+self-reliance score the Taiwan case study (§6.2) highlights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.regions import destination_countries
+from repro.core.pipeline import PipelineResult
+
+
+@dataclass(frozen=True)
+class DependencyMatrix:
+    """AHI-based inter-country dependency."""
+
+    #: destination -> serving country -> max AHI of serving ASes
+    cells: dict[str, dict[str, float]]
+
+    def dependency(self, destination: str, serving: str) -> float:
+        """How much ``destination`` depends on ``serving``'s ASes."""
+        return self.cells.get(destination, {}).get(serving, 0.0)
+
+    def top_dependencies(
+        self, destination: str, k: int = 5, include_self: bool = False
+    ) -> list[tuple[str, float]]:
+        """The serving countries ``destination`` depends on most."""
+        row = self.cells.get(destination, {})
+        items = [
+            (serving, value)
+            for serving, value in row.items()
+            if include_self or serving != destination
+        ]
+        items.sort(key=lambda kv: (-kv[1], kv[0]))
+        return items[:k]
+
+    def self_reliance(self, destination: str) -> float:
+        """Domestic share of the top of the destination's AHI mass:
+        self-dependency divided by the maximum dependency. 1.0 means no
+        foreign AS matches the domestic carriers' hegemony."""
+        row = self.cells.get(destination, {})
+        if not row:
+            return 0.0
+        peak = max(row.values())
+        if peak <= 0.0:
+            return 0.0
+        return row.get(destination, 0.0) / peak
+
+    def dependents_of(self, serving: str, threshold: float = 0.1) -> list[str]:
+        """Destinations relying on ``serving`` above the threshold."""
+        return sorted(
+            destination
+            for destination, row in self.cells.items()
+            if destination != serving and row.get(serving, 0.0) > threshold
+        )
+
+
+def dependency_matrix(
+    result: PipelineResult,
+    destinations: list[str] | None = None,
+) -> DependencyMatrix:
+    """Compute the full AHI dependency matrix for a pipeline run."""
+    if destinations is None:
+        destinations = destination_countries(result)
+    graph = result.world.graph
+    cells: dict[str, dict[str, float]] = {}
+    for destination in destinations:
+        ahi = result.ranking("AHI", destination)
+        row: dict[str, float] = {}
+        for entry in ahi.entries:
+            node = graph.maybe_node(entry.asn)
+            if node is None:
+                continue
+            serving = node.registry_country
+            if entry.value > row.get(serving, 0.0):
+                row[serving] = entry.value
+        cells[destination] = row
+    return DependencyMatrix(cells)
+
+
+def render_dependencies(
+    matrix: DependencyMatrix, destination: str, k: int = 6
+) -> str:
+    """A printable top-dependency list for one country."""
+    lines = [
+        f"== {destination}: dependence on foreign carriers (max AHI) ==",
+        f"   self-reliance score: {matrix.self_reliance(destination):.2f}",
+    ]
+    for serving, value in matrix.top_dependencies(destination, k):
+        lines.append(f"   {serving}: {100 * value:5.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""Ranking stability under VP downsampling (paper §4, Figures 4–5).
+
+The paper asks: if we had observed the world through fewer vantage
+points, would the top-ranked ASes (TRA) have come out the same? For
+each sample size it draws random VP subsets, recomputes the metric on
+the restricted view, and scores the sample's top-10 against the full
+ranking with NDCG. The number of VPs needed to clear an NDCG threshold
+(0.8 / 0.9 in the paper) tells a country how much collector deployment
+buys ranking fidelity.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.cone import cone_ranking
+from repro.core.hegemony import hegemony_ranking
+from repro.core.ndcg import ndcg
+from repro.core.pipeline import PipelineResult
+from repro.core.ranking import Ranking
+from repro.core.views import View
+
+
+@dataclass(frozen=True, slots=True)
+class StabilityPoint:
+    """NDCG statistics for one sample size."""
+
+    sample_size: int
+    mean_ndcg: float
+    std_ndcg: float
+    trials: int
+
+
+@dataclass(frozen=True, slots=True)
+class StabilityCurve:
+    """A full downsampling sweep for one metric and view."""
+
+    metric: str
+    country: str
+    total_vps: int
+    points: tuple[StabilityPoint, ...]
+
+    def min_vps_for(self, threshold: float) -> int | None:
+        """Smallest sample size whose mean NDCG meets the threshold
+        (and stays there for every larger sampled size)."""
+        qualified: int | None = None
+        for point in sorted(self.points, key=lambda p: p.sample_size):
+            if point.mean_ndcg >= threshold:
+                if qualified is None:
+                    qualified = point.sample_size
+            else:
+                qualified = None
+        return qualified
+
+    def as_rows(self) -> list[tuple[int, float, float]]:
+        """(size, mean NDCG, std) rows, ascending by size."""
+        return [
+            (p.sample_size, p.mean_ndcg, p.std_ndcg)
+            for p in sorted(self.points, key=lambda q: q.sample_size)
+        ]
+
+
+def _metric_ranking(result: PipelineResult, metric: str, view: View) -> Ranking:
+    metric = metric.upper()
+    if metric.startswith("CC"):
+        return cone_ranking(view, result.oracle, metric)
+    if metric.startswith("AH"):
+        return hegemony_ranking(view, metric, result.config.trim)
+    raise ValueError(f"stability analysis supports CC*/AH* metrics, not {metric!r}")
+
+
+def stability_curve(
+    result: PipelineResult,
+    metric: str,
+    view: View,
+    sizes: list[int] | None = None,
+    trials: int = 10,
+    seed: int = 0,
+    k: int = 10,
+) -> StabilityCurve:
+    """Downsample a view's VPs and score each sample against the full
+    ranking (the machinery behind Figures 4 and 5)."""
+    if trials < 1:
+        raise ValueError("need at least one trial per size")
+    vps = [vp.ip for vp in view.vps()]
+    total = len(vps)
+    if sizes is None:
+        sizes = sorted({s for s in _default_sizes(total)})
+    full = _metric_ranking(result, metric, view)
+    rng = random.Random(seed)
+    points: list[StabilityPoint] = []
+    for size in sizes:
+        if not 1 <= size <= total:
+            continue
+        scores = []
+        for _ in range(trials):
+            sampled = rng.sample(vps, size)
+            sample_view = view.restrict_vps(sampled)
+            sample = _metric_ranking(result, metric, sample_view)
+            scores.append(ndcg(full, sample, k))
+        mean = sum(scores) / len(scores)
+        variance = sum((s - mean) ** 2 for s in scores) / len(scores)
+        points.append(StabilityPoint(size, mean, math.sqrt(variance), trials))
+    return StabilityCurve(
+        metric=metric,
+        country=view.country or "global",
+        total_vps=total,
+        points=tuple(points),
+    )
+
+
+def _default_sizes(total: int) -> list[int]:
+    """A sensible sweep grid: dense at the small end, sparse later."""
+    sizes = [s for s in (1, 2, 3, 4, 5, 6, 8, 10, 13, 16, 20, 25, 32, 40,
+                         50, 65, 80, 100, 130, 160, 200) if s < total]
+    sizes.append(total)
+    return sizes
+
+
+def national_stability(
+    result: PipelineResult,
+    country: str,
+    metric: str = "AHN",
+    sizes: list[int] | None = None,
+    trials: int = 10,
+    seed: int = 0,
+) -> StabilityCurve:
+    """Figure 4: stability of a country's national ranking (AHN/CCN)."""
+    view = result.view("national", country)
+    return stability_curve(result, metric, view, sizes, trials, seed)
+
+
+def international_stability(
+    result: PipelineResult,
+    country: str,
+    metric: str = "AHI",
+    sizes: list[int] | None = None,
+    trials: int = 10,
+    seed: int = 0,
+) -> StabilityCurve:
+    """Figure 5: stability of a country's international ranking (AHI/CCI)."""
+    view = result.view("international", country)
+    return stability_curve(result, metric, view, sizes, trials, seed)

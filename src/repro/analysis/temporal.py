@@ -1,0 +1,124 @@
+"""Two-snapshot rank comparisons (paper Tables 10–11, §6.1–6.2).
+
+Compares a country's ranking between two pipeline runs (different world
+snapshots), reporting the later top-k with rank deltas relative to the
+earlier snapshot — the layout of the Russia and Taiwan tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pipeline import PipelineResult
+
+
+@dataclass(frozen=True, slots=True)
+class TemporalRow:
+    """One rank slot in a before/after comparison."""
+
+    rank: int
+    before_asn: int | None
+    before_share: float
+    after_asn: int | None
+    after_share: float
+    #: after AS's rank change (before_rank - after_rank); None if new
+    rank_delta: int | None
+    #: after AS's share change vs the earlier snapshot
+    share_delta: float
+
+
+@dataclass(frozen=True, slots=True)
+class TemporalComparison:
+    """A Table-10/11 style comparison for one metric and country."""
+
+    metric: str
+    country: str
+    before_label: str
+    after_label: str
+    rows: tuple[TemporalRow, ...]
+
+    def entered(self) -> list[int]:
+        """ASes in the later top-k that were not in the earlier one."""
+        before = {row.before_asn for row in self.rows}
+        return [
+            row.after_asn
+            for row in self.rows
+            if row.after_asn is not None and row.after_asn not in before
+        ]
+
+    def departed(self) -> list[int]:
+        """ASes that dropped out of the top-k."""
+        after = {row.after_asn for row in self.rows}
+        return [
+            row.before_asn
+            for row in self.rows
+            if row.before_asn is not None and row.before_asn not in after
+        ]
+
+    def render(self, name_of=None) -> str:
+        """Printable before/after table."""
+        def name(asn):
+            if asn is None:
+                return "-"
+            return name_of(asn) if name_of else f"AS{asn}"
+
+        lines = [
+            f"== {self.metric} {self.country}: "
+            f"{self.before_label} vs {self.after_label} ==",
+            f"{'rk':>3} {self.before_label:<24} {'share':>6}  "
+            f"{self.after_label:<24} {'Δrk':>4} {'Δshare':>7}",
+        ]
+        for row in self.rows:
+            delta = f"{row.rank_delta:+d}" if row.rank_delta is not None else "new"
+            lines.append(
+                f"{row.rank:>3} {name(row.before_asn):<24.24} "
+                f"{100 * row.before_share:5.1f}%  "
+                f"{name(row.after_asn):<24.24} {delta:>4} "
+                f"{100 * row.share_delta:+6.1f}%"
+            )
+        return "\n".join(lines)
+
+
+def compare_snapshots(
+    before: PipelineResult,
+    after: PipelineResult,
+    country: str,
+    metric: str,
+    k: int = 10,
+    before_label: str | None = None,
+    after_label: str | None = None,
+) -> TemporalComparison:
+    """Build a Table-10/11 comparison between two pipeline runs."""
+    ranking_before = before.ranking(metric, country)
+    ranking_after = after.ranking(metric, country)
+    rows = []
+    top_before = ranking_before.top(k)
+    top_after = ranking_after.top(k)
+    for index in range(max(len(top_before), len(top_after))):
+        b = top_before[index] if index < len(top_before) else None
+        a = top_after[index] if index < len(top_after) else None
+        delta_rank = None
+        delta_share = 0.0
+        if a is not None:
+            old_rank = ranking_before.rank_of(a.asn)
+            if old_rank is not None:
+                delta_rank = old_rank - a.rank
+            delta_share = (a.share or 0.0) - (ranking_before.share_of(a.asn) or 0.0)
+        rows.append(
+            TemporalRow(
+                rank=index + 1,
+                before_asn=b.asn if b else None,
+                before_share=(b.share or 0.0) if b else 0.0,
+                after_asn=a.asn if a else None,
+                after_share=(a.share or 0.0) if a else 0.0,
+                rank_delta=delta_rank,
+                share_delta=delta_share,
+            )
+        )
+    return TemporalComparison(
+        metric=metric,
+        country=country,
+        before_label=before_label or before.world.name,
+        after_label=after_label or after.world.name,
+        rows=tuple(rows),
+    )

@@ -1,0 +1,130 @@
+"""Route collectors and vantage points.
+
+Models the RouteViews / RIPE RIS ecosystem the paper ingests (§2, §3.2.2):
+collectors sit at IXPs in known countries; their BGP peers (vantage
+points, VPs) are routers inside member ASes. Collectors flagged
+*multi-hop* accept remote peers, so the country of such a VP cannot be
+trusted — the paper drops their paths (20.98 % of its input, Table 1).
+
+A VP is identified by its peering IP; multiple VPs can live in the same
+AS (the concentration Figure 10 examines).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+class CollectorProject(enum.Enum):
+    """Which public collection project a collector belongs to."""
+
+    ROUTEVIEWS = "routeviews"
+    RIS = "ris"
+
+
+@dataclass(frozen=True, slots=True)
+class VantagePoint:
+    """A BGP peer of a collector: an interface inside a member AS."""
+
+    ip: str
+    asn: int
+    collector: str
+
+    def __str__(self) -> str:
+        return f"{self.ip} (AS{self.asn} @ {self.collector})"
+
+
+@dataclass(slots=True)
+class Collector:
+    """A route collector at a known (IXP) location."""
+
+    name: str
+    project: CollectorProject
+    country: str
+    multihop: bool = False
+    vps: list[VantagePoint] = field(default_factory=list)
+
+    def add_vp(self, ip: str, asn: int) -> VantagePoint:
+        """Register a vantage point peering with this collector."""
+        if any(vp.ip == ip for vp in self.vps):
+            raise ValueError(f"duplicate VP IP {ip} on collector {self.name}")
+        vp = VantagePoint(ip, asn, self.name)
+        self.vps.append(vp)
+        return vp
+
+    def vp_asns(self) -> frozenset[int]:
+        """Distinct member ASNs peering here."""
+        return frozenset(vp.asn for vp in self.vps)
+
+    def __str__(self) -> str:
+        kind = "multihop" if self.multihop else "ixp"
+        return f"{self.name} ({self.project.value}, {self.country}, {kind}, {len(self.vps)} VPs)"
+
+
+class CollectorSet:
+    """All collectors of a world, with the lookups the pipeline needs."""
+
+    def __init__(self, collectors: Iterable[Collector] = ()) -> None:
+        self._by_name: dict[str, Collector] = {}
+        for collector in collectors:
+            self.add(collector)
+
+    def add(self, collector: Collector) -> Collector:
+        """Register a collector; rejects duplicate names."""
+        if collector.name in self._by_name:
+            raise ValueError(f"duplicate collector name {collector.name}")
+        self._by_name[collector.name] = collector
+        return collector
+
+    def get(self, name: str) -> Collector:
+        """Collector by name; raises ``KeyError`` when unknown."""
+        return self._by_name[name]
+
+    def all_vps(self) -> list[VantagePoint]:
+        """Every VP across all collectors, in collector order."""
+        return [
+            vp
+            for name in sorted(self._by_name)
+            for vp in self._by_name[name].vps
+        ]
+
+    def geolocatable_vps(self) -> list[VantagePoint]:
+        """VPs on non-multi-hop collectors (their location is trusted)."""
+        return [
+            vp
+            for name in sorted(self._by_name)
+            if not self._by_name[name].multihop
+            for vp in self._by_name[name].vps
+        ]
+
+    def multihop_vps(self) -> list[VantagePoint]:
+        """VPs on multi-hop collectors (location unknown; paths dropped)."""
+        return [
+            vp
+            for name in sorted(self._by_name)
+            if self._by_name[name].multihop
+            for vp in self._by_name[name].vps
+        ]
+
+    def vp_country(self, vp: VantagePoint) -> str | None:
+        """Trusted VP country: the collector's, unless multi-hop."""
+        collector = self._by_name[vp.collector]
+        if collector.multihop:
+            return None
+        return collector.country
+
+    def vp_asns(self) -> frozenset[int]:
+        """All distinct ASNs hosting at least one VP."""
+        return frozenset(vp.asn for vp in self.all_vps())
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __iter__(self) -> Iterator[Collector]:
+        for name in sorted(self._by_name):
+            yield self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name

@@ -1,0 +1,87 @@
+"""Routing policy primitives: route classes, preference, export rules.
+
+We implement the standard Gao–Rexford economic model, which is also the
+model underlying the paper's valley-free assumption (§1.1):
+
+* **Preference.** An AS prefers routes learned from customers over
+  routes learned from peers over routes learned from providers
+  (customers pay, providers are paid). Ties break on shorter AS path,
+  then on lower next-hop ASN (a deterministic stand-in for IGP/router-ID
+  tie-breaking).
+* **Export.** Customer-learned (and self-originated) routes are
+  announced to everyone; peer- and provider-learned routes are announced
+  only to customers. This is exactly why "customer prefixes are the only
+  prefixes an AS will propagate to peers and providers" — the property
+  the customer-cone algorithm exploits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RouteClass(enum.Enum):
+    """How the route holder learned the route."""
+
+    ORIGIN = 0
+    CUSTOMER = 1
+    PEER = 2
+    PROVIDER = 3
+
+    @property
+    def preference(self) -> int:
+        """Lower is better."""
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Route:
+    """A route held by one AS toward one origin.
+
+    ``path`` starts at the holder and ends at the origin (so the
+    holder's own ASN is ``path[0]`` and ``len(path)`` is the AS-path
+    length including both endpoints).
+    """
+
+    path: tuple[int, ...]
+    route_class: RouteClass
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("empty route path")
+        if self.route_class is RouteClass.ORIGIN and len(self.path) != 1:
+            raise ValueError("origin route must have a single-hop path")
+
+    @property
+    def holder(self) -> int:
+        """The AS holding this route."""
+        return self.path[0]
+
+    @property
+    def origin(self) -> int:
+        """The AS originating the destination."""
+        return self.path[-1]
+
+    @property
+    def next_hop(self) -> int:
+        """The neighbor the route was learned from (self when origin)."""
+        return self.path[1] if len(self.path) > 1 else self.path[0]
+
+    def preference_key(self) -> tuple[int, int, int]:
+        """Sort key: lower compares better (class, length, next hop)."""
+        return (self.route_class.preference, len(self.path), self.next_hop)
+
+    def exports_to_peers_and_providers(self) -> bool:
+        """Valley-free export: only customer/origin routes go upward."""
+        return self.route_class in (RouteClass.ORIGIN, RouteClass.CUSTOMER)
+
+    def __str__(self) -> str:
+        return f"{'-'.join(str(a) for a in self.path)} [{self.route_class.name}]"
+
+
+def better(left: Route | None, right: Route) -> Route:
+    """The preferred of an incumbent (possibly absent) and a candidate."""
+    if left is None or right.preference_key() < left.preference_key():
+        return right
+    return left

@@ -1,0 +1,214 @@
+"""Valley-free route propagation over an AS graph.
+
+For each origin AS, computes the best route every other AS would select
+under Gao–Rexford policy using a three-phase breadth-first sweep:
+
+1. **up** — customer-learned routes climb provider links;
+2. **across** — customer routes cross a single peer link;
+3. **down** — any route descends to customers.
+
+Phases run in order because route classes dominate path length: an AS
+with any customer route never selects a peer or provider route, so its
+export is fixed by the earlier phase. Within a phase, routes spread in
+breadth-first levels (all AS-path growth is one hop), which yields
+shortest paths per class; remaining ties resolve by the configured
+tie-break policy — ``"asn"`` (lowest next-hop ASN, fully reproducible
+and easy to reason about in tests) or ``"hash"`` (a deterministic
+per-(holder, next hop, origin) mix that emulates the geographic
+diversity of real hot-potato tie-breaking: different ASes pick
+different equally-good egresses instead of the whole world converging
+on the lowest ASN).
+
+The result at a vantage-point AS is the AS path that VP would advertise
+to a collector — the raw material of the whole reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from repro.bgp.policy import Route, RouteClass
+from repro.topology.model import ASGraph
+
+
+@dataclass(frozen=True, slots=True)
+class RoutingOutcome:
+    """Best routes toward each origin, restricted to the ASes kept.
+
+    ``routes[origin][asn]`` is the best :class:`Route` held by ``asn``
+    toward ``origin``; absent keys mean the origin was unreachable.
+    """
+
+    routes: Mapping[int, Mapping[int, Route]]
+
+    def path(self, origin: int, asn: int) -> tuple[int, ...] | None:
+        """Convenience lookup of the AS path or ``None``."""
+        route = self.routes.get(origin, {}).get(asn)
+        return route.path if route is not None else None
+
+    def origins(self) -> list[int]:
+        """All origins propagated, sorted."""
+        return sorted(self.routes)
+
+
+class _Adjacency:
+    """Plain-dict adjacency snapshot for fast inner loops."""
+
+    __slots__ = ("providers", "customers", "peers", "asns")
+
+    def __init__(self, graph: ASGraph) -> None:
+        self.asns = graph.asns()
+        self.providers = {a: tuple(sorted(graph.providers_of(a))) for a in self.asns}
+        self.customers = {a: tuple(sorted(graph.customers_of(a))) for a in self.asns}
+        self.peers = {a: tuple(sorted(graph.peers_of(a))) for a in self.asns}
+
+
+#: Valid tie-break policies.
+TIEBREAKS = ("asn", "hash")
+
+
+def _hash_mix(holder: int, next_hop: int, origin: int, salt: int = 0) -> int:
+    """Deterministic 32-bit mix used by the "hash" tie-break."""
+    value = (
+        holder * 2654435761 + next_hop * 2246822519
+        + origin * 3266489917 + salt * 374761393
+    ) & 0xFFFFFFFF
+    value ^= value >> 16
+    value = (value * 2654435761) & 0xFFFFFFFF
+    return value ^ (value >> 13)
+
+
+def _key_factory(
+    tiebreak: str, origin: int, salt: int = 0
+) -> Callable[[int, int], tuple[int, int]]:
+    if tiebreak == "asn":
+        return lambda holder, next_hop: (next_hop, 0)
+    if tiebreak == "hash":
+        return lambda holder, next_hop: (
+            _hash_mix(holder, next_hop, origin, salt), next_hop,
+        )
+    raise ValueError(f"unknown tiebreak {tiebreak!r} (expected one of {TIEBREAKS})")
+
+
+def propagate(
+    graph: ASGraph, origin: int, tiebreak: str = "asn", salt: int = 0
+) -> dict[int, Route]:
+    """Best route at every AS toward ``origin`` (single-origin API).
+
+    ``salt`` varies the "hash" tie-break, producing an alternative but
+    equally-valid routing plane — the mechanism behind multi-plane path
+    diversity (see :class:`repro.core.pipeline.PipelineConfig`).
+    """
+    return _propagate(_Adjacency(graph), origin, tiebreak, salt)
+
+
+def propagate_all(
+    graph: ASGraph,
+    origins: Iterable[int] | None = None,
+    keep: Iterable[int] | None = None,
+    tiebreak: str = "asn",
+    salt: int = 0,
+) -> RoutingOutcome:
+    """Propagate every origin and keep routes only at ``keep`` ASes.
+
+    ``origins`` defaults to every AS that originates at least one
+    prefix; ``keep`` defaults to all ASes (memory scales with
+    ``len(origins) * len(keep)``, so pass the VP ASes when you only
+    need collector views).
+    """
+    adjacency = _Adjacency(graph)
+    if origins is None:
+        origins = [asn for asn in graph.asns() if graph.node(asn).prefixes]
+    keep_set = set(keep) if keep is not None else None
+    all_routes: dict[int, dict[int, Route]] = {}
+    for origin in sorted(set(origins)):
+        if origin not in graph:
+            raise KeyError(f"origin AS{origin} not in graph")
+        routes = _propagate(adjacency, origin, tiebreak, salt)
+        if keep_set is not None:
+            routes = {asn: route for asn, route in routes.items() if asn in keep_set}
+        all_routes[origin] = routes
+    return RoutingOutcome(all_routes)
+
+
+def _propagate(
+    adjacency: _Adjacency, origin: int, tiebreak: str = "asn", salt: int = 0
+) -> dict[int, Route]:
+    providers = adjacency.providers
+    customers = adjacency.customers
+    peers = adjacency.peers
+    key_of = _key_factory(tiebreak, origin, salt)
+
+    # Phase 1 (up): customer routes climb provider links, breadth-first.
+    up_paths: dict[int, tuple[int, ...]] = {origin: (origin,)}
+    frontier: list[int] = [origin]
+    while frontier:
+        candidates: dict[int, tuple[tuple[int, int], int]] = {}
+        for asn in frontier:
+            for provider in providers[asn]:
+                if provider in up_paths:
+                    continue
+                key = key_of(provider, asn)
+                best = candidates.get(provider)
+                if best is None or key < best[0]:
+                    candidates[provider] = (key, asn)
+        next_frontier: list[int] = []
+        for provider, (_, next_hop) in candidates.items():
+            up_paths[provider] = (provider,) + up_paths[next_hop]
+            next_frontier.append(provider)
+        frontier = next_frontier
+
+    # Phase 2 (across): the best customer route crosses one peer link.
+    peer_paths: dict[int, tuple[int, ...]] = {}
+    # asn -> ((len, key), next_hop)
+    peer_candidates: dict[int, tuple[tuple[int, tuple[int, int]], int]] = {}
+    for asn, path in up_paths.items():
+        cost = len(path) + 1
+        for peer in peers[asn]:
+            if peer in up_paths:
+                continue
+            rank = (cost, key_of(peer, asn))
+            best = peer_candidates.get(peer)
+            if best is None or rank < best[0]:
+                peer_candidates[peer] = (rank, asn)
+    for asn, (_, next_hop) in peer_candidates.items():
+        peer_paths[asn] = (asn,) + up_paths[next_hop]
+
+    # Assemble the routes selected so far; they fix each AS's export.
+    routes: dict[int, Route] = {origin: Route((origin,), RouteClass.ORIGIN)}
+    for asn, path in up_paths.items():
+        if asn != origin:
+            routes[asn] = Route(path, RouteClass.CUSTOMER)
+    for asn, path in peer_paths.items():
+        routes[asn] = Route(path, RouteClass.PEER)
+
+    # Phase 3 (down): any selected route descends to customers,
+    # breadth-first by the exported route's length.
+    buckets: dict[int, list[int]] = {}
+    for asn, route in routes.items():
+        buckets.setdefault(len(route.path), []).append(asn)
+    length = min(buckets) if buckets else 0
+    max_settled = max(buckets) if buckets else 0
+    while length <= max_settled:
+        batch = buckets.get(length)
+        if batch:
+            candidates = {}
+            for asn in batch:
+                for customer in customers[asn]:
+                    if customer in routes:
+                        continue
+                    key = key_of(customer, asn)
+                    best = candidates.get(customer)
+                    if best is None or key < best[0]:
+                        candidates[customer] = (key, asn)
+            if candidates:
+                new_bucket = buckets.setdefault(length + 1, [])
+                for customer, (_, next_hop) in candidates.items():
+                    routes[customer] = Route(
+                        (customer,) + routes[next_hop].path, RouteClass.PROVIDER
+                    )
+                    new_bucket.append(customer)
+                max_settled = max(max_settled, length + 1)
+        length += 1
+    return routes

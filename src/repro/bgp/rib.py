@@ -1,0 +1,262 @@
+"""Lazy daily RIB snapshots for a simulated world.
+
+The paper ingests five daily RIBs from every collector (Table 1). We
+model a :class:`RibSeries` as the deterministic product of:
+
+* the propagated best path per (VP AS, origin) — shared structure, so
+  millions of logical announcements reference a few hundred thousand
+  path objects;
+* a per-VP *visibility* mask (real VPs rarely carry a 100 % feed);
+* prefix-level *churn* — a prefix absent from some days' RIBs is what
+  the paper's "unstable" filter rejects;
+* injected anomalies (loops, poisoning, unallocated ASNs, prepending,
+  route-server hops) that override the clean path for a record.
+
+All randomness is *hash-stable*: each draw is keyed by the entity it
+concerns (a VP IP, a prefix, a record) rather than by position in a
+shared stream, so editing one AS in a world never reshuffles the noise
+applied to unrelated VPs and prefixes.
+
+Announcements are never materialised en masse: iterate
+:meth:`RibSeries.records` for the deduplicated per-(VP, prefix) view
+with day counts, or :meth:`RibSeries.announcements` for a specific
+day's stream.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.bgp.anomalies import AnomalyConfig, InjectionSummary, inject_anomalies
+from repro.bgp.announcement import Announcement, RibRecord
+from repro.bgp.collectors import VantagePoint
+from repro.bgp.propagation import RoutingOutcome
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+from repro.topology.world import World
+
+
+@dataclass(frozen=True, slots=True)
+class RibGenerationConfig:
+    """Knobs for RIB realism.
+
+    ``churn_rate`` is the chance a prefix misses at least one of the
+    ``days`` snapshots (the paper saw ~8 % of announcements rejected as
+    unstable); ``vp_visibility`` is the chance a VP carries any given
+    prefix at all.
+    """
+
+    days: int = 5
+    churn_rate: float = 0.08
+    vp_visibility: float = 0.985
+    anomalies: AnomalyConfig = field(default_factory=AnomalyConfig)
+
+    def __post_init__(self) -> None:
+        if self.days < 1:
+            raise ValueError("need at least one RIB day")
+        if not 0.0 <= self.churn_rate <= 1.0:
+            raise ValueError(f"churn_rate out of range: {self.churn_rate}")
+        if not 0.0 < self.vp_visibility <= 1.0:
+            raise ValueError(f"vp_visibility out of range: {self.vp_visibility}")
+
+
+def _stable_uniform(seed: int, kind: str, key: str) -> float:
+    """A uniform [0, 1) draw keyed by (seed, kind, entity)."""
+    digest = zlib.crc32(f"{seed}:{kind}:{key}".encode())
+    return (digest & 0xFFFFFFFF) / 4294967296.0
+
+
+class RibSeries:
+    """Daily RIB snapshots over one world, exposed lazily."""
+
+    def __init__(
+        self,
+        world: World,
+        outcome: "RoutingOutcome | list[RoutingOutcome]",
+        config: RibGenerationConfig,
+        seed: int = 0,
+    ) -> None:
+        self.world = world
+        self.config = config
+        self.vps: list[VantagePoint] = world.collectors.all_vps()
+        #: (prefix, origin ASN) per prefix index, deterministic order.
+        self.prefix_table: list[tuple[Prefix, int]] = [
+            (record.prefix, asn) for asn, record in world.graph.originations()
+        ]
+        self._seed = seed
+        outcomes = outcome if isinstance(outcome, list) else [outcome]
+        if not outcomes:
+            raise ValueError("need at least one routing outcome")
+        self._paths = self._collect_paths(outcomes)
+        self._missing = self._sample_visibility()
+        self.unstable_days = self._sample_churn()
+        self.overrides, self.injection_summary = self._inject()
+
+    # -- construction ------------------------------------------------------
+
+    def _collect_paths(
+        self, outcomes: "list[RoutingOutcome]"
+    ) -> dict[tuple[int, int], ASPath]:
+        """Best path per (VP ASN, origin), as shared ASPath objects.
+
+        With multiple outcomes (routing *planes* from differently-salted
+        tie-breaking), each VP AS is deterministically assigned one
+        plane — emulating the path diversity real collectors see because
+        peers in different regions resolve ties differently.
+        """
+        planes = len(outcomes)
+        paths: dict[tuple[int, int], ASPath] = {}
+        vp_asns = sorted({vp.asn for vp in self.vps})
+        plane_of = {
+            vp_asn: zlib.crc32(f"plane:{vp_asn}".encode()) % planes
+            for vp_asn in vp_asns
+        }
+        for vp_asn in vp_asns:
+            outcome = outcomes[plane_of[vp_asn]]
+            for origin in outcome.origins():
+                route = outcome.routes[origin].get(vp_asn)
+                if route is not None:
+                    paths[(vp_asn, origin)] = ASPath(route.path)
+        return paths
+
+    def _sample_visibility(self) -> set[tuple[int, int]]:
+        """(vp_index, prefix_index) pairs the VP does not carry."""
+        missing: set[tuple[int, int]] = set()
+        drop_rate = 1.0 - self.config.vp_visibility
+        if drop_rate <= 0.0:
+            return missing
+        for vp_index, vp in enumerate(self.vps):
+            for prefix_index, (prefix, _) in enumerate(self.prefix_table):
+                key = f"{vp.ip}|{prefix}"
+                if _stable_uniform(self._seed, "vis", key) < drop_rate:
+                    missing.add((vp_index, prefix_index))
+        return missing
+
+    def _sample_churn(self) -> dict[int, frozenset[int]]:
+        """prefix_index -> days (0-based) on which the prefix is absent."""
+        unstable: dict[int, frozenset[int]] = {}
+        days = self.config.days
+        if self.config.churn_rate <= 0.0 or days < 2:
+            return unstable
+        for prefix_index, (prefix, origin) in enumerate(self.prefix_table):
+            key = f"{prefix}|{origin}"
+            if _stable_uniform(self._seed, "churn", key) >= self.config.churn_rate:
+                continue
+            absent = 1 + int(
+                _stable_uniform(self._seed, "churn-n", key) * (days - 1)
+            )
+            ranked = sorted(
+                range(days),
+                key=lambda d: _stable_uniform(self._seed, f"churn-d{d}", key),
+            )
+            unstable[prefix_index] = frozenset(ranked[:absent])
+        return unstable
+
+    def _inject(self) -> tuple[dict[tuple[int, int], ASPath], InjectionSummary]:
+        graph = self.world.graph
+        clique = graph.clique()
+        route_servers = graph.route_servers()
+        pool = graph.asn_registry.unallocated_sample(16)
+        filler_pool = [asn for asn in graph.asns() if asn not in clique]
+
+        def clean_records() -> Iterator[tuple[tuple[int, int], ASPath]]:
+            for vp_index, prefix_index, path in self._iter_clean():
+                yield ((vp_index, prefix_index), path)
+
+        def record_key(key: tuple[int, int]) -> str:
+            vp_index, prefix_index = key
+            return f"{self.vps[vp_index].ip}|{self.prefix_table[prefix_index][0]}"
+
+        return inject_anomalies(
+            clean_records(),
+            self.config.anomalies,
+            clique,
+            pool,
+            route_servers,
+            random.Random(self._seed),
+            filler_pool=filler_pool,
+            roll_for=lambda key: _stable_uniform(self._seed, "anom", record_key(key)),
+            rng_for=lambda key: random.Random(
+                zlib.crc32(f"{self._seed}:anom-rng:{record_key(key)}".encode())
+            ),
+        )
+
+    # -- iteration ----------------------------------------------------------
+
+    def _iter_clean(self) -> Iterator[tuple[int, int, ASPath]]:
+        """(vp_index, prefix_index, clean path) for every carried record."""
+        paths = self._paths
+        missing = self._missing
+        for vp_index, vp in enumerate(self.vps):
+            vp_asn = vp.asn
+            for prefix_index, (_, origin) in enumerate(self.prefix_table):
+                path = paths.get((vp_asn, origin))
+                if path is None:
+                    continue
+                if (vp_index, prefix_index) in missing:
+                    continue
+                yield (vp_index, prefix_index, path)
+
+    def records(self) -> Iterator[RibRecord]:
+        """Deduplicated (VP, prefix) records with day-presence counts."""
+        days = self.config.days
+        for vp_index, prefix_index, path in self._iter_clean():
+            override = self.overrides.get((vp_index, prefix_index))
+            absent = len(self.unstable_days.get(prefix_index, ()))
+            yield RibRecord(
+                vp=self.vps[vp_index],
+                prefix=self.prefix_table[prefix_index][0],
+                path=override if override is not None else path,
+                days_present=days - absent,
+                total_days=days,
+            )
+
+    def announcements(self, day: int) -> Iterator[Announcement]:
+        """Stream one day's RIB (0-based day index)."""
+        if not 0 <= day < self.config.days:
+            raise ValueError(f"day {day} outside 0..{self.config.days - 1}")
+        for vp_index, prefix_index, path in self._iter_clean():
+            if day in self.unstable_days.get(prefix_index, ()):
+                continue
+            override = self.overrides.get((vp_index, prefix_index))
+            yield Announcement(
+                vp=self.vps[vp_index],
+                prefix=self.prefix_table[prefix_index][0],
+                path=override if override is not None else path,
+            )
+
+    def total_announcements(self) -> int:
+        """Announcement count across all days (Table 1's "total" row)."""
+        days = self.config.days
+        total = 0
+        for _, prefix_index, _ in self._iter_clean():
+            total += days - len(self.unstable_days.get(prefix_index, ()))
+        return total
+
+    def num_records(self) -> int:
+        """Deduplicated (VP, prefix) record count."""
+        return sum(1 for _ in self._iter_clean())
+
+
+def generate_rib_days(
+    world: World,
+    outcome: "RoutingOutcome | list[RoutingOutcome]",
+    config: RibGenerationConfig | None = None,
+    seed: int = 0,
+) -> RibSeries:
+    """Build the daily RIB series for one or more routing planes."""
+    return RibSeries(world, outcome, config or RibGenerationConfig(), seed)
+
+
+@dataclass(frozen=True, slots=True)
+class RibDump:
+    """A single day's view over a series (convenience wrapper)."""
+
+    series: RibSeries
+    day: int
+
+    def __iter__(self) -> Iterator[Announcement]:
+        return self.series.announcements(self.day)

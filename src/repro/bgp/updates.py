@@ -1,0 +1,123 @@
+"""BGP UPDATE streams between RIB snapshots.
+
+The public collectors the paper ingests publish both full RIB dumps and
+incremental UPDATE archives. Our RIB series is snapshot-based; this
+module derives the equivalent UPDATE stream — per vantage point, the
+announcements and withdrawals that transform one day's RIB into the
+next. Downstream uses: churn accounting (which prefixes the "unstable"
+filter will reject and why), compact day-over-day serialisation, and
+realism checks (update volume should be a small fraction of table
+size, as it is for real collectors).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.bgp.announcement import Announcement
+from repro.bgp.collectors import VantagePoint
+from repro.bgp.rib import RibSeries
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+
+
+class UpdateKind(enum.Enum):
+    """BGP UPDATE message flavour."""
+
+    ANNOUNCE = "announce"
+    WITHDRAW = "withdraw"
+
+
+@dataclass(frozen=True, slots=True)
+class Update:
+    """One UPDATE: a VP announces a (new or changed) path, or withdraws
+    a prefix. Withdrawals carry no path."""
+
+    kind: UpdateKind
+    vp: VantagePoint
+    prefix: Prefix
+    path: ASPath | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is UpdateKind.ANNOUNCE and self.path is None:
+            raise ValueError("announce without a path")
+        if self.kind is UpdateKind.WITHDRAW and self.path is not None:
+            raise ValueError("withdraw with a path")
+
+    def __str__(self) -> str:
+        if self.kind is UpdateKind.ANNOUNCE:
+            return f"A {self.vp.ip} {self.prefix} [{self.path}]"
+        return f"W {self.vp.ip} {self.prefix}"
+
+
+def diff_ribs(
+    before: Iterable[Announcement],
+    after: Iterable[Announcement],
+) -> Iterator[Update]:
+    """The UPDATE stream turning ``before`` into ``after``.
+
+    Keys on (VP IP, prefix): a route present only in ``after`` is an
+    announcement, present only in ``before`` a withdrawal, and present
+    in both with a different AS path an (implicit-withdraw) re-announce.
+    Emission order is deterministic: sorted by VP IP, then prefix.
+    """
+    old: dict[tuple[str, Prefix], Announcement] = {
+        (a.vp.ip, a.prefix): a for a in before
+    }
+    new: dict[tuple[str, Prefix], Announcement] = {
+        (a.vp.ip, a.prefix): a for a in after
+    }
+    keys = sorted(
+        set(old) | set(new), key=lambda key: (key[0], key[1].sort_key())
+    )
+    for key in keys:
+        was = old.get(key)
+        now = new.get(key)
+        if was is None:
+            assert now is not None
+            yield Update(UpdateKind.ANNOUNCE, now.vp, now.prefix, now.path)
+        elif now is None:
+            yield Update(UpdateKind.WITHDRAW, was.vp, was.prefix)
+        elif was.path != now.path:
+            yield Update(UpdateKind.ANNOUNCE, now.vp, now.prefix, now.path)
+
+
+def daily_updates(series: RibSeries, day: int) -> Iterator[Update]:
+    """UPDATEs transforming day ``day-1``'s RIB into day ``day``'s."""
+    if not 1 <= day < series.config.days:
+        raise ValueError(f"day {day} outside 1..{series.config.days - 1}")
+    return diff_ribs(series.announcements(day - 1), series.announcements(day))
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnSummary:
+    """Volume accounting for one day transition."""
+
+    day: int
+    announces: int
+    withdraws: int
+    table_size: int
+
+    @property
+    def churn_ratio(self) -> float:
+        """Updates relative to table size (small for healthy tables)."""
+        if self.table_size == 0:
+            return 0.0
+        return (self.announces + self.withdraws) / self.table_size
+
+
+def churn_profile(series: RibSeries) -> list[ChurnSummary]:
+    """Per-day update volumes across the whole series."""
+    out: list[ChurnSummary] = []
+    for day in range(1, series.config.days):
+        announces = withdraws = 0
+        for update in daily_updates(series, day):
+            if update.kind is UpdateKind.ANNOUNCE:
+                announces += 1
+            else:
+                withdraws += 1
+        table_size = sum(1 for _ in series.announcements(day))
+        out.append(ChurnSummary(day, announces, withdraws, table_size))
+    return out

@@ -1,0 +1,195 @@
+"""Command-line interface: ``repro-rank``.
+
+Subcommands mirror the paper's workflow:
+
+* ``world``       — build a world and print its summary sizes;
+* ``rank``        — compute one metric's top-k for a country;
+* ``filter``      — print the Table-1 sanitization report;
+* ``case-study``  — print a Table-5-style four-metric table;
+* ``census``      — print the in-country VP census (Tables 3–4);
+* ``stability``   — NDCG vs VP-count downsampling (Figures 4–5);
+* ``dominance``   — continental AHI dominance (Table 12);
+* ``sovereignty`` — one country's foreign-carrier dependence;
+* ``report``      — full markdown country profile;
+* ``disconnect``  — what-if removal of ASes or a whole country's ASes;
+* ``concentration`` — HHI market concentration per country;
+* ``release``     — write the reproducibility dataset to a directory;
+* ``replay``      — recompute a ranking from a released paths.jsonl
+  (no world needed: relationships are inferred from the paths).
+
+Worlds: ``small`` (seconds), ``default`` (the generated ~1000-AS world),
+``paper2021`` / ``paper2023`` (the curated case-study snapshots).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.case_studies import case_study_table, render_case_study
+from repro.analysis.concentration import country_concentrations, render_concentrations
+from repro.analysis.regions import continental_dominance, render_dominance_table
+from repro.analysis.reports import country_report
+from repro.analysis.resilience import ases_registered_in, disconnection_impact
+from repro.analysis.sovereignty import dependency_matrix, render_dependencies
+from repro.analysis.stability import international_stability, national_stability
+from repro.analysis.vp_distribution import render_census, vp_census
+from repro.core.pipeline import PipelineConfig, PipelineResult, run_pipeline
+from repro.io.export import release_dataset
+from repro.io.replay import ReplaySession
+from repro.topology.generator import GeneratorConfig, generate_world
+from repro.topology.paper_world import (
+    SNAPSHOT_2021,
+    SNAPSHOT_2023,
+    build_paper_world,
+)
+from repro.topology.profiles import small_profiles
+from repro.topology.world import World
+
+WORLD_CHOICES = ("small", "default", "paper2021", "paper2023")
+
+
+def build_world(kind: str, seed: int) -> World:
+    """Materialize one of the named worlds."""
+    if kind == "small":
+        config = GeneratorConfig(
+            profiles=small_profiles(), clique_homes=("US", "US", "SE", "JP")
+        )
+        return generate_world(config, seed=seed, name="small")
+    if kind == "default":
+        return generate_world(seed=seed, name="default")
+    if kind == "paper2021":
+        return build_paper_world(SNAPSHOT_2021)
+    if kind == "paper2023":
+        return build_paper_world(SNAPSHOT_2023)
+    raise ValueError(f"unknown world {kind!r}")
+
+
+def _run(kind: str, seed: int) -> PipelineResult:
+    return run_pipeline(build_world(kind, seed), PipelineConfig(seed=seed))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point (also exposed as the ``repro-rank`` script)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-rank",
+        description="Country-level AS rankings over a simulated BGP substrate",
+    )
+    parser.add_argument("--world", choices=WORLD_CHOICES, default="small")
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("world", help="print world summary")
+
+    rank = sub.add_parser("rank", help="print a ranking")
+    rank.add_argument("metric", help="CCI/CCN/AHI/AHN/AHC/CTI/CCG/AHG")
+    rank.add_argument("country", nargs="?", help="two-letter code")
+    rank.add_argument("-k", type=int, default=10)
+
+    sub.add_parser("filter", help="print the Table-1 filter report")
+
+    case = sub.add_parser("case-study", help="print a Table-5-style table")
+    case.add_argument("country")
+
+    sub.add_parser("census", help="print the VP census")
+
+    stability = sub.add_parser("stability", help="downsampling NDCG curve")
+    stability.add_argument("country")
+    stability.add_argument("metric", nargs="?", default="AHN")
+    stability.add_argument("--trials", type=int, default=8)
+
+    sub.add_parser("dominance", help="continental AHI dominance table")
+
+    sovereignty = sub.add_parser(
+        "sovereignty", help="a country's foreign-carrier dependence"
+    )
+    sovereignty.add_argument("country")
+
+    report = sub.add_parser("report", help="full markdown country profile")
+    report.add_argument("country")
+
+    disconnect = sub.add_parser(
+        "disconnect", help="what-if: remove ASes (ASNs or a country code)"
+    )
+    disconnect.add_argument("target", help="comma-separated ASNs, or a country code")
+
+    conc = sub.add_parser("concentration", help="HHI per country")
+    conc.add_argument("countries", nargs="?", default="US,AU,JP,RU")
+    conc.add_argument("--metric", default="AHN")
+
+    release = sub.add_parser("release", help="export the dataset")
+    release.add_argument("directory")
+    release.add_argument("--countries", default="AU,JP,RU,US")
+
+    replay = sub.add_parser("replay", help="recompute from released paths")
+    replay.add_argument("paths_file")
+    replay.add_argument("metric")
+    replay.add_argument("country", nargs="?")
+    replay.add_argument("-k", type=int, default=10)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "replay":
+        session = ReplaySession.from_file(args.paths_file)
+        print(session.ranking(args.metric, args.country).render(args.k))
+        return 0
+
+    if args.command == "world":
+        world = build_world(args.world, args.seed)
+        for key, value in world.summary().items():
+            print(f"{key:>12}: {value}")
+        return 0
+
+    result = _run(args.world, args.seed)
+    if args.command == "rank":
+        ranking = result.ranking(args.metric, args.country)
+        print(ranking.render(args.k, result.as_name))
+    elif args.command == "filter":
+        print(result.paths.report.render())
+    elif args.command == "case-study":
+        rows = case_study_table(result, args.country)
+        print(render_case_study(rows, args.country))
+    elif args.command == "census":
+        print(render_census(vp_census(result)))
+    elif args.command == "stability":
+        metric = args.metric.upper()
+        runner = (
+            national_stability if metric.endswith("N") else international_stability
+        )
+        curve = runner(result, args.country, metric, trials=args.trials)
+        for size, mean, std in curve.as_rows():
+            print(f"{size:>5} VPs  NDCG {mean:.3f} ±{std:.3f}")
+        print(f">=0.8 from {curve.min_vps_for(0.8)} VPs, "
+              f">=0.9 from {curve.min_vps_for(0.9)} VPs")
+    elif args.command == "dominance":
+        print(render_dominance_table(continental_dominance(result), result))
+    elif args.command == "sovereignty":
+        matrix = dependency_matrix(result)
+        print(render_dependencies(matrix, args.country))
+    elif args.command == "report":
+        print(country_report(result, args.country).markdown)
+    elif args.command == "disconnect":
+        if args.target.isalpha() and len(args.target) == 2:
+            removal = ases_registered_in(result.world, args.target.upper())
+        else:
+            removal = frozenset(int(a) for a in args.target.split(","))
+        impact = disconnection_impact(result.world, removal)
+        print(impact.render())
+        stranded = impact.stranded_countries()
+        if stranded:
+            print("stranded (>50% lost):", ", ".join(stranded))
+    elif args.command == "concentration":
+        codes = tuple(c for c in args.countries.split(",") if c)
+        print(render_concentrations(
+            country_concentrations(result, codes, args.metric)
+        ))
+    elif args.command == "release":
+        countries = [c for c in args.countries.split(",") if c]
+        written = release_dataset(result, args.directory, countries)
+        for key, path in written.items():
+            print(f"{key:>14}: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

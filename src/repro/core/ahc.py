@@ -1,0 +1,89 @@
+"""IHR's country-level hegemony baseline (AHC, paper §1.2.1).
+
+AHC approximates a country ranking by (1) computing per-origin local
+hegemony (network dependency) for each AS *registered* in the country —
+regardless of where its prefixes geolocate — using paths from **all**
+VPs, and (2) averaging those values across the country's origin ASes
+with equal weight (the paper uses the AS-count weighting, not APNIC
+user weights).
+
+The three differences from the paper's own metrics, reproduced here
+exactly so the Table 9 comparison is meaningful:
+
+* destination selection by AS registration country, not by prefix
+  geolocation (misses Amazon's in-country prefixes, counts prefixes a
+  domestic AS originates abroad);
+* no national/international split (all VPs mixed together);
+* equal weighting of origin ASes regardless of address footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.hegemony import hegemony_scores
+from repro.core.ranking import Ranking
+from repro.core.sanitize import PathRecord, PathSet
+
+
+def ahc_scores(
+    records: Iterable[PathRecord],
+    country_origins: Iterable[int],
+    trim: float = 0.1,
+    weighting: str = "as_count",
+) -> dict[int, float]:
+    """Weighted average of per-origin local hegemony.
+
+    ``country_origins`` are the ASNs registered in the target country.
+    Origins with no observed paths contribute nothing (and do not
+    dilute the average), mirroring IHR's per-AS daily computation.
+
+    ``weighting`` selects IHR's two published schemes (§1.2.1):
+    ``"as_count"`` weights every origin AS equally (what the paper
+    uses); ``"addresses"`` weights each origin by its observed address
+    footprint — our stand-in for IHR's APNIC user-population weights.
+    """
+    if weighting not in ("as_count", "addresses"):
+        raise ValueError(f"unknown AHC weighting {weighting!r}")
+    origins = sorted(set(country_origins))
+    by_origin: dict[int, list[PathRecord]] = {origin: [] for origin in origins}
+    for record in records:
+        bucket = by_origin.get(record.origin)
+        if bucket is not None:
+            bucket.append(record)
+    totals: dict[int, float] = {}
+    weight_sum = 0.0
+    for origin in origins:
+        bucket = by_origin[origin]
+        if not bucket:
+            continue
+        if weighting == "addresses":
+            weight = float(sum(
+                addresses
+                for addresses in {
+                    record.prefix: record.addresses for record in bucket
+                }.values()
+            ))
+            if weight <= 0.0:
+                continue
+        else:
+            weight = 1.0
+        weight_sum += weight
+        for asn, value in hegemony_scores(bucket, trim).items():
+            totals[asn] = totals.get(asn, 0.0) + weight * value
+    if weight_sum == 0.0:
+        return {}
+    return {asn: value / weight_sum for asn, value in totals.items()}
+
+
+def ahc_ranking(
+    paths: PathSet,
+    country: str,
+    country_origins: Iterable[int],
+    trim: float = 0.1,
+    weighting: str = "as_count",
+) -> Ranking:
+    """The AHC baseline ranking for one country."""
+    scores = ahc_scores(paths.records, country_origins, trim, weighting)
+    shares: Mapping[int, float] = scores
+    return Ranking.from_scores(f"AHC:{country}", scores, shares, country)

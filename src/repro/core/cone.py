@@ -1,0 +1,130 @@
+"""Customer-cone metrics: CCG (global) and the country CCI / CCN.
+
+Implementation of Luckie et al.'s observed-path customer cone (paper
+§1.1, Figure 1): for every sanitized AS path, the *transit suffix* is
+the maximal run of provider→customer links ending at the origin. Every
+AS on that suffix has everything downstream of it (on that observed
+path) in its customer cone. Cones are **not** computed transitively
+from the relationship graph — only observed paths contribute — which
+avoids inflating cones through complex relationships.
+
+At the prefix level we follow CAIDA's published semantics (§1.1: "the
+prefix CC for an AS includes every prefix that an AS in its customer
+cone announced into BGP"): the AS-level cone is computed from observed
+paths, then an AS's prefix cone is the union of the (observed,
+view-relevant) prefixes *originated by its cone members*. This closure
+is what lets a wholesale provider's cone cover 80 % of a country's
+address space even when only a few percent of observed paths actually
+cross it (the paper's Vocus example, Table 5). The metric value of an
+AS is the number of distinct addresses owned by the prefixes in its
+cone, and the reported share divides by the view's total address space
+(a country's space for CCI/CCN, the world's for CCG).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.ranking import Ranking
+from repro.core.sanitize import PathRecord, RelationshipOracle
+from repro.core.views import View
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+
+
+def transit_suffix(path: ASPath, oracle: RelationshipOracle) -> tuple[int, ...]:
+    """The maximal all-p2c suffix of a path (VP→origin order).
+
+    Walks backward from the origin while links are provider→customer;
+    stops at the first peer, customer-to-provider, or unknown link.
+    Always contains at least the origin.
+    """
+    asns = path.asns
+    start = len(asns) - 1
+    for index in range(len(asns) - 2, -1, -1):
+        if oracle.relationship(asns[index], asns[index + 1]) == "p2c":
+            start = index
+        else:
+            break
+    return asns[start:]
+
+
+def customer_cones(
+    records: Iterable[PathRecord], oracle: RelationshipOracle
+) -> dict[int, set[int]]:
+    """AS-level cones: every AS maps to itself plus the ASes observed
+    downstream of it on some path's transit suffix."""
+    cones: dict[int, set[int]] = {}
+    for record in records:
+        suffix = transit_suffix(record.path, oracle)
+        for position, asn in enumerate(suffix):
+            cone = cones.setdefault(asn, {asn})
+            cone.update(suffix[position + 1 :])
+    return cones
+
+
+def prefix_cones(
+    records: Iterable[PathRecord], oracle: RelationshipOracle
+) -> dict[int, set[Prefix]]:
+    """Prefix-level cones, closure style: every prefix (observed in the
+    records) originated by an AS in the holder's AS-level cone."""
+    materialized = list(records)
+    origin_prefixes: dict[int, set[Prefix]] = {}
+    for record in materialized:
+        origin_prefixes.setdefault(record.origin, set()).add(record.prefix)
+    cones: dict[int, set[Prefix]] = {}
+    for asn, members in customer_cones(materialized, oracle).items():
+        prefixes: set[Prefix] = set()
+        for member in members:
+            prefixes.update(origin_prefixes.get(member, ()))
+        cones[asn] = prefixes
+    return cones
+
+
+def cone_addresses(
+    records: Iterable[PathRecord], oracle: RelationshipOracle
+) -> dict[int, int]:
+    """Distinct addresses in each AS's (closure) prefix cone.
+
+    Addresses are the *owned* (block-level, non-overlapping) counts
+    carried on the records, so overlapping announcements do not double
+    count.
+    """
+    materialized = list(records)
+    weights: dict[Prefix, int] = {
+        record.prefix: record.addresses for record in materialized
+    }
+    return {
+        asn: sum(weights[prefix] for prefix in prefixes)
+        for asn, prefixes in prefix_cones(materialized, oracle).items()
+    }
+
+
+def cone_ranking(
+    view: View,
+    oracle: RelationshipOracle,
+    metric: str | None = None,
+    total_addresses: int | None = None,
+) -> Ranking:
+    """Rank ASes by cone address coverage within a view.
+
+    ``total_addresses`` is the share denominator; by default the view's
+    own distinct destination address total, which makes shares read as
+    "fraction of this country's address space reachable through the
+    AS's customers" for country views.
+    """
+    if metric is None:
+        metric = "CC" if view.country is None else f"CC:{view.country}"
+    addresses = cone_addresses(view.records, oracle)
+    denominator = (
+        total_addresses if total_addresses is not None else view.total_addresses()
+    )
+    shares = (
+        {asn: count / denominator for asn, count in addresses.items()}
+        if denominator
+        else None
+    )
+    return Ranking.from_scores(
+        metric, {asn: float(count) for asn, count in addresses.items()},
+        shares, view.country,
+    )

@@ -1,0 +1,43 @@
+"""Normalized Discounted Cumulative Gain over rankings (paper §4.1).
+
+The paper evaluates downsampled rankings against the full-VP ranking
+with NDCG over the top-10 ASes (the TRA), using the metric value as the
+relevance:
+
+    DCG_p   = Σ_{p=1..10} rel_p / log2(p + 1)
+    NDCG_p  = DCG_p / FDCG_p
+
+We score the *sample's ordering* with the *full ranking's* relevance
+values, normalized by the full ranking's own DCG (the FDCG). A sample
+that promotes ASes the full ranking considers unimportant scores low; a
+sample with the same top-10 in the same order scores exactly 1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import math
+
+from repro.core.ranking import Ranking
+
+
+def dcg(relevances: Sequence[float]) -> float:
+    """Discounted cumulative gain of an ordered relevance list."""
+    return sum(
+        rel / math.log2(position + 2)
+        for position, rel in enumerate(relevances)
+    )
+
+
+def ndcg(full: Ranking, sample: Ranking, k: int = 10) -> float:
+    """NDCG@k of a sample ranking against the full (all-VP) ranking.
+
+    Returns 0.0 when the full ranking is empty or has zero relevance
+    mass in its top-k (nothing to agree with).
+    """
+    ideal = dcg([entry.value for entry in full.top(k)])
+    if ideal <= 0.0:
+        return 0.0
+    achieved = dcg([full.value_of(asn) for asn in sample.top_asns(k)])
+    return achieved / ideal

@@ -1,0 +1,251 @@
+"""The end-to-end pipeline of Figure 6.
+
+``world → propagate → daily RIBs → sanitize & geolocate → views →
+rankings``, with every intermediate product exposed and every ranking
+memoised. This module is the primary public entry point:
+
+    >>> from repro import generate_world, run_pipeline
+    >>> result = run_pipeline(generate_world(seed=7))
+    >>> result.ranking("AHN", "AU").top(2)      # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.propagation import RoutingOutcome, propagate_all
+from repro.bgp.rib import RibGenerationConfig, RibSeries, generate_rib_days
+from repro.core.ahc import ahc_ranking
+from repro.core.cone import cone_ranking
+from repro.core.cti import cti_ranking
+from repro.core.hegemony import hegemony_ranking
+from repro.core.ranking import Ranking
+from repro.core.sanitize import PathSet, RelationshipOracle, sanitize
+from repro.core.views import (
+    View,
+    global_view,
+    international_view,
+    national_view,
+    outbound_view,
+)
+from repro.geo.database import GeoDatabase
+from repro.geo.prefix_geo import PrefixGeolocation, geolocate_prefixes
+from repro.geo.vp_geo import VPGeolocator
+from repro.relationships.inference import InferredRelationships, infer_relationships
+from repro.topology.world import World
+
+#: Metrics the pipeline can compute. Country metrics need ``country``.
+#: CCO/AHO are the outbound (paths leaving a country) extensions the
+#: paper's §7 proposes as future work.
+COUNTRY_METRICS = ("CCI", "CCN", "AHI", "AHN", "AHC", "CTI", "CCO", "AHO")
+GLOBAL_METRICS = ("CCG", "AHG")
+ALL_METRICS = COUNTRY_METRICS + GLOBAL_METRICS
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineConfig:
+    """All pipeline knobs in one place (every default is the paper's)."""
+
+    rib: RibGenerationConfig = field(default_factory=RibGenerationConfig)
+    #: address-database degradation (see GeoDatabase.from_world)
+    geo_noise_rate: float = 0.02
+    geo_miss_rate: float = 0.005
+    #: prefix-geolocation majority threshold (§3.2.1 uses 50 %)
+    geo_threshold: float = 0.5
+    #: hegemony / CTI per-VP trim fraction (§1.2 uses 10 %)
+    trim: float = 0.1
+    #: label cones with inferred relationships instead of ground truth
+    use_inferred_relationships: bool = False
+    #: route tie-break policy: "hash" diversifies equally-good egresses
+    #: across ASes (hot-potato realism); "asn" is the simplest policy
+    tiebreak: str = "hash"
+    #: number of routing planes (salted tie-break variants); VP ASes are
+    #: spread across planes, adding the path diversity real collector
+    #: ecosystems exhibit. 1 = single plane (only meaningful with "hash")
+    path_diversity: int = 1
+    #: address family the pipeline ranks (4 or 6); mirrors how the paper
+    #: (and IHR) treat IPv4 and IPv6 as separate ranking universes
+    family: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.path_diversity < 1:
+            raise ValueError("path_diversity must be >= 1")
+        if self.family not in (4, 6):
+            raise ValueError("family must be 4 or 6")
+
+
+class PipelineResult:
+    """Everything one pipeline run produced, with memoised rankings."""
+
+    def __init__(
+        self,
+        world: World,
+        config: PipelineConfig,
+        outcome: RoutingOutcome,
+        ribs: RibSeries,
+        geodb: GeoDatabase,
+        prefix_geo: PrefixGeolocation,
+        vp_geo: VPGeolocator,
+        paths: PathSet,
+        oracle: RelationshipOracle,
+        inferred: InferredRelationships | None,
+    ) -> None:
+        self.world = world
+        self.config = config
+        self.outcome = outcome
+        self.ribs = ribs
+        self.geodb = geodb
+        self.prefix_geo = prefix_geo
+        self.vp_geo = vp_geo
+        self.paths = paths
+        self.oracle = oracle
+        self.inferred = inferred
+        self._views: dict[tuple[str, str | None], View] = {}
+        self._rankings: dict[tuple[str, str | None], Ranking] = {}
+
+    # -- views ---------------------------------------------------------------
+
+    def view(self, kind: str, country: str | None = None) -> View:
+        """A memoised view: ``"national"``/``"international"``/
+        ``"outbound"`` (need a country) or ``"global"``."""
+        key = (kind, country)
+        if key in self._views:
+            return self._views[key]
+        if kind == "global":
+            built = global_view(self.paths)
+        elif kind == "national":
+            built = national_view(self.paths, self._need_country(country))
+        elif kind == "international":
+            built = international_view(self.paths, self._need_country(country))
+        elif kind == "outbound":
+            built = outbound_view(self.paths, self._need_country(country))
+        else:
+            raise ValueError(f"unknown view kind {kind!r}")
+        self._views[key] = built
+        return built
+
+    # -- rankings ---------------------------------------------------------------
+
+    def ranking(self, metric: str, country: str | None = None) -> Ranking:
+        """A memoised ranking for one metric (and country, if needed)."""
+        metric = metric.upper()
+        if metric in GLOBAL_METRICS:
+            country = None
+        key = (metric, country)
+        if key in self._rankings:
+            return self._rankings[key]
+        built = self._compute_ranking(metric, country)
+        self._rankings[key] = built
+        return built
+
+    def _compute_ranking(self, metric: str, country: str | None) -> Ranking:
+        trim = self.config.trim
+        if metric == "CCG":
+            return cone_ranking(self.view("global"), self.oracle, "CCG")
+        if metric == "AHG":
+            return hegemony_ranking(self.view("global"), "AHG", trim)
+        code = self._need_country(country)
+        if metric == "CCI":
+            return cone_ranking(
+                self.view("international", code), self.oracle, f"CCI:{code}"
+            )
+        if metric == "CCN":
+            return cone_ranking(
+                self.view("national", code), self.oracle, f"CCN:{code}"
+            )
+        if metric == "AHI":
+            return hegemony_ranking(self.view("international", code), f"AHI:{code}", trim)
+        if metric == "AHN":
+            return hegemony_ranking(self.view("national", code), f"AHN:{code}", trim)
+        if metric == "AHC":
+            origins = self.world.graph.by_registry_country(code)
+            return ahc_ranking(self.paths, code, origins, trim)
+        if metric == "CTI":
+            return cti_ranking(self.view("international", code), self.oracle, trim)
+        if metric == "CCO":
+            return cone_ranking(
+                self.view("outbound", code), self.oracle, f"CCO:{code}"
+            )
+        if metric == "AHO":
+            return hegemony_ranking(self.view("outbound", code), f"AHO:{code}", trim)
+        raise ValueError(f"unknown metric {metric!r}")
+
+    # -- conveniences ---------------------------------------------------------------
+
+    def country_addresses(self) -> dict[str, int]:
+        """Geolocated destination addresses per country."""
+        return self.paths.country_addresses()
+
+    def countries_with_national_view(self, min_vps: int = 7) -> list[str]:
+        """Countries with at least ``min_vps`` located in-country VPs
+        (the paper requires ≥ 7 for stable national rankings)."""
+        census = self.vp_geo.census()
+        return sorted(code for code, count in census.items() if count >= min_vps)
+
+    def as_name(self, asn: int) -> str:
+        """Display name for an AS (empty for unknown)."""
+        node = self.world.graph.maybe_node(asn)
+        return node.name if node is not None else ""
+
+    @staticmethod
+    def _need_country(country: str | None) -> str:
+        if country is None:
+            raise ValueError("this metric requires a country code")
+        return country
+
+
+@dataclass
+class Pipeline:
+    """Reusable pipeline bound to a config (call :meth:`run` per world)."""
+
+    config: PipelineConfig = field(default_factory=PipelineConfig)
+
+    def run(self, world: World) -> PipelineResult:
+        """Execute every stage of Figure 6 on one world."""
+        config = self.config
+        outcomes = [
+            propagate_all(
+                world.graph, keep=world.vp_asns(),
+                tiebreak=config.tiebreak, salt=salt,
+            )
+            for salt in range(config.path_diversity)
+        ]
+        outcome = outcomes[0]
+        ribs = generate_rib_days(world, outcomes, config.rib, config.seed)
+        geodb = GeoDatabase.from_world(
+            world, config.geo_noise_rate, config.geo_miss_rate,
+            config.seed + 1, config.family,
+        )
+        prefix_geo = geolocate_prefixes(
+            world.announced_prefixes(), geodb, config.geo_threshold,
+            version=config.family,
+        )
+        vp_geo = VPGeolocator(world.collectors)
+        graph = world.graph
+        family_records = (
+            record for record in ribs.records()
+            if record.prefix.version == config.family
+        )
+        paths = sanitize(
+            family_records,
+            clique=graph.clique(),
+            is_allocated=graph.asn_registry.is_allocated,
+            route_servers=graph.route_servers(),
+            vp_geo=vp_geo,
+            prefix_geo=prefix_geo,
+        )
+        inferred: InferredRelationships | None = None
+        oracle: RelationshipOracle = graph
+        if config.use_inferred_relationships:
+            inferred = infer_relationships(record.path for record in paths.records)
+            oracle = inferred
+        return PipelineResult(
+            world, config, outcome, ribs, geodb, prefix_geo, vp_geo, paths,
+            oracle, inferred,
+        )
+
+
+def run_pipeline(world: World, config: PipelineConfig | None = None) -> PipelineResult:
+    """One-shot convenience wrapper around :class:`Pipeline`."""
+    return Pipeline(config or PipelineConfig()).run(world)

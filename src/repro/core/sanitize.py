@@ -1,0 +1,233 @@
+"""The Table-1 sanitization pipeline.
+
+Converts raw RIB records into a clean :class:`PathSet`, rejecting (in
+this order, so categories stay disjoint as in the paper's Table 1):
+
+1. **unstable** — the prefix was not present in all daily RIBs;
+2. **unallocated** — the path mentions an ASN the (simulated) IANA has
+   not assigned;
+3. **loop** — an ASN repeats non-adjacently (``A C A``);
+4. **poisoned** — a non-top-tier AS sits between two top-tier ASes;
+5. **vp_no_location** — the VP peers with a multi-hop collector, so its
+   country is untrusted;
+6. **covered** — the prefix is entirely covered by more specifics (the
+   paper removes these while preparing geolocation);
+7. **prefix_no_location** — geolocation reached no majority country.
+
+Surviving paths are *cleaned*: prepending is collapsed and IXP
+route-server ASNs are removed (neither rejects the path).
+
+All counts are reported in announcement units (one VP × prefix × day),
+matching the paper's accounting of 248M announcements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Protocol
+
+from repro.bgp.announcement import RibRecord
+from repro.bgp.collectors import VantagePoint
+from repro.geo.prefix_geo import PrefixGeolocation
+from repro.geo.vp_geo import VPGeolocator
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+
+
+class RelationshipOracle(Protocol):
+    """Anything that can label the relationship of an adjacent AS pair.
+
+    Returns ``"p2c"`` (left provides transit to right), ``"c2p"``,
+    ``"p2p"``, or ``None`` when unknown — the signature of
+    :meth:`repro.topology.model.ASGraph.relationship` and of the
+    inferred-relationship table.
+    """
+
+    def relationship(self, left: int, right: int) -> str | None:
+        """Label for the (left, right) adjacency, or ``None``."""
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class PathRecord:
+    """One sanitized observation: a located VP's clean path to a
+    geolocated prefix."""
+
+    vp: VantagePoint
+    vp_country: str
+    prefix: Prefix
+    prefix_country: str
+    path: ASPath
+    addresses: int
+
+    @property
+    def origin(self) -> int:
+        """Origin AS of the prefix."""
+        return self.path.origin
+
+
+#: Rejection categories in evaluation order (Table 1 rows).
+REJECT_CATEGORIES: tuple[str, ...] = (
+    "unstable",
+    "unallocated",
+    "loop",
+    "poisoned",
+    "vp_no_location",
+    "covered",
+    "prefix_no_location",
+)
+
+
+@dataclass
+class FilterReport:
+    """Announcement-unit accounting of the sanitization pass."""
+
+    total: int = 0
+    accepted: int = 0
+    rejected: dict[str, int] = field(
+        default_factory=lambda: {category: 0 for category in REJECT_CATEGORIES}
+    )
+    #: first few rejected records per category, for provenance/debugging
+    samples: dict[str, list[RibRecord]] = field(default_factory=dict)
+    #: how many sample records to retain per category
+    sample_limit: int = 5
+
+    def note_rejection(self, category: str, record: RibRecord, weight: int) -> None:
+        """Account one rejected record (and keep it as a sample)."""
+        self.rejected[category] += weight
+        bucket = self.samples.setdefault(category, [])
+        if len(bucket) < self.sample_limit:
+            bucket.append(record)
+
+    def rejected_total(self) -> int:
+        """All rejected announcements."""
+        return sum(self.rejected.values())
+
+    def pct(self, count: int) -> float:
+        """Percentage of the total input."""
+        return 100.0 * count / self.total if self.total else 0.0
+
+    def as_rows(self) -> list[tuple[str, int, float]]:
+        """(label, count, percent) rows in the paper's Table 1 layout."""
+        rows: list[tuple[str, int, float]] = [
+            ("rejected", self.rejected_total(), self.pct(self.rejected_total()))
+        ]
+        for category in REJECT_CATEGORIES:
+            count = self.rejected[category]
+            rows.append((category, count, self.pct(count)))
+        rows.append(("accepted", self.accepted, self.pct(self.accepted)))
+        rows.append(("total", self.total, 100.0 if self.total else 0.0))
+        return rows
+
+    def render(self) -> str:
+        """A printable Table-1 style summary."""
+        lines = [f"{'category':<20}{'announcements':>15}{'share':>10}"]
+        for label, count, pct in self.as_rows():
+            indent = "  " if label in REJECT_CATEGORIES else ""
+            lines.append(f"{indent}{label:<20}{count:>13}{pct:>9.2f}%")
+        return "\n".join(lines)
+
+
+@dataclass
+class PathSet:
+    """The sanitized, deduplicated input to every ranking metric."""
+
+    records: list[PathRecord]
+    report: FilterReport
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def vps(self) -> list[VantagePoint]:
+        """Distinct VPs present, ordered by IP."""
+        seen: dict[str, VantagePoint] = {}
+        for record in self.records:
+            seen.setdefault(record.vp.ip, record.vp)
+        return [seen[ip] for ip in sorted(seen)]
+
+    def countries(self) -> list[str]:
+        """Destination countries present, sorted."""
+        return sorted({record.prefix_country for record in self.records})
+
+    def country_addresses(self) -> dict[str, int]:
+        """Distinct geolocated addresses per destination country."""
+        per_country: dict[str, dict[Prefix, int]] = {}
+        for record in self.records:
+            per_country.setdefault(record.prefix_country, {})[record.prefix] = (
+                record.addresses
+            )
+        return {
+            country: sum(addresses.values())
+            for country, addresses in sorted(per_country.items())
+        }
+
+
+def is_poisoned(path: ASPath, clique: frozenset[int]) -> bool:
+    """Whether a non-clique AS sits between two clique ASes (paper §3.1)."""
+    asns = path.collapse_prepending().asns
+    for index in range(1, len(asns) - 1):
+        if (
+            asns[index] not in clique
+            and asns[index - 1] in clique
+            and asns[index + 1] in clique
+        ):
+            return True
+    return False
+
+
+def sanitize(
+    records: Iterable[RibRecord],
+    clique: frozenset[int],
+    is_allocated: Callable[[int], bool],
+    route_servers: frozenset[int],
+    vp_geo: VPGeolocator,
+    prefix_geo: PrefixGeolocation,
+) -> PathSet:
+    """Run the full Table-1 pipeline over deduplicated RIB records."""
+    report = FilterReport()
+    out: list[PathRecord] = []
+    for record in records:
+        weight = record.days_present
+        report.total += weight
+        if not record.stable:
+            report.note_rejection("unstable", record, weight)
+            continue
+        path = record.path
+        if any(not is_allocated(asn) for asn in path.asns):
+            report.note_rejection("unallocated", record, weight)
+            continue
+        if path.has_loop():
+            report.note_rejection("loop", record, weight)
+            continue
+        if is_poisoned(path, clique):
+            report.note_rejection("poisoned", record, weight)
+            continue
+        vp_country = vp_geo.country(record.vp)
+        if vp_country is None:
+            report.note_rejection("vp_no_location", record, weight)
+            continue
+        if record.prefix in prefix_geo.covered:
+            report.note_rejection("covered", record, weight)
+            continue
+        prefix_country = prefix_geo.country(record.prefix)
+        if prefix_country is None:
+            report.note_rejection("prefix_no_location", record, weight)
+            continue
+        cleaned = path.collapse_prepending()
+        if route_servers and any(asn in route_servers for asn in cleaned.asns):
+            cleaned = cleaned.without(route_servers)
+        report.accepted += weight
+        out.append(
+            PathRecord(
+                vp=record.vp,
+                vp_country=vp_country,
+                prefix=record.prefix,
+                prefix_country=prefix_country,
+                path=cleaned,
+                addresses=prefix_geo.owned_addresses.get(record.prefix, 0),
+            )
+        )
+    return PathSet(records=out, report=report)

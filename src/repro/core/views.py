@@ -1,0 +1,120 @@
+"""National / international / global views over a sanitized path set.
+
+Paper §3.2 (and Table 2): for a target country,
+
+* the **national** view keeps paths from in-country VPs to in-country
+  prefixes — how the country reaches itself;
+* the **international** view keeps paths from out-of-country VPs to
+  in-country prefixes — how the rest of the world reaches it;
+* the **global** view keeps everything (the CCG/AHG baselines).
+
+Views are cheap filters; metrics consume ``view.records``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.bgp.collectors import VantagePoint
+from repro.core.sanitize import PathRecord, PathSet
+
+
+@dataclass(frozen=True)
+class View:
+    """A named subset of sanitized path records."""
+
+    name: str
+    country: str | None
+    records: tuple[PathRecord, ...]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def vps(self) -> list[VantagePoint]:
+        """Distinct VPs contributing records, ordered by IP."""
+        seen: dict[str, VantagePoint] = {}
+        for record in self.records:
+            seen.setdefault(record.vp.ip, record.vp)
+        return [seen[ip] for ip in sorted(seen)]
+
+    def total_addresses(self) -> int:
+        """Distinct destination addresses covered by this view."""
+        per_prefix = {record.prefix: record.addresses for record in self.records}
+        return sum(per_prefix.values())
+
+    def restrict_vps(self, vp_ips: Iterable[str]) -> "View":
+        """The same view downsampled to a subset of VPs (stability §4)."""
+        keep = set(vp_ips)
+        return View(
+            name=f"{self.name}|{len(keep)}vps",
+            country=self.country,
+            records=tuple(r for r in self.records if r.vp.ip in keep),
+        )
+
+
+def national_view(paths: PathSet, country: str) -> View:
+    """Paths from in-country VPs to in-country prefixes (CCN/AHN input)."""
+    return View(
+        name=f"national:{country}",
+        country=country,
+        records=tuple(
+            record
+            for record in paths.records
+            if record.vp_country == country and record.prefix_country == country
+        ),
+    )
+
+
+def international_view(paths: PathSet, country: str) -> View:
+    """Paths from out-of-country VPs to in-country prefixes (CCI/AHI)."""
+    return View(
+        name=f"international:{country}",
+        country=country,
+        records=tuple(
+            record
+            for record in paths.records
+            if record.vp_country != country and record.prefix_country == country
+        ),
+    )
+
+
+def global_view(paths: PathSet) -> View:
+    """Every sanitized path (CCG/AHG baselines)."""
+    return View(name="global", country=None, records=tuple(paths.records))
+
+
+def outbound_view(paths: PathSet, country: str) -> View:
+    """Paths from in-country VPs to out-of-country prefixes.
+
+    The paper's §7 names "a metric that characterizes paths *out of* a
+    country" as future work; this view is its input — how the country
+    reaches the rest of the world. Feeding it to the cone/hegemony
+    metrics yields CCO/AHO, the outbound analogues of CCI/AHI.
+    """
+    return View(
+        name=f"outbound:{country}",
+        country=country,
+        records=tuple(
+            record
+            for record in paths.records
+            if record.vp_country == country and record.prefix_country != country
+        ),
+    )
+
+
+def destination_view(paths: PathSet, origins: Iterable[int]) -> View:
+    """Paths toward prefixes originated by the given ASes, from all VPs.
+
+    This is the AHC selector: IHR keys on the *origin AS's registration
+    country*, not on where the prefix geolocates (§1.2.1).
+    """
+    wanted = frozenset(origins)
+    return View(
+        name=f"destination:{len(wanted)}ases",
+        country=None,
+        records=tuple(r for r in paths.records if r.origin in wanted),
+    )

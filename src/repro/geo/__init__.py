@@ -1,0 +1,17 @@
+"""Geolocation substrate: address database, prefix geolocation, VP geolocation."""
+
+from repro.geo.database import GeoDatabase
+from repro.geo.prefix_geo import (
+    GeolocationStats,
+    PrefixGeolocation,
+    geolocate_prefixes,
+)
+from repro.geo.vp_geo import VPGeolocator
+
+__all__ = [
+    "GeoDatabase",
+    "GeolocationStats",
+    "PrefixGeolocation",
+    "VPGeolocator",
+    "geolocate_prefixes",
+]

@@ -1,0 +1,178 @@
+"""A synthetic per-address geolocation database (the NetAcuity stand-in).
+
+The paper relies on a commercial service to geolocate end-host
+addresses at country granularity (§3.2.1). Our database is derived from
+the simulated world's ground-truth originations, deliberately degraded
+the way real databases are:
+
+* cross-border prefixes: a configured share of a prefix's addresses
+  geolocates to a partner country (from the origination record);
+* noise: a small fraction of sub-blocks is assigned to a wrong country;
+* misses: a small fraction of sub-blocks has no entry at all.
+
+Internally the database is a radix trie of geo-blocks; lookups use
+most-specific match, and :meth:`country_shares` integrates the per-
+country address fractions over any queried prefix — exactly the
+operation the 50 %-threshold prefix geolocation needs.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Mapping
+
+from repro.net.prefix import Prefix
+from repro.net.prefixtrie import PrefixTrie
+from repro.topology.world import World
+
+#: Sub-block granularity: each prefix is split into 2**_SPLIT_BITS
+#: equal chunks when assigning shares/noise (16 chunks → 6.25 % steps).
+_SPLIT_BITS = 4
+
+
+class GeoDatabase:
+    """Country-of-address lookups over a trie of geo-blocks."""
+
+    def __init__(self, version: int = 4) -> None:
+        self._trie: PrefixTrie[str] = PrefixTrie(version)
+        self._version = version
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_world(
+        cls,
+        world: World,
+        noise_rate: float = 0.02,
+        miss_rate: float = 0.005,
+        seed: int = 0,
+        version: int = 4,
+    ) -> "GeoDatabase":
+        """Derive a noisy database from a world's ground truth.
+
+        ``noise_rate``: probability (per origination) that one sub-block
+        is assigned to a random wrong country. ``miss_rate``:
+        probability that one sub-block is left out of the database
+        entirely (geolocates to nowhere).
+        """
+        if not 0.0 <= noise_rate <= 1.0 or not 0.0 <= miss_rate <= 1.0:
+            raise ValueError("noise_rate/miss_rate must be within [0, 1]")
+        db = cls(version)
+        all_codes = world.countries.codes()
+
+        def uniform(kind: str, key: str) -> float:
+            digest = zlib.crc32(f"{seed}:{kind}:{key}".encode())
+            return (digest & 0xFFFFFFFF) / 4294967296.0
+
+        def rng_of(key: str) -> random.Random:
+            return random.Random(zlib.crc32(f"{seed}:rng:{key}".encode()))
+        # Sort by (prefix, country) so equal seeds give equal databases.
+        records = sorted(
+            ((record.prefix, record) for _, record in world.graph.originations()),
+            key=lambda item: item[0].sort_key(),
+        )
+        seen: set[Prefix] = set()
+        for prefix, record in records:
+            if prefix in seen or prefix.version != db._version:
+                continue
+            seen.add(prefix)
+            db.assign(prefix, record.country)
+            chunks = db._chunks(prefix)
+            used: set[int] = set()
+            if record.foreign_share > 0 and record.foreign_country and chunks:
+                count = max(1, round(record.foreign_share * len(chunks)))
+                for index in range(count):
+                    db.assign(chunks[index], record.foreign_country)
+                    used.add(index)
+            # Hash-stable per-prefix noise: editing one AS elsewhere in
+            # the world never moves another prefix's noise.
+            free = [i for i in range(len(chunks)) if i not in used]
+            key = str(prefix)
+            if free and uniform("noise", key) < noise_rate:
+                rng = rng_of(key)
+                index = free.pop(rng.randrange(len(free)))
+                wrong = rng.choice([c for c in all_codes if c != record.country])
+                db.assign(chunks[index], wrong)
+            if free and uniform("miss", key) < miss_rate:
+                rng = rng_of("miss:" + key)
+                index = free.pop(rng.randrange(len(free)))
+                db.unassign(chunks[index])
+        return db
+
+    def assign(self, prefix: Prefix, country: str) -> None:
+        """Map a geo-block to a country (most-specific wins on lookup)."""
+        self._trie.insert(prefix, country)
+
+    def unassign(self, prefix: Prefix) -> None:
+        """Mark a geo-block as having no location (database miss)."""
+        self._trie.insert(prefix, _NOWHERE)
+
+    @staticmethod
+    def _chunks(prefix: Prefix) -> list[Prefix]:
+        split_to = min(prefix.length + _SPLIT_BITS, prefix.bits())
+        if split_to == prefix.length:
+            return []
+        return prefix.subnets(split_to)
+
+    # -- queries ---------------------------------------------------------------
+
+    def lookup(self, version: int, value: int) -> str | None:
+        """Country of one integer address, or ``None`` when unknown."""
+        hit = self._trie.lookup_address(version, value)
+        if hit is None or hit[1] is _NOWHERE:
+            return None
+        return hit[1]
+
+    def lookup_text(self, address: str) -> str | None:
+        """Country of a textual address."""
+        from repro.net.prefix import parse_address
+
+        version, value = parse_address(address)
+        return self.lookup(version, value)
+
+    def country_shares(self, prefix: Prefix) -> Mapping[str | None, float]:
+        """Fraction of the prefix's addresses per country.
+
+        The ``None`` key collects addresses with no database entry.
+        Exact (not sampled): integrates the geo-block trie over the
+        queried prefix.
+        """
+        if prefix.version != self._version:
+            return {None: 1.0}
+        mini: PrefixTrie[str] = PrefixTrie(self._version)
+        cover = self._trie.longest_match(prefix)
+        base = cover[1] if cover is not None else _NOWHERE
+        mini.insert(prefix, base)
+        for stored, country in self._trie.subtree(prefix):
+            if stored != prefix:
+                mini.insert(stored, country)
+        totals: dict[str | None, int] = {}
+        for block, _ in mini.decompose():
+            hit = mini.longest_match(block)
+            assert hit is not None
+            country = hit[1]
+            key = None if country is _NOWHERE else country
+            totals[key] = totals.get(key, 0) + block.num_addresses()
+        whole = prefix.num_addresses()
+        return {country: count / whole for country, count in totals.items()}
+
+    def majority_country(
+        self, prefix: Prefix, threshold: float = 0.5
+    ) -> str | None:
+        """The country holding a strict-majority (> threshold) share."""
+        shares = self.country_shares(prefix)
+        best_country, best_share = None, 0.0
+        for country, share in shares.items():
+            if country is not None and share > best_share:
+                best_country, best_share = country, share
+        if best_country is not None and best_share > threshold:
+            return best_country
+        return None
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+
+#: Sentinel stored for deliberate database misses.
+_NOWHERE = "\x00nowhere"

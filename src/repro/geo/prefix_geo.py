@@ -1,0 +1,177 @@
+"""Majority-threshold prefix geolocation (paper §3.2.1 and Appendix B).
+
+Procedure, as in the paper:
+
+1. split the announced prefixes into non-overlapping blocks of
+   addresses mapped to their most specific prefix;
+2. drop prefixes entirely covered by more specifics (they own no
+   addresses — 1.2 % of the paper's data);
+3. geolocate the addresses of each prefix's *owned* blocks with the
+   address database;
+4. assign the prefix to a country only when that country holds a
+   strict majority above the threshold (default 50 %) of the owned
+   addresses; otherwise the prefix — and every path toward it — is
+   filtered ("geolocated to no or multiple countries").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.geo.database import GeoDatabase
+from repro.net.blocks import Block, split_into_blocks
+from repro.net.prefix import Prefix
+
+
+@dataclass(frozen=True, slots=True)
+class GeolocationStats:
+    """Per-country filtering statistics (Tables 13–14)."""
+
+    country: str
+    total_prefixes: int
+    filtered_prefixes: int
+    total_addresses: int
+    filtered_addresses: int
+
+    @property
+    def pct_prefixes_filtered(self) -> float:
+        """Percentage of the country's prefixes dropped by the threshold."""
+        if self.total_prefixes == 0:
+            return 0.0
+        return 100.0 * self.filtered_prefixes / self.total_prefixes
+
+    @property
+    def pct_addresses_filtered(self) -> float:
+        """Percentage of the country's addresses dropped by the threshold."""
+        if self.total_addresses == 0:
+            return 0.0
+        return 100.0 * self.filtered_addresses / self.total_addresses
+
+
+@dataclass
+class PrefixGeolocation:
+    """The outcome of geolocating one announced-prefix set."""
+
+    threshold: float
+    #: prefix -> assigned country (consensus reached)
+    country_of: dict[Prefix, str]
+    #: prefixes owning addresses but failing the majority threshold
+    no_consensus: set[Prefix]
+    #: prefixes entirely covered by more specifics (own no addresses)
+    covered: set[Prefix]
+    #: addresses each surviving prefix actually owns (its blocks)
+    owned_addresses: dict[Prefix, int]
+    #: plurality countries per surviving prefix (all countries tied at
+    #: the maximum share; a singleton for any accepted prefix)
+    plurality_of: dict[Prefix, tuple[str, ...]] = field(default_factory=dict)
+
+    def country(self, prefix: Prefix) -> str | None:
+        """The assigned country, or ``None`` when filtered/unknown."""
+        return self.country_of.get(prefix)
+
+    def accepted(self) -> list[Prefix]:
+        """Prefixes with an assigned country, sorted."""
+        return sorted(self.country_of, key=Prefix.sort_key)
+
+    def addresses_by_country(self) -> dict[str, int]:
+        """Total owned addresses per assigned country (the denominator
+        of the paper's per-country percentages)."""
+        totals: dict[str, int] = {}
+        for prefix, country in self.country_of.items():
+            totals[country] = totals.get(country, 0) + self.owned_addresses[prefix]
+        return totals
+
+    def prefixes_of_country(self, code: str) -> list[Prefix]:
+        """Assigned prefixes of one country, sorted."""
+        return sorted(
+            (p for p, c in self.country_of.items() if c == code),
+            key=Prefix.sort_key,
+        )
+
+    def stats_by_country(self) -> dict[str, GeolocationStats]:
+        """Tables 13–14: per-country share of prefixes/addresses filtered.
+
+        A filtered prefix is attributed to its plurality country (the
+        country that held the largest share of its addresses).
+        """
+        totals: dict[str, list[int]] = {}
+        for prefix in list(self.country_of) + sorted(
+            self.no_consensus, key=Prefix.sort_key
+        ):
+            assigned = self.country_of.get(prefix)
+            countries = (
+                (assigned,) if assigned is not None
+                else self.plurality_of.get(prefix, ())
+            )
+            addresses = self.owned_addresses.get(prefix, 0)
+            for country in countries:
+                entry = totals.setdefault(country, [0, 0, 0, 0])
+                entry[0] += 1
+                entry[2] += addresses
+                if prefix in self.no_consensus:
+                    entry[1] += 1
+                    entry[3] += addresses
+        return {
+            country: GeolocationStats(country, *entry)
+            for country, entry in sorted(totals.items())
+        }
+
+
+def geolocate_prefixes(
+    prefixes: Iterable[Prefix],
+    database: GeoDatabase,
+    threshold: float = 0.5,
+    version: int = 4,
+) -> PrefixGeolocation:
+    """Run the full §3.2.1 pipeline over an announced-prefix set."""
+    if not 0.0 <= threshold < 1.0:
+        raise ValueError(f"threshold out of range: {threshold}")
+    unique = sorted(
+        {p for p in prefixes if p.version == version}, key=Prefix.sort_key
+    )
+    blocks = split_into_blocks(unique, version)
+    owned: dict[Prefix, list[Block]] = {}
+    for block in blocks:
+        owned.setdefault(block.owner, []).append(block)
+
+    covered = {prefix for prefix in unique if prefix not in owned}
+    country_of: dict[Prefix, str] = {}
+    no_consensus: set[Prefix] = set()
+    owned_addresses: dict[Prefix, int] = {}
+    plurality_of: dict[Prefix, tuple[str, ...]] = {}
+
+    for prefix in unique:
+        blocks_here = owned.get(prefix)
+        if not blocks_here:
+            continue
+        total = sum(b.num_addresses() for b in blocks_here)
+        owned_addresses[prefix] = total
+        shares: dict[str | None, float] = {}
+        for block in blocks_here:
+            weight = block.num_addresses()
+            for country, share in database.country_shares(block.prefix).items():
+                shares[country] = shares.get(country, 0.0) + share * weight
+        best_weight = max(
+            (weight for country, weight in shares.items() if country is not None),
+            default=0.0,
+        )
+        tied = tuple(sorted(
+            country
+            for country, weight in shares.items()
+            if country is not None and weight >= best_weight - 1e-9
+        ))
+        plurality_of[prefix] = tied
+        if len(tied) == 1 and best_weight / total > threshold:
+            country_of[prefix] = tied[0]
+        else:
+            no_consensus.add(prefix)
+
+    return PrefixGeolocation(
+        threshold=threshold,
+        country_of=country_of,
+        no_consensus=no_consensus,
+        covered=covered,
+        owned_addresses=owned_addresses,
+        plurality_of=plurality_of,
+    )

@@ -1,0 +1,41 @@
+"""Vantage-point geolocation via collector locations (paper §3.2.2).
+
+A VP inherits its collector's (IXP) country — unless the collector is
+multi-hop, in which case the VP may peer remotely from anywhere and is
+left unlocated; the sanitizer drops its paths. The paper geolocated 806
+VPs (91 %) this way and excluded 74 multi-hop VPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.collectors import CollectorSet, VantagePoint
+
+
+@dataclass
+class VPGeolocator:
+    """Maps VPs to trusted countries using the collector roster."""
+
+    collectors: CollectorSet
+
+    def country(self, vp: VantagePoint) -> str | None:
+        """The VP's country, or ``None`` for multi-hop (untrusted) VPs."""
+        return self.collectors.vp_country(vp)
+
+    def located(self) -> list[VantagePoint]:
+        """VPs with a trusted location."""
+        return self.collectors.geolocatable_vps()
+
+    def unlocated(self) -> list[VantagePoint]:
+        """VPs without one (multi-hop collectors)."""
+        return self.collectors.multihop_vps()
+
+    def census(self) -> dict[str, int]:
+        """Located VPs per country (Tables 3–4 input)."""
+        counts: dict[str, int] = {}
+        for vp in self.located():
+            country = self.country(vp)
+            assert country is not None
+            counts[country] = counts.get(country, 0) + 1
+        return dict(sorted(counts.items()))

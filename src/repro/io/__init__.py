@@ -1,0 +1,31 @@
+"""Dataset export: the artifacts the paper promises to share
+(rankings, input AS paths, VP geolocations, filtering reports), plus an
+MRT-style RIB dump format."""
+
+from repro.io.mrt import MrtFormatError, dump_rib, dump_series, load_rib, read_header
+from repro.io.replay import ReplayError, ReplaySession, load_pathset_jsonl
+from repro.io.export import (
+    export_filter_report,
+    export_ixp_csv,
+    export_pathset_jsonl,
+    export_rankings_csv,
+    export_vp_locations_csv,
+    release_dataset,
+)
+
+__all__ = [
+    "MrtFormatError",
+    "ReplayError",
+    "ReplaySession",
+    "dump_rib",
+    "dump_series",
+    "export_filter_report",
+    "export_ixp_csv",
+    "export_pathset_jsonl",
+    "export_rankings_csv",
+    "export_vp_locations_csv",
+    "load_pathset_jsonl",
+    "load_rib",
+    "read_header",
+    "release_dataset",
+]

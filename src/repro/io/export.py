@@ -1,0 +1,158 @@
+"""Writers for the public-dataset artifacts (paper §1, contribution 5:
+"a public dataset with the country-inferred AS Rankings, set of AS
+paths used as input for the inferences, collector geolocations, and
+IXP data").
+
+Formats are deliberately boring: CSV for tables, JSON-lines for the
+path set (one sanitized observation per line), and a JSON manifest
+tying a release together.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.pipeline import PipelineResult
+from repro.core.ranking import Ranking
+from repro.core.sanitize import FilterReport, PathSet
+
+
+def export_rankings_csv(
+    rankings: Iterable[Ranking], path: str | Path, k: int | None = None
+) -> Path:
+    """One CSV with every ranking's entries (long format)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["metric", "country", "rank", "asn", "value", "share"])
+        for ranking in rankings:
+            entries = ranking.entries if k is None else ranking.top(k)
+            for entry in entries:
+                writer.writerow([
+                    ranking.metric,
+                    ranking.country or "",
+                    entry.rank,
+                    entry.asn,
+                    f"{entry.value:.6g}",
+                    "" if entry.share is None else f"{entry.share:.6f}",
+                ])
+    return path
+
+
+def export_pathset_jsonl(paths: PathSet, path: str | Path) -> Path:
+    """The sanitized input paths, one JSON object per observation."""
+    path = Path(path)
+    with path.open("w") as handle:
+        for record in paths.records:
+            handle.write(json.dumps({
+                "vp_ip": record.vp.ip,
+                "vp_asn": record.vp.asn,
+                "vp_country": record.vp_country,
+                "collector": record.vp.collector,
+                "prefix": str(record.prefix),
+                "prefix_country": record.prefix_country,
+                "addresses": record.addresses,
+                "path": list(record.path.asns),
+            }) + "\n")
+    return path
+
+
+def export_vp_locations_csv(result: PipelineResult, path: str | Path) -> Path:
+    """Collector and VP geolocations (multi-hop VPs marked unlocated)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["vp_ip", "vp_asn", "collector", "project",
+                         "collector_country", "multihop", "vp_country"])
+        for collector in result.world.collectors:
+            for vp in collector.vps:
+                writer.writerow([
+                    vp.ip, vp.asn, collector.name, collector.project.value,
+                    collector.country, collector.multihop,
+                    result.vp_geo.country(vp) or "",
+                ])
+    return path
+
+
+def export_ixp_csv(result: PipelineResult, path: str | Path) -> Path:
+    """The IXP data the paper's release includes: one row per exchange
+    (collector site) with its country, multi-hop flag, member count,
+    and the route-server ASN operating there (if any)."""
+    path = Path(path)
+    graph = result.world.graph
+    route_servers = {
+        graph.node(asn).registry_country: asn
+        for asn in graph.route_servers()
+    }
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["ixp", "project", "country", "multihop",
+                         "members", "route_server_asn"])
+        for collector in result.world.collectors:
+            writer.writerow([
+                collector.name,
+                collector.project.value,
+                collector.country,
+                collector.multihop,
+                len(collector.vp_asns()),
+                route_servers.get(collector.country, ""),
+            ])
+    return path
+
+
+def export_filter_report(report: FilterReport, path: str | Path) -> Path:
+    """The Table-1 accounting as JSON."""
+    path = Path(path)
+    payload = {
+        "total": report.total,
+        "accepted": report.accepted,
+        "rejected": dict(report.rejected),
+        "rows": [
+            {"label": label, "count": count, "pct": pct}
+            for label, count, pct in report.as_rows()
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def release_dataset(
+    result: PipelineResult,
+    directory: str | Path,
+    countries: Iterable[str] = (),
+    k: int | None = 100,
+) -> dict[str, Path]:
+    """Write the full reproducibility bundle to a directory.
+
+    Includes global rankings, the four country metrics for each
+    requested country, the sanitized path set, VP geolocations, and the
+    filtering report, plus a manifest.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    rankings = [result.ranking("CCG"), result.ranking("AHG")]
+    for country in countries:
+        for metric in ("CCI", "CCN", "AHI", "AHN", "AHC", "CTI"):
+            rankings.append(result.ranking(metric, country))
+    written = {
+        "rankings": export_rankings_csv(rankings, directory / "rankings.csv", k),
+        "paths": export_pathset_jsonl(result.paths, directory / "paths.jsonl"),
+        "vps": export_vp_locations_csv(result, directory / "vp_locations.csv"),
+        "ixps": export_ixp_csv(result, directory / "ixps.csv"),
+        "filter_report": export_filter_report(
+            result.paths.report, directory / "filter_report.json"
+        ),
+    }
+    manifest = {
+        "world": result.world.name,
+        "summary": result.world.summary(),
+        "files": {key: path.name for key, path in written.items()},
+        "metrics": [r.metric for r in rankings],
+    }
+    manifest_path = directory / "manifest.json"
+    manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
+    written["manifest"] = manifest_path
+    return written

@@ -1,0 +1,141 @@
+"""MRT-style RIB serialization.
+
+Real pipelines ingest RouteViews/RIS ``TABLE_DUMP_V2`` MRT files; our
+substrate produces :class:`~repro.bgp.announcement.Announcement`
+streams. This module serialises a day's RIB into a compact gzip'd
+JSON-lines format patterned after a parsed MRT dump (one RIB entry per
+line: peer IP, peer ASN, prefix, AS path) and parses it back, so
+downstream tooling — including the public-dataset release and any
+external consumer — can work from files instead of a live simulator.
+
+The format is intentionally self-describing and versioned:
+
+    {"type": "header", "format": "repro-mrt", "version": 1,
+     "day": 0, "collector_count": 3}
+    {"type": "rib", "peer_ip": "…", "peer_asn": 13, "collector": "…",
+     "prefix": "10.0.0.0/16", "path": [13, 10, 1]}
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.bgp.announcement import Announcement
+from repro.bgp.collectors import VantagePoint
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+
+FORMAT_NAME = "repro-mrt"
+FORMAT_VERSION = 1
+
+
+class MrtFormatError(ValueError):
+    """Raised for malformed or incompatible dump files."""
+
+
+@dataclass(frozen=True, slots=True)
+class MrtHeader:
+    """Dump metadata from the header line."""
+
+    day: int
+    entry_count: int | None = None
+
+
+def dump_rib(
+    announcements: Iterable[Announcement],
+    path: str | Path,
+    day: int = 0,
+) -> Path:
+    """Write one day's announcements as a gzip'd MRT-style dump."""
+    path = Path(path)
+    count = 0
+    with gzip.open(path, "wt", encoding="utf-8") as handle:
+        handle.write(json.dumps({
+            "type": "header",
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "day": day,
+        }) + "\n")
+        for announcement in announcements:
+            handle.write(json.dumps({
+                "type": "rib",
+                "peer_ip": announcement.vp.ip,
+                "peer_asn": announcement.vp.asn,
+                "collector": announcement.vp.collector,
+                "prefix": str(announcement.prefix),
+                "path": list(announcement.path.asns),
+            }) + "\n")
+            count += 1
+        handle.write(json.dumps({"type": "trailer", "entries": count}) + "\n")
+    return path
+
+
+def read_header(path: str | Path) -> MrtHeader:
+    """Read and validate only the dump header."""
+    with gzip.open(path, "rt", encoding="utf-8") as handle:
+        first = json.loads(handle.readline())
+    _validate_header(first)
+    return MrtHeader(day=first["day"])
+
+
+def load_rib(path: str | Path) -> Iterator[Announcement]:
+    """Stream announcements back out of a dump, verifying the trailer."""
+    count = 0
+    saw_trailer = False
+    with gzip.open(path, "rt", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise MrtFormatError(f"empty dump: {path}")
+        _validate_header(json.loads(header_line))
+        for line in handle:
+            entry = json.loads(line)
+            kind = entry.get("type")
+            if kind == "trailer":
+                saw_trailer = True
+                if entry.get("entries") != count:
+                    raise MrtFormatError(
+                        f"trailer count {entry.get('entries')} != {count} entries"
+                    )
+                continue
+            if kind != "rib":
+                raise MrtFormatError(f"unexpected entry type {kind!r}")
+            if saw_trailer:
+                raise MrtFormatError("rib entry after trailer")
+            count += 1
+            yield Announcement(
+                vp=VantagePoint(
+                    ip=entry["peer_ip"],
+                    asn=int(entry["peer_asn"]),
+                    collector=entry.get("collector", "unknown"),
+                ),
+                prefix=Prefix.parse(entry["prefix"]),
+                path=ASPath(tuple(int(asn) for asn in entry["path"])),
+            )
+    if not saw_trailer:
+        raise MrtFormatError(f"truncated dump (no trailer): {path}")
+
+
+def dump_series(series, directory: str | Path, stem: str = "rib") -> list[Path]:
+    """Write every day of a :class:`~repro.bgp.rib.RibSeries` to a
+    directory (``rib.day0.jsonl.gz`` …)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for day in range(series.config.days):
+        path = directory / f"{stem}.day{day}.jsonl.gz"
+        dump_rib(series.announcements(day), path, day)
+        written.append(path)
+    return written
+
+
+def _validate_header(header: dict) -> None:
+    if header.get("type") != "header" or header.get("format") != FORMAT_NAME:
+        raise MrtFormatError(f"not a {FORMAT_NAME} dump: {header}")
+    if header.get("version") != FORMAT_VERSION:
+        raise MrtFormatError(
+            f"unsupported {FORMAT_NAME} version {header.get('version')}"
+        )

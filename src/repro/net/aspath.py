@@ -1,0 +1,125 @@
+"""AS paths as immutable sequences with the hygiene operations the
+sanitizer needs: prepending collapse, loop detection, ASN removal.
+
+Convention used throughout the codebase: index 0 is the AS closest to
+the vantage point (the VP's own AS), and the last element is the origin
+AS of the announced prefix — the same order BGP wire format and MRT
+dumps use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+class ASPathError(ValueError):
+    """Raised for structurally invalid AS paths."""
+
+
+@dataclass(frozen=True, slots=True)
+class ASPath:
+    """An AS-level path from a vantage point toward an origin."""
+
+    asns: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.asns:
+            raise ASPathError("empty AS path")
+        for asn in self.asns:
+            if not isinstance(asn, int) or asn < 0:
+                raise ASPathError(f"invalid ASN in path: {asn!r}")
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def of(cls, *asns: int) -> "ASPath":
+        """Build a path from positional ASNs, VP-side first."""
+        return cls(tuple(asns))
+
+    @classmethod
+    def parse(cls, text: str) -> "ASPath":
+        """Parse a space-separated path string, e.g. ``"3356 1299 4826"``."""
+        parts = text.split()
+        if not parts:
+            raise ASPathError(f"empty AS path text: {text!r}")
+        try:
+            return cls(tuple(int(part) for part in parts))
+        except ValueError as exc:
+            raise ASPathError(f"non-numeric ASN in {text!r}") from exc
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def collector_side(self) -> int:
+        """The AS adjacent to the vantage point (the VP's own AS)."""
+        return self.asns[0]
+
+    @property
+    def origin(self) -> int:
+        """The AS that originated the prefix."""
+        return self.asns[-1]
+
+    def links(self) -> Iterator[tuple[int, int]]:
+        """Adjacent AS pairs in VP→origin order."""
+        return zip(self.asns, self.asns[1:])
+
+    def unique_asns(self) -> frozenset[int]:
+        """The set of distinct ASNs on the path."""
+        return frozenset(self.asns)
+
+    # -- hygiene ----------------------------------------------------------
+
+    def collapse_prepending(self) -> "ASPath":
+        """Merge runs of adjacent duplicate ASNs (BGP path prepending)."""
+        collapsed: list[int] = []
+        for asn in self.asns:
+            if not collapsed or collapsed[-1] != asn:
+                collapsed.append(asn)
+        return ASPath(tuple(collapsed))
+
+    def has_loop(self) -> bool:
+        """Whether any ASN repeats non-adjacently (e.g. ``A C A``).
+
+        Adjacent duplicates are prepending, not loops; collapse first,
+        then look for any remaining repetition.
+        """
+        collapsed = self.collapse_prepending().asns
+        return len(set(collapsed)) != len(collapsed)
+
+    def without(self, asns: Iterable[int]) -> "ASPath":
+        """Drop the given ASNs (e.g. IXP route servers) from the path.
+
+        Raises :class:`ASPathError` if the result would be empty.
+        """
+        drop = set(asns)
+        kept = tuple(asn for asn in self.asns if asn not in drop)
+        if not kept:
+            raise ASPathError(f"removing {sorted(drop)} empties path {self}")
+        return ASPath(kept)
+
+    def prepended(self, asn: int, times: int = 1) -> "ASPath":
+        """Return the path with ``asn`` prepended (VP side) ``times`` times."""
+        if times < 1:
+            raise ASPathError(f"invalid prepend count: {times}")
+        return ASPath((asn,) * times + self.asns)
+
+    # -- protocol ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.asns)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.asns)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self.asns
+
+    def __getitem__(self, index: int) -> int:
+        return self.asns[index]
+
+    def __str__(self) -> str:
+        return " ".join(str(asn) for asn in self.asns)
+
+    def __repr__(self) -> str:
+        return f"ASPath({str(self)!r})"

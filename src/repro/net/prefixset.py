@@ -1,0 +1,194 @@
+"""CIDR set algebra: exact unions, intersections, and differences of
+prefix collections.
+
+Used wherever "how much address space" questions need to be exact in
+the presence of overlapping announcements — country totals, cone
+overlap analysis, and the geolocation substrate's accounting. A
+:class:`PrefixSet` canonicalises to the minimal list of disjoint,
+maximally-aggregated CIDR blocks, so equality means set-of-addresses
+equality regardless of how the set was built.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.net.prefix import Prefix, PrefixError
+
+
+class PrefixSet:
+    """An immutable set of IP addresses stored as canonical CIDR blocks."""
+
+    __slots__ = ("_version", "_blocks")
+
+    def __init__(self, prefixes: Iterable[Prefix] = (), version: int = 4) -> None:
+        self._version = version
+        intervals = []
+        for prefix in prefixes:
+            if prefix.version != version:
+                raise PrefixError(
+                    f"v{prefix.version} prefix in v{version} PrefixSet: {prefix}"
+                )
+            intervals.append((prefix.first_address(), prefix.last_address()))
+        self._blocks: tuple[Prefix, ...] = tuple(
+            self._to_cidrs(self._merge(intervals), version)
+        )
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def parse(cls, *texts: str, version: int = 4) -> "PrefixSet":
+        """Build from prefix literals."""
+        return cls((Prefix.parse(t) for t in texts), version)
+
+    @classmethod
+    def _from_intervals(
+        cls, intervals: list[tuple[int, int]], version: int
+    ) -> "PrefixSet":
+        new = cls.__new__(cls)
+        new._version = version
+        new._blocks = tuple(cls._to_cidrs(cls._merge(intervals), version))
+        return new
+
+    # -- interval plumbing --------------------------------------------------------
+
+    @staticmethod
+    def _merge(intervals: list[tuple[int, int]]) -> list[tuple[int, int]]:
+        if not intervals:
+            return []
+        intervals.sort()
+        merged = [intervals[0]]
+        for low, high in intervals[1:]:
+            last_low, last_high = merged[-1]
+            if low <= last_high + 1:
+                merged[-1] = (last_low, max(last_high, high))
+            else:
+                merged.append((low, high))
+        return merged
+
+    @staticmethod
+    def _to_cidrs(
+        intervals: list[tuple[int, int]], version: int = 4
+    ) -> Iterator[Prefix]:
+        bits = 32 if version == 4 else 128
+        for low, high in intervals:
+            cursor = low
+            while cursor <= high:
+                # Largest block aligned at cursor that fits in the range.
+                max_align = cursor & -cursor if cursor else 1 << bits
+                span = high - cursor + 1
+                size = 1 << (span.bit_length() - 1)
+                block = min(max_align, size)
+                length = bits - (block.bit_length() - 1)
+                yield Prefix(version, cursor, length)
+                cursor += block
+
+    def _intervals(self) -> list[tuple[int, int]]:
+        return [(p.first_address(), p.last_address()) for p in self._blocks]
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Address family (4 or 6)."""
+        return self._version
+
+    def blocks(self) -> tuple[Prefix, ...]:
+        """Canonical disjoint CIDR blocks, ascending."""
+        return self._blocks
+
+    def num_addresses(self) -> int:
+        """Total addresses in the set."""
+        return sum(p.num_addresses() for p in self._blocks)
+
+    def contains_address(self, value: int) -> bool:
+        """Whether the integer address is in the set (binary search)."""
+        import bisect
+
+        starts = [p.first_address() for p in self._blocks]
+        index = bisect.bisect_right(starts, value) - 1
+        if index < 0:
+            return False
+        return value <= self._blocks[index].last_address()
+
+    def contains(self, prefix: Prefix) -> bool:
+        """Whether the whole prefix is inside the set."""
+        if prefix.version != self._version:
+            return False
+        overlap = self & PrefixSet([prefix], self._version)
+        return overlap.num_addresses() == prefix.num_addresses()
+
+    def is_empty(self) -> bool:
+        """Whether the set holds no addresses."""
+        return not self._blocks
+
+    # -- algebra ----------------------------------------------------------------
+
+    def _check(self, other: "PrefixSet") -> None:
+        if not isinstance(other, PrefixSet):
+            raise TypeError(f"expected PrefixSet, got {type(other).__name__}")
+        if other._version != self._version:
+            raise PrefixError("mixed address families in PrefixSet operation")
+
+    def __or__(self, other: "PrefixSet") -> "PrefixSet":
+        self._check(other)
+        return self._from_intervals(
+            self._intervals() + other._intervals(), self._version
+        )
+
+    def __and__(self, other: "PrefixSet") -> "PrefixSet":
+        self._check(other)
+        result = []
+        mine = self._intervals()
+        theirs = other._intervals()
+        i = j = 0
+        while i < len(mine) and j < len(theirs):
+            low = max(mine[i][0], theirs[j][0])
+            high = min(mine[i][1], theirs[j][1])
+            if low <= high:
+                result.append((low, high))
+            if mine[i][1] < theirs[j][1]:
+                i += 1
+            else:
+                j += 1
+        return self._from_intervals(result, self._version)
+
+    def __sub__(self, other: "PrefixSet") -> "PrefixSet":
+        self._check(other)
+        result = []
+        theirs = other._intervals()
+        for low, high in self._intervals():
+            cursor = low
+            for t_low, t_high in theirs:
+                if t_high < cursor or t_low > high:
+                    continue
+                if t_low > cursor:
+                    result.append((cursor, t_low - 1))
+                cursor = max(cursor, t_high + 1)
+                if cursor > high:
+                    break
+            if cursor <= high:
+                result.append((cursor, high))
+        return self._from_intervals(result, self._version)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PrefixSet):
+            return NotImplemented
+        return self._version == other._version and self._blocks == other._blocks
+
+    def __hash__(self) -> int:
+        return hash((self._version, self._blocks))
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Prefix]:
+        return iter(self._blocks)
+
+    def __bool__(self) -> bool:
+        return bool(self._blocks)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(p) for p in self._blocks[:4])
+        suffix = ", …" if len(self._blocks) > 4 else ""
+        return f"PrefixSet([{inner}{suffix}])"

@@ -1,0 +1,18 @@
+"""AS relationship inference (Luckie 2013 style) and its validation."""
+
+from repro.relationships.inference import (
+    InferredRelationships,
+    infer_clique,
+    infer_relationships,
+    transit_degrees,
+)
+from repro.relationships.validation import RelationshipValidation, validate_inference
+
+__all__ = [
+    "InferredRelationships",
+    "RelationshipValidation",
+    "infer_clique",
+    "infer_relationships",
+    "transit_degrees",
+    "validate_inference",
+]

@@ -1,0 +1,247 @@
+"""Inference of AS business relationships from observed paths.
+
+A compact implementation of the core ideas of Luckie et al. 2013 (the
+algorithm behind CAIDA's AS Rank, which the paper reuses, §1.1):
+
+1. **Transit degree.** For every AS, count the distinct neighbors it
+   appears to carry traffic between (its neighbors when it occupies an
+   interior path position). High transit degree ≈ big transit provider.
+
+2. **Clique inference.** The top of the hierarchy is a set of mutually
+   peering, transit-free ASes. We take the highest-transit-degree
+   candidates, drop any candidate with *provider evidence* — valley-free
+   export rules mean a path fragment ``a b X`` with two other top
+   candidates ``a b`` in front of ``X`` can only exist if ``b`` learned
+   ``X``'s routes from a customer branch, i.e. ``X`` buys transit — and
+   greedily grow a clique through observed top-candidate adjacencies.
+
+3. **Peak-and-witness link labelling.** On a valley-free path, the
+   highest-transit-degree AS approximates the peak. Each directed link
+   occurrence votes customer-to-provider before the peak and
+   provider-to-customer after it. Votes alone mislabel peer links
+   between unequal-degree ASes, so two stronger signals override them:
+
+   * a **descent witness** — an occurrence ``x A B`` where ``x`` has a
+     higher transit degree than ``A`` — proves traffic was already
+     descending into ``A``, so ``A → B`` is provider→customer
+     (peer links only ever appear at the very top of a path);
+   * links with **no witness in either direction** that connect ASes of
+     comparable transit degree are peaks themselves: peering.
+
+The result quacks like :class:`repro.core.sanitize.RelationshipOracle`,
+so cone/CTI computations run unchanged on inferred labels, and
+``repro.relationships.validation`` quantifies the inference error
+against the generator's ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.net.aspath import ASPath
+
+#: min(deg)/max(deg) above which an unwitnessed link is called peering.
+_PEER_DEGREE_RATIO = 0.2
+
+
+def transit_degrees(paths: Iterable[ASPath]) -> dict[int, int]:
+    """Distinct transit neighbors per AS (interior positions only)."""
+    neighbors: dict[int, set[int]] = {}
+    for path in paths:
+        asns = path.asns
+        for index in range(1, len(asns) - 1):
+            here = asns[index]
+            bucket = neighbors.setdefault(here, set())
+            bucket.add(asns[index - 1])
+            bucket.add(asns[index + 1])
+    return {asn: len(bucket) for asn, bucket in neighbors.items()}
+
+
+def infer_clique(
+    paths: list[ASPath],
+    degrees: dict[int, int] | None = None,
+    candidates: int = 25,
+) -> frozenset[int]:
+    """The inferred top-tier clique.
+
+    Takes the ``candidates`` highest-transit-degree ASes, drops those
+    with *provider evidence* — a path fragment ``a b X`` where both
+    ``a`` and ``b`` have higher transit degree than ``X``; on a
+    valley-free path that shape means traffic descended through two
+    bigger ASes into ``X``, which a transit-free AS can never exhibit
+    (its routes would have had to cross two peer links) — and returns
+    the maximum clique of the survivors' path-adjacency graph,
+    preferring larger cliques, then higher total transit degree.
+    """
+    if degrees is None:
+        degrees = transit_degrees(paths)
+    if not degrees:
+        return frozenset()
+    top = [
+        asn
+        for asn, _ in sorted(degrees.items(), key=lambda kv: (-kv[1], kv[0]))[
+            :candidates
+        ]
+    ]
+    top_set = set(top)
+    adjacent: dict[int, set[int]] = {asn: set() for asn in top}
+    has_provider: set[int] = set()
+    for path in paths:
+        asns = path.asns
+        for left, right in zip(asns, asns[1:]):
+            if left in top_set and right in top_set and left != right:
+                adjacent[left].add(right)
+                adjacent[right].add(left)
+        for index in range(2, len(asns)):
+            here = asns[index]
+            if here not in top_set:
+                continue
+            before, above = asns[index - 1], asns[index - 2]
+            here_degree = degrees.get(here, 0)
+            if (
+                len({here, before, above}) == 3
+                and degrees.get(before, 0) > here_degree
+                and degrees.get(above, 0) > here_degree
+            ):
+                has_provider.add(here)
+    survivors = [asn for asn in top if asn not in has_provider]
+    return _max_clique(survivors, adjacent, degrees)
+
+
+def _max_clique(
+    survivors: list[int],
+    adjacent: dict[int, set[int]],
+    degrees: dict[int, int],
+) -> frozenset[int]:
+    """Largest clique (ties broken by total transit degree) via
+    Bron–Kerbosch over the survivor adjacency graph."""
+    allowed = set(survivors)
+    best: tuple[int, int, tuple[int, ...]] = (0, 0, ())
+
+    def extend(clique: list[int], candidates: set[int]) -> None:
+        nonlocal best
+        if not candidates:
+            score = (len(clique), sum(degrees.get(a, 0) for a in clique))
+            if score > best[:2]:
+                best = (score[0], score[1], tuple(sorted(clique)))
+            return
+        # Classic pivoting keeps this tractable at 25 candidates.
+        pivot = max(candidates, key=lambda a: len(adjacent[a] & candidates))
+        for asn in sorted(candidates - adjacent[pivot]):
+            extend(clique + [asn], candidates & adjacent[asn])
+            candidates = candidates - {asn}
+
+    extend([], allowed)
+    return frozenset(best[2])
+
+
+@dataclass
+class InferredRelationships:
+    """Inferred relationship table with the oracle interface."""
+
+    clique: frozenset[int]
+    #: (low_asn, high_asn) -> "p2c" (low provides), "c2p", or "p2p"
+    labels: dict[tuple[int, int], str] = field(default_factory=dict)
+
+    def relationship(self, left: int, right: int) -> str | None:
+        """Label as seen from ``left`` (oracle interface)."""
+        if left == right:
+            return None
+        if left < right:
+            return self.labels.get((left, right))
+        label = self.labels.get((right, left))
+        if label == "p2c":
+            return "c2p"
+        if label == "c2p":
+            return "p2c"
+        return label
+
+    def edge_count(self) -> int:
+        """Number of labelled AS pairs."""
+        return len(self.labels)
+
+    def set_label(self, left: int, right: int, label: str) -> None:
+        """Record a relationship as seen from ``left``."""
+        if label not in ("p2c", "c2p", "p2p"):
+            raise ValueError(f"bad label {label!r}")
+        if left > right:
+            left, right = right, left
+            if label == "p2c":
+                label = "c2p"
+            elif label == "c2p":
+                label = "p2c"
+        self.labels[(left, right)] = label
+
+
+def infer_relationships(
+    paths: Iterable[ASPath],
+    candidates: int = 20,
+) -> InferredRelationships:
+    """Infer clique and per-link labels from clean AS paths."""
+    materialized = [path.collapse_prepending() for path in paths]
+    degrees = transit_degrees(materialized)
+    clique = infer_clique(materialized, degrees, candidates)
+
+    # Per undirected link (low, high): peak votes and descent witnesses.
+    votes: dict[tuple[int, int], list[int]] = {}  # [low-is-customer, low-is-provider]
+    witness: dict[tuple[int, int], list[bool]] = {}  # [low provides, high provides]
+
+    def key_of(a: int, b: int) -> tuple[tuple[int, int], bool]:
+        """Normalized key plus whether (a, b) matches (low, high)."""
+        return ((a, b), True) if a < b else ((b, a), False)
+
+    for path in materialized:
+        asns = path.asns
+        if len(asns) < 2:
+            continue
+        peak = max(range(len(asns)), key=lambda i: (degrees.get(asns[i], 0), -i))
+        for index in range(len(asns) - 1):
+            left, right = asns[index], asns[index + 1]
+            key, in_order = key_of(left, right)
+            bucket = votes.setdefault(key, [0, 0])
+            if index + 1 <= peak:
+                # climbing: left is the customer side
+                bucket[0 if in_order else 1] += 1
+            else:
+                bucket[1 if in_order else 0] += 1
+            if index > 0 and degrees.get(asns[index - 1], 0) > degrees.get(left, 0):
+                # Traffic was already descending into `left`, so
+                # left -> right must be provider -> customer.
+                marks = witness.setdefault(key, [False, False])
+                marks[0 if in_order else 1] = True
+
+    inferred = InferredRelationships(clique=clique)
+    for key, (low_customer, low_provider) in votes.items():
+        low, high = key
+        low_in = low in clique
+        high_in = high in clique
+        if low_in and high_in:
+            label = "p2p"
+        elif low_in:
+            label = "p2c"
+        elif high_in:
+            label = "c2p"
+        else:
+            marks = witness.get(key, [False, False])
+            if marks[0] != marks[1]:
+                label = "p2c" if marks[0] else "c2p"
+            elif not marks[0] and not marks[1] and _comparable(degrees, low, high):
+                label = "p2p"
+            else:
+                label = "c2p" if low_customer >= low_provider else "p2c"
+        inferred.labels[key] = label
+    for member in clique:
+        for other in clique:
+            if member < other:
+                inferred.labels[(member, other)] = "p2p"
+    return inferred
+
+
+def _comparable(degrees: dict[int, int], left: int, right: int) -> bool:
+    """Whether two ASes have transit degrees close enough to peer."""
+    low = min(degrees.get(left, 0), degrees.get(right, 0))
+    high = max(degrees.get(left, 0), degrees.get(right, 0))
+    if high == 0:
+        return False
+    return low / high >= _PEER_DEGREE_RATIO

@@ -1,0 +1,77 @@
+"""Validating inferred relationships against generator ground truth.
+
+The paper leans on CAIDA's validated relationship inferences; our
+substrate lets us measure exactly how good (or bad) our re-implemented
+inference is, because the generator knows every true label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relationships.inference import InferredRelationships
+from repro.topology.model import ASGraph
+
+
+@dataclass(frozen=True, slots=True)
+class RelationshipValidation:
+    """Confusion summary over the links the inference labelled."""
+
+    total_links: int
+    correct: int
+    p2c_as_p2p: int
+    p2p_as_p2c: int
+    flipped_p2c: int
+    unknown_truth: int
+    clique_precision: float
+    clique_recall: float
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of labelled links with the true label."""
+        graded = self.total_links - self.unknown_truth
+        return self.correct / graded if graded else 0.0
+
+
+def validate_inference(
+    inferred: InferredRelationships, graph: ASGraph
+) -> RelationshipValidation:
+    """Grade every inferred link against the graph's true labels."""
+    correct = 0
+    p2c_as_p2p = 0
+    p2p_as_p2c = 0
+    flipped = 0
+    unknown = 0
+    total = 0
+    for (low, high), label in inferred.labels.items():
+        total += 1
+        if low not in graph or high not in graph:
+            unknown += 1
+            continue
+        truth = graph.relationship(low, high)
+        if truth is None:
+            unknown += 1
+        elif truth == label:
+            correct += 1
+        elif truth == "p2p":
+            p2p_as_p2c += 1
+        elif label == "p2p":
+            p2c_as_p2p += 1
+        else:
+            flipped += 1
+
+    true_clique = graph.clique()
+    inferred_clique = inferred.clique
+    overlap = len(true_clique & inferred_clique)
+    precision = overlap / len(inferred_clique) if inferred_clique else 0.0
+    recall = overlap / len(true_clique) if true_clique else 0.0
+    return RelationshipValidation(
+        total_links=total,
+        correct=correct,
+        p2c_as_p2p=p2c_as_p2p,
+        p2p_as_p2c=p2p_as_p2c,
+        flipped_p2c=flipped,
+        unknown_truth=unknown,
+        clique_precision=precision,
+        clique_recall=recall,
+    )

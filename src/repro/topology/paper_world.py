@@ -1,0 +1,605 @@
+"""The curated case-study world, using the paper's real AS numbers.
+
+This world is hand-wired so the *structural* facts behind the paper's
+evaluation hold by construction:
+
+* **Australia (Table 5).** Telstra splits domestic (1221) and
+  international (4637, registered outside AU) transit; 1221 exclusively
+  serves a large slice of AU eyeball space, so both Telstra ASes
+  dominate the hegemony views while barely registering in Vocus' cone.
+  Vocus (4826, under Arelion 1299) wholesales to a deep customer tree,
+  which the closure-style customer cone credits to both Vocus and —
+  transitively — Arelion (the cone-inflation effect §5.1 discusses).
+* **Japan (Table 6).** NTT's 2914 (US-registered, international) sits
+  above NTT OCN 4713 (domestic eyeball); KDDI 2516 and Softbank 17676
+  split the rest of the domestic market.
+* **Russia (Table 7, Table 10, Figure 7).** Rostelecom 12389 leads a
+  market of several eyeball carriers, all fed by non-Russian tier-1s;
+  Central-Asian former-Soviet countries buy transit from Russian ASes
+  while the Western former republics buy from Europe.
+* **United States (Table 8).** Lumen 3356 dominates; Hurricane 6939
+  peers liberally and carries a meaningful eyeball share; AT&T 7018 is
+  both tier-1 and a huge domestic carrier.
+* **Taiwan (Table 11).** Chunghwa's dual ASes (9505 international,
+  3462 domestic) top the rankings; China Telecom 4134 provides some
+  transit in the 2021 snapshot and none in 2023.
+* **Regional hegemons (Table 12, Figure 7).** Minor countries buy from
+  the continent's usual suspects (Telstra in Oceania, Orange/Liquid/
+  MTN/WIOCC in Africa, Telefonica in South America, Russian carriers in
+  Central Asia), with U.S. tier-1s as the most common secondary
+  upstream.
+* **Amazon (§5.1.2).** 16509 is registered in the US but originates
+  prefixes geolocated in AU/JP/US — visible to AHN, invisible to AHC.
+
+Two snapshots exist: ``"2021-04"`` and ``"2023-03"``; the latter applies
+the geopolitical edge changes of §6 (GTT leaves Russia, Orange and
+Cogent pick up Russian customers, China Telecom loses its Taiwanese
+customers, Chunghwa's domestic AS loses a large wholesale customer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.collectors import Collector, CollectorProject, CollectorSet
+from repro.net.prefix import Prefix, format_address
+from repro.topology.countries import default_registry
+from repro.topology.model import ASGraph, ASRole
+from repro.topology.world import World
+
+SNAPSHOT_2021 = "2021-04"
+SNAPSHOT_2023 = "2023-03"
+PAPER_SNAPSHOTS = (SNAPSHOT_2021, SNAPSHOT_2023)
+
+#: Countries whose national views the paper's case studies use (§5).
+CASE_STUDY_COUNTRIES = ("AU", "JP", "RU", "US")
+
+
+@dataclass(frozen=True, slots=True)
+class _Spec:
+    """One named AS: identity plus its place in the topology."""
+
+    asn: int
+    name: str
+    country: str
+    role: ASRole = ASRole.TRANSIT
+    #: transit providers (ASNs)
+    providers: tuple[int, ...] = ()
+    #: settlement-free peers (ASNs); deduplicated, symmetric
+    peers: tuple[int, ...] = ()
+    #: /16 blocks of own (eyeball) address space in the home country
+    eyeball_blocks: int = 0
+    #: filler stub customers to attach (each gets a /20)
+    stubs: int = 0
+    #: filler access customers to attach (each gets a /17)
+    access: int = 0
+
+
+# ---------------------------------------------------------------------------
+# The global top tier (clique, fully meshed) — flags as in the paper.
+# ---------------------------------------------------------------------------
+
+_TIER1: tuple[_Spec, ...] = (
+    _Spec(3356, "Lumen", "US", ASRole.CLIQUE, eyeball_blocks=4),
+    _Spec(1299, "Arelion", "SE", ASRole.CLIQUE, eyeball_blocks=1),
+    _Spec(174, "Cogent", "US", ASRole.CLIQUE, eyeball_blocks=1),
+    _Spec(2914, "NTT America", "US", ASRole.CLIQUE, eyeball_blocks=1),
+    _Spec(3257, "GTT", "US", ASRole.CLIQUE, eyeball_blocks=1),
+    _Spec(6762, "Telecom Italia Sparkle", "IT", ASRole.CLIQUE, eyeball_blocks=1),
+    _Spec(6453, "TATA Communications", "US", ASRole.CLIQUE, eyeball_blocks=1),
+    _Spec(6461, "Zayo", "US", ASRole.CLIQUE, eyeball_blocks=1),
+    _Spec(5511, "Orange International", "FR", ASRole.CLIQUE, eyeball_blocks=1),
+    _Spec(3491, "PCCW Global", "US", ASRole.CLIQUE, eyeball_blocks=1),
+    _Spec(1239, "Sprint", "US", ASRole.CLIQUE, eyeball_blocks=1),
+    _Spec(701, "Verizon", "US", ASRole.CLIQUE, eyeball_blocks=2),
+    _Spec(7018, "AT&T", "US", ASRole.CLIQUE, eyeball_blocks=4, stubs=2),
+    _Spec(12956, "Telefonica Global", "ES", ASRole.CLIQUE, eyeball_blocks=1),
+    _Spec(1273, "Vodafone Carrier", "GB", ASRole.CLIQUE, eyeball_blocks=1),
+)
+
+_HURRICANE = _Spec(
+    6939, "Hurricane Electric", "US", ASRole.TRANSIT,
+    # Famously liberal peering (§5.4): eyeball ISPs worldwide reach the
+    # U.S. (and Vocus' Australian tree) over Hurricane peer routes.
+    peers=(1136, 2856, 3320, 3215, 3301, 3269, 3352, 4230, 4826, 9443),
+    eyeball_blocks=1, stubs=6,
+)
+
+_CONTENT: tuple[_Spec, ...] = (
+    _Spec(16509, "Amazon", "US", ASRole.CONTENT),
+    _Spec(20940, "Akamai", "NL", ASRole.CONTENT),
+)
+
+#: (content ASN, country, /16 blocks) — out-of-registry originations.
+_CONTENT_PRESENCE: tuple[tuple[int, str, int], ...] = (
+    (16509, "US", 2),
+    (16509, "AU", 1),
+    (16509, "JP", 1),
+    (20940, "NL", 1),
+    (20940, "US", 1),
+    (20940, "DE", 1),
+)
+
+
+# ---------------------------------------------------------------------------
+# Case-study and supporting countries.
+# ---------------------------------------------------------------------------
+
+_NAMED: tuple[_Spec, ...] = (
+    # --- Australia (Table 5 / Table 9) ---
+    _Spec(4637, "Telstra Global", "HK", providers=(3356, 2914),
+          peers=(6939, 7473, 6461, 174)),
+    _Spec(1221, "Telstra", "AU", providers=(4637,),
+          peers=(4826, 7474), eyeball_blocks=9, stubs=6),
+    _Spec(4826, "Vocus", "AU", providers=(1299, 6461),
+          eyeball_blocks=1),
+    _Spec(9443, "Vocus Retail", "AU", providers=(4826,),
+          eyeball_blocks=1, stubs=2, access=1),
+    _Spec(7545, "TPG", "AU", providers=(4826,), peers=(1221, 7474),
+          eyeball_blocks=3, stubs=4),
+    _Spec(4804, "SingTel Optus Intl", "SG", providers=(1273, 701)),
+    _Spec(7474, "SingTel Optus", "AU", providers=(4804, 4826),
+          eyeball_blocks=5, stubs=2),
+    # --- Japan (Table 6) ---
+    _Spec(4713, "NTT OCN", "JP", providers=(2914,),
+          peers=(2516, 17676), eyeball_blocks=5, stubs=4),
+    _Spec(2516, "KDDI", "JP", providers=(3356, 3257),
+          peers=(17676,), eyeball_blocks=7, stubs=4, access=2),
+    _Spec(17676, "Softbank", "JP", providers=(2914, 3257),
+          eyeball_blocks=6, stubs=3),
+    _Spec(9605, "NTT Docomo", "JP", providers=(2914,),
+          peers=(4713, 2516, 17676), eyeball_blocks=4, stubs=2),
+    _Spec(2907, "SINET", "JP", ASRole.EDUCATION, providers=(4713,),
+          eyeball_blocks=1),
+    # --- Russia (Table 7 / Table 10) ---
+    _Spec(12389, "Rostelecom", "RU", providers=(1299, 3356, 6762),
+          peers=(3216, 8359, 20485), eyeball_blocks=8, stubs=5, access=2),
+    _Spec(20485, "TransTelecom", "RU", providers=(1273, 1299, 3257, 3356),
+          eyeball_blocks=2, stubs=3),
+    _Spec(9049, "ER-Telecom", "RU", providers=(12389, 9002),
+          peers=(8359,), eyeball_blocks=3, stubs=2),
+    _Spec(8359, "MTS PJSC", "RU", providers=(1273, 20485),
+          eyeball_blocks=3, stubs=2),
+    _Spec(3216, "Vimpelcom", "RU", providers=(3356, 3491),
+          peers=(20485,), eyeball_blocks=2, stubs=2),
+    _Spec(31133, "MegaFon", "RU", providers=(20485, 9002),
+          peers=(12389, 8359), eyeball_blocks=2),
+    _Spec(8402, "Vimpelcom Broadband", "RU", providers=(3216, 174),
+          peers=(12389, 20485), eyeball_blocks=2),
+    _Spec(9002, "RETN", "GB", providers=(1299,), peers=(6939,)),
+    # --- United States (Table 8) ---
+    _Spec(7922, "Comcast", "US", providers=(3356, 3257),
+          peers=(20115, 22773, 209, 6939), eyeball_blocks=5, stubs=2),
+    _Spec(20115, "Charter", "US", providers=(701, 174),
+          peers=(22773,), eyeball_blocks=5, stubs=4),
+    _Spec(209, "CenturyLink legacy", "US", providers=(3356, 6939),
+          eyeball_blocks=4, stubs=2),
+    _Spec(22773, "Cox", "US", providers=(1239, 6939),
+          eyeball_blocks=4, stubs=2),
+    _Spec(11537, "Internet2", "US", ASRole.EDUCATION, providers=(7018,),
+          eyeball_blocks=1),
+    # --- Taiwan (Table 11) ---
+    _Spec(9505, "Chunghwa Intl (TWGate)", "TW", providers=(3356, 1299),
+          peers=(4637,)),
+    _Spec(3462, "Chunghwa HiNet", "TW", providers=(9505, 3356, 174),
+          peers=(4780, 9924), eyeball_blocks=6, stubs=4),
+    _Spec(9680, "HiNet Data Comm", "TW", providers=(3462,),
+          eyeball_blocks=2, stubs=2),
+    _Spec(4780, "Digital United", "TW", providers=(9505, 3257),
+          eyeball_blocks=2, stubs=2),
+    _Spec(9924, "Taiwan Fixed Network", "TW", providers=(9505, 4134),
+          eyeball_blocks=4),
+    _Spec(1659, "TANet", "TW", ASRole.EDUCATION, providers=(3462,),
+          eyeball_blocks=1),
+    _Spec(17717, "Ministry of Education TW", "TW", ASRole.STUB,
+          providers=(1659,), eyeball_blocks=1),
+    # --- China ---
+    _Spec(4134, "China Telecom", "CN", providers=(3491,), peers=(2914, 3356),
+          eyeball_blocks=12, stubs=6),
+    _Spec(4837, "China Unicom", "CN", providers=(3491,), peers=(4134,),
+          eyeball_blocks=8, stubs=4),
+    # --- Supporting majors (stability studies & Table 12 hegemons) ---
+    _Spec(1136, "KPN", "NL", providers=(1299, 174, 6453),
+          eyeball_blocks=4, stubs=6, access=2),
+    _Spec(1103, "SURFnet", "NL", ASRole.EDUCATION, providers=(1136,),
+          eyeball_blocks=1),
+    _Spec(2856, "BT", "GB", providers=(1273, 3356, 2914),
+          eyeball_blocks=5, stubs=6, access=2),
+    _Spec(30844, "Liquid Telecom", "GB", providers=(1273, 174),
+          eyeball_blocks=1, stubs=1),
+    _Spec(3320, "Deutsche Telekom", "DE", providers=(1299, 701, 6762),
+          eyeball_blocks=6, stubs=6, access=2),
+    _Spec(3215, "Orange France", "FR", providers=(5511, 6453),
+          eyeball_blocks=5, stubs=4, access=2),
+    _Spec(3301, "Telia Sweden", "SE", providers=(1299,),
+          eyeball_blocks=3, stubs=3),
+    _Spec(3269, "TIM Italia", "IT", providers=(6762, 174),
+          eyeball_blocks=4, stubs=3),
+    _Spec(3352, "Telefonica de Espana", "ES", providers=(12956, 5511),
+          eyeball_blocks=4, stubs=3),
+    _Spec(7473, "Singapore Telecom", "SG", providers=(6453, 6461),
+          peers=(2914, 3356), eyeball_blocks=2, stubs=2),
+    _Spec(16637, "MTN SA", "ZA", providers=(1273, 3356),
+          eyeball_blocks=3, stubs=3),
+    _Spec(37662, "WIOCC", "MU", providers=(16637, 1299),
+          eyeball_blocks=1, stubs=1),
+    _Spec(9498, "Bharti Airtel", "IN", providers=(6453, 1299),
+          eyeball_blocks=6, stubs=4),
+    _Spec(4230, "Claro Brasil", "BR", providers=(3356, 12956, 6762),
+          eyeball_blocks=5, stubs=5, access=2),
+    _Spec(6057, "Antel Uruguay", "BR", providers=(4230,),
+          eyeball_blocks=1, stubs=1),
+)
+
+#: country -> (address /16 blocks, located VPs, collectors, multihop?)
+_COUNTRY_PLAN: dict[str, tuple[int, int, int, bool]] = {
+    "US": (64, 30, 3, True),
+    "NL": (12, 25, 2, False),
+    "GB": (14, 15, 2, True),
+    "DE": (12, 12, 1, False),
+    "BR": (12, 10, 1, False),
+    "AU": (23, 14, 1, False),
+    "JP": (28, 7, 1, False),
+    "RU": (26, 7, 1, False),
+    "TW": (19, 7, 1, False),
+    "SE": (6, 5, 1, False),
+    "FR": (10, 5, 1, False),
+    "IT": (8, 5, 1, False),
+    "ES": (8, 5, 1, False),
+    "SG": (6, 5, 1, False),
+    "ZA": (6, 4, 1, False),
+    "CN": (24, 0, 0, False),
+    "HK": (4, 0, 0, False),
+    "IN": (12, 0, 0, False),
+    "MU": (3, 0, 0, False),
+}
+
+#: ASes hosting a country's first vantage points (major ISPs first, as
+#: with real RouteViews/RIS peers); the rest of the pool follows in a
+#: deterministic pseudo-shuffled order.
+_VP_PREFERRED: dict[str, tuple[int, ...]] = {
+    "US": (7922, 20115, 22773, 209, 7018, 11537, 3356, 6939, 701, 174),
+    "AU": (1221, 4826, 9443, 7545, 7474, 1221, 9443),
+    "JP": (4713, 2516, 17676, 9605, 2907, 4713, 2516),
+    "RU": (12389, 20485, 9049, 8359, 3216, 31133, 8402),
+    "TW": (3462, 9680, 4780, 9924, 1659, 17717, 3462),
+    "NL": (1136, 1103, 20940, 1299, 3356),
+    "GB": (2856, 30844, 9002, 1273, 174),
+    "DE": (3320, 1299, 701),
+    "BR": (4230, 6057),
+}
+
+#: minor country -> (primary upstream ASN, secondary upstream ASN | None)
+#: encodes Table 12's regional hegemon structure.
+_MINOR_PLAN: dict[str, tuple[int, int | None]] = {
+    # Oceania: Telstra Global and SingTel (plus U.S. secondaries).
+    "NZ": (4637, 3356), "FJ": (4637, None), "PG": (4637, None),
+    "NC": (5511, None), "WS": (7473, None),
+    # Africa: Liquid (GB), Orange (FR), Sparkle (IT), MTN (ZA), WIOCC (MU).
+    "KE": (30844, 3356), "UG": (30844, None), "MA": (5511, None),
+    "CI": (5511, None), "TN": (6762, None), "EG": (6762, 5511),
+    "NG": (16637, 174), "GH": (16637, None), "TZ": (37662, None),
+    "NA": (16637, None),
+    # South America: Telefonica + U.S. carriers.
+    "AR": (12956, 3356), "CL": (12956, 701), "CO": (12956, 3356),
+    "PE": (12956, None), "EC": (12956, 174),
+    # North America: U.S. carriers.
+    "CA": (3356, 174), "MX": (3356, 701), "PA": (174, None),
+    "CR": (701, None), "GT": (3356, None),
+    # Asia: SingTel, NTT, TATA; Central Asia buys Russian (Figure 7).
+    "TH": (7473, 3356), "MY": (7473, None), "PH": (2914, 3356),
+    "VN": (6453, None), "ID": (7473, 2914), "KR": (2914, 3356),
+    "AF": (9498, None),
+    "KZ": (12389, 20485), "KG": (12389, None), "TJ": (20485, None),
+    "TM": (12389, None),
+    # Western former-Soviet republics buy European transit (§6.1).
+    "UA": (1299, 3320), "BY": (1299, None), "EE": (3301, None),
+    "LV": (3301, None), "LT": (1299, None), "MD": (1299, None),
+    "UZ": (1299, None), "AM": (1299, None), "GE": (1299, None),
+    "AZ": (1299, None),
+    # Remaining European minors.
+    "PL": (3320, 1299), "PT": (12956, None), "GR": (6762, None),
+    "NO": (3301, None), "FI": (3301, None), "HR": (3320, None),
+    "GG": (2856, None), "CH": (3320, 1299), "AT": (3320, None),
+}
+
+#: Countries whose address space straddles a border: (code, partner,
+#: foreign share). Shares of exactly one half fail the 50 % majority
+#: threshold (Tables 13–14's worst cases); the graded shares populate
+#: the Figure-8 threshold sweep.
+_SPLIT_GEOGRAPHY: tuple[tuple[str, str, float], ...] = (
+    ("GG", "GB", 0.5),
+    ("HR", "AT", 0.45),
+    ("NA", "ZA", 0.5),
+    ("LT", "LV", 0.4),
+    ("MU", "ZA", 0.35),
+    ("AF", "IN", 0.5),
+)
+
+#: 2023 snapshot edge changes (§6.1 Russia, §6.2 Taiwan).
+_EDGES_REMOVED_2023: tuple[tuple[int, int], ...] = (
+    (3257, 20485),     # GTT leaves the Russian market (Table 10)
+    (4134, 9924),      # China Telecom loses its Taiwanese customer (§6.2)
+    (3462, 9680),      # HiNet Data Comm leaves Chunghwa domestic wholesale
+)
+_EDGES_ADDED_2023: tuple[tuple[str, int, int], ...] = (
+    ("p2c", 5511, 12389),   # Orange picks up Russian transit (Table 10)
+    ("p2c", 174, 3216),     # Cogent (despite the announcement) gains RU
+    ("p2c", 174, 4780),     # Cogent gains Taiwanese transit (Table 11)
+    ("p2c", 9505, 9680),    # Data Comm re-homes to Chunghwa Intl
+)
+
+
+def paper_as_names() -> dict[int, str]:
+    """ASN → display name for every named AS in the curated world."""
+    names = {spec.asn: spec.name for spec in _TIER1 + _CONTENT + _NAMED}
+    names[_HURRICANE.asn] = _HURRICANE.name
+    return names
+
+
+def build_paper_world(snapshot: str = SNAPSHOT_2021) -> World:
+    """Build the curated world for one snapshot date."""
+    if snapshot not in PAPER_SNAPSHOTS:
+        raise ValueError(f"unknown snapshot {snapshot!r}; expected {PAPER_SNAPSHOTS}")
+    return _PaperBuilder(snapshot).build()
+
+
+class _PaperBuilder:
+    """Deterministic (seedless) assembly of the curated world."""
+
+    _FILLER_BASE = 60000
+
+    def __init__(self, snapshot: str) -> None:
+        self.snapshot = snapshot
+        self.countries = default_registry()
+        self.graph = ASGraph()
+        self.collectors = CollectorSet()
+        self._next_filler = self._FILLER_BASE
+        self._country_ases: dict[str, list[int]] = {}
+        self._country_base: dict[str, int] = {}
+        self._country_next: dict[str, int] = {}
+        self._vp_seq: dict[int, int] = {}
+        self._minor_incumbents: dict[str, int] = {}
+        codes = sorted(set(_COUNTRY_PLAN) | set(_MINOR_PLAN) | {
+            spec.country for spec in _TIER1 + _NAMED + _CONTENT
+        } | {_HURRICANE.country})
+        for index, code in enumerate(codes):
+            if code not in self.countries:
+                raise ValueError(f"paper world references unknown country {code}")
+            self._country_base[code] = (index + 1) << 24
+            self._country_next[code] = 0
+
+    # -- assembly -----------------------------------------------------------
+
+    def build(self) -> World:
+        for spec in _TIER1:
+            self._add_named(spec)
+        clique = [spec.asn for spec in _TIER1]
+        for index, left in enumerate(clique):
+            for right in clique[index + 1 :]:
+                self.graph.add_p2p(left, right)
+        self._add_named(_HURRICANE)
+        for member in clique:
+            self.graph.add_p2p(_HURRICANE.asn, member)
+        for spec in _CONTENT:
+            self._add_named(spec)
+            for member in clique[:8]:
+                self.graph.add_p2p(spec.asn, member)
+        for spec in _NAMED:
+            self._add_named(spec)
+        for spec in _TIER1 + (_HURRICANE,) + _NAMED:
+            self._wire(spec)
+        self._wire_minors()
+        self._apply_snapshot()
+        self._assign_addresses()
+        self._attach_fillers()
+        self._place_collectors()
+        world = World(
+            self.graph, self.countries, self.collectors,
+            name=f"paper:{self.snapshot}",
+        )
+        world.validate()
+        return world
+
+    def _add_named(self, spec: _Spec) -> None:
+        self.graph.add_as(spec.asn, spec.name, spec.country, spec.role)
+        self._country_ases.setdefault(spec.country, []).append(spec.asn)
+
+    def _wire(self, spec: _Spec) -> None:
+        for provider in spec.providers:
+            if self.graph.relationship(provider, spec.asn) is None:
+                self.graph.add_p2c(provider, spec.asn)
+        for peer in spec.peers:
+            if self.graph.relationship(spec.asn, peer) is None:
+                self.graph.add_p2p(spec.asn, peer)
+
+    def _wire_minors(self) -> None:
+        for code in sorted(_MINOR_PLAN):
+            primary, secondary = _MINOR_PLAN[code]
+            incumbent = self._new_filler(f"Incumbent-{code}", code, ASRole.TRANSIT)
+            self._minor_incumbents[code] = incumbent
+            self.graph.add_p2c(primary, incumbent)
+            if secondary is not None:
+                self.graph.add_p2c(secondary, incumbent)
+            # Hurricane peers broadly, even with small incumbents.
+            if incumbent % 3 == 0:
+                self.graph.add_p2p(_HURRICANE.asn, incumbent)
+
+    def _apply_snapshot(self) -> None:
+        if self.snapshot != SNAPSHOT_2023:
+            return
+        for provider, customer in _EDGES_REMOVED_2023:
+            if self.graph.relationship(provider, customer) is not None:
+                self.graph.remove_edge(provider, customer)
+        for kind, left, right in _EDGES_ADDED_2023:
+            if self.graph.relationship(left, right) is not None:
+                continue
+            if kind == "p2c":
+                self.graph.add_p2c(left, right)
+            else:
+                self.graph.add_p2p(left, right)
+
+    # -- fillers --------------------------------------------------------------
+
+    def _new_filler(self, name: str, country: str, role: ASRole) -> int:
+        asn = self._next_filler
+        self._next_filler += 1
+        self.graph.add_as(asn, name, country, role)
+        self._country_ases.setdefault(country, []).append(asn)
+        return asn
+
+    def _attach_fillers(self) -> None:
+        """Stub/access customers declared by the named specs."""
+        for spec in _TIER1 + (_HURRICANE,) + _NAMED:
+            code = "US" if spec.country not in self._country_base else spec.country
+            # Named ASes registered abroad (Telstra Global in HK) grow
+            # their customer base in their operating market when the
+            # spec says so; here fillers live in the registry country.
+            code = spec.country
+            for index in range(spec.access):
+                access = self._new_filler(
+                    f"Access-{spec.asn}-{index + 1}", code, ASRole.ACCESS
+                )
+                self.graph.add_p2c(spec.asn, access)
+                prefix = self._take(code, 17)
+                if prefix is not None:
+                    self.graph.node(access).originate(prefix, code)
+            for index in range(spec.stubs):
+                stub = self._new_filler(
+                    f"Stub-{spec.asn}-{index + 1}", code, ASRole.STUB
+                )
+                self.graph.add_p2c(spec.asn, stub)
+                prefix = self._take(code, 20)
+                if prefix is not None:
+                    self.graph.node(stub).originate(prefix, code)
+        # Minor incumbents and any still-empty AS get infrastructure /24s.
+        for code in sorted(self._country_ases):
+            for asn in self._country_ases[code]:
+                node = self.graph.node(asn)
+                if node.role is ASRole.ROUTE_SERVER or node.prefixes:
+                    continue
+                prefix = self._take(code, 16 if code in _MINOR_PLAN else 24)
+                if prefix is None:
+                    prefix = self._take(code, 24)
+                if prefix is not None:
+                    node.originate(prefix, code)
+
+    # -- addresses ---------------------------------------------------------------
+
+    def _take(self, code: str, length: int) -> Prefix | None:
+        """Carve the next block of 2^(32-length) addresses from the
+        country pool (pools are /8-sized, so exhaustion means a plan
+        bug — we return None and let validation in tests catch it)."""
+        size = 1 << (32 - length)
+        # Align the cursor to the block size so the prefix is canonical.
+        cursor = (self._country_next[code] + size - 1) & ~(size - 1)
+        block_limit = _COUNTRY_PLAN.get(code, (4, 0, 0, False))[0] << 16
+        if cursor + size > block_limit:
+            return None
+        self._country_next[code] = cursor + size
+        return Prefix(4, self._country_base[code] + cursor, length)
+
+    def _assign_addresses(self) -> None:
+        for spec in _TIER1 + (_HURRICANE,) + _NAMED:
+            code = spec.country
+            for index in range(spec.eyeball_blocks):
+                prefix = self._take(code, 16)
+                if prefix is None:
+                    raise ValueError(f"{code}: address plan exhausted at AS{spec.asn}")
+                self.graph.node(spec.asn).originate(prefix, code)
+                # Carriers announce each aggregate alongside its two /17
+                # more-specifics: the covered-prefix filter drops the
+                # aggregates (85 % of the paper's filtered set), and the
+                # finer granularity keeps RIB churn from deleting whole
+                # /16s of a carrier's footprint at once.
+                for half in prefix.split():
+                    self.graph.node(spec.asn).originate(half, code)
+        for asn, code, blocks in _CONTENT_PRESENCE:
+            for _ in range(blocks):
+                prefix = self._take(code, 16)
+                if prefix is not None:
+                    self.graph.node(asn).originate(prefix, code)
+        # Split-geography prefixes: a configured share of the addresses
+        # geolocates across the border; shares of exactly one half fail
+        # the strict-majority threshold, graded shares fail only as the
+        # threshold tightens (Figure 8). Each country also keeps two
+        # clean blocks so its filtered percentage is a fraction, not
+        # all-or-nothing.
+        for code, partner, share in _SPLIT_GEOGRAPHY:
+            incumbent = self._minor_incumbents.get(code)
+            if incumbent is None:
+                continue
+            prefix = self._take(code, 16)
+            if prefix is not None:
+                self.graph.node(incumbent).originate(
+                    prefix, code, foreign_share=share, foreign_country=partner
+                )
+            for _ in range(2):
+                clean = self._take(code, 16)
+                if clean is not None:
+                    self.graph.node(incumbent).originate(clean, code)
+
+    # -- collectors -----------------------------------------------------------------
+
+    def _vp_ip(self, asn: int) -> str:
+        node = self.graph.node(asn)
+        if not node.prefixes:
+            raise ValueError(f"AS{asn} has no prefix to host a VP")
+        base = node.prefixes[0].prefix.first_address()
+        self._vp_seq[asn] = self._vp_seq.get(asn, 0) + 1
+        return format_address(4, base + 10 + self._vp_seq[asn])
+
+    def _place_collectors(self) -> None:
+        tier1_asns = [spec.asn for spec in _TIER1]
+        for code in sorted(_COUNTRY_PLAN):
+            blocks, vps, n_collectors, multihop = _COUNTRY_PLAN[code]
+            if n_collectors == 0:
+                continue
+            collectors = []
+            for index in range(1, n_collectors + 1):
+                is_multihop = multihop and index == n_collectors
+                collector = Collector(
+                    name=f"{code.lower()}-ix-{index}",
+                    project=(
+                        CollectorProject.ROUTEVIEWS if index % 2
+                        else CollectorProject.RIS
+                    ),
+                    country=code,
+                    multihop=is_multihop,
+                )
+                self.collectors.add(collector)
+                collectors.append(collector)
+            local = [c for c in collectors if not c.multihop]
+            if not local or vps == 0:
+                continue
+            preferred = [
+                asn for asn in _VP_PREFERRED.get(code, ())
+                if asn in self.graph and self.graph.node(asn).prefixes
+            ]
+            rest = [
+                asn for asn in self._country_ases.get(code, [])
+                if self.graph.node(asn).prefixes and asn not in preferred
+            ]
+            rest.sort(key=lambda asn: (asn * 2654435761) & 0xFFFFFFFF)
+            pool = preferred + rest
+            # Big IXPs attract the multinationals as members too.
+            if vps >= 12:
+                pool.extend(tier1_asns[: vps // 4])
+                pool.append(_HURRICANE.asn)
+            members: list[int] = []
+            while len(members) < vps and pool:
+                members.extend(pool[: vps - len(members)])
+            for index, asn in enumerate(members[:vps]):
+                local[index % len(local)].add_vp(self._vp_ip(asn), asn)
+        # Multi-hop collectors pick up far-away peers.
+        for collector in self.collectors:
+            if not collector.multihop:
+                continue
+            foreign = [
+                asns[0]
+                for code, asns in sorted(self._country_ases.items())
+                if code != collector.country and asns
+                and self.graph.node(asns[0]).prefixes
+            ]
+            for asn in foreign[:6]:
+                collector.add_vp(self._vp_ip(asn), asn)

@@ -1,0 +1,215 @@
+"""Per-country market profiles that drive the topology generator.
+
+A profile describes the *shape* of a national market: how many transit,
+access, and stub networks exist, whether the incumbent splits domestic
+and international transit across two ASNs (the Telstra/NTT pattern the
+paper highlights), how much public-BGP visibility the country has
+(vantage points), and how messy its address geography is.
+
+The default profile set mirrors the relative proportions of the paper's
+Table 4 (in-country VP counts: NL > GB > US > DE > BR > … > JP) at a
+scale a laptop can propagate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True, slots=True)
+class CountryProfile:
+    """Generation parameters for one country's slice of the topology."""
+
+    code: str
+    #: incumbent runs separate international + domestic ASNs when True
+    incumbent_dual_as: bool = True
+    #: share of access/stub transit that flows through the incumbent
+    incumbent_dominance: float = 0.5
+    #: regional/national transit providers besides the incumbent
+    n_transit: int = 2
+    #: access (eyeball) networks
+    n_access: int = 4
+    #: stub (enterprise/edge) networks
+    n_stub: int = 10
+    #: NREN-style education network present
+    has_education: bool = False
+    #: number of in-country vantage points (Table 4's "VP IPs" column)
+    n_vps: int = 0
+    #: number of in-country route collectors VPs attach to
+    n_collectors: int = 1
+    #: whether one collector is multi-hop (its VPs cannot be geolocated)
+    has_multihop_collector: bool = False
+    #: /16-equivalent address blocks in the national pool
+    address_blocks: int = 8
+    #: fraction of prefixes whose addresses partially geolocate abroad
+    cross_border_rate: float = 0.05
+    #: how much of a cross-border prefix sits abroad (below 0.5 keeps it)
+    cross_border_share: float = 0.3
+    #: preferred foreign country for cross-border address space
+    cross_border_partner: str | None = None
+    #: stubs buy transit from this many providers (min, max)
+    stub_multihoming: tuple[int, int] = (1, 2)
+    #: country hosts an IXP with a route-server ASN
+    has_route_server: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.incumbent_dominance <= 1.0:
+            raise ValueError(f"incumbent_dominance out of range for {self.code}")
+        if self.n_vps < 0 or self.n_collectors < 0:
+            raise ValueError(f"negative VP/collector count for {self.code}")
+        if self.n_vps > 0 and self.n_collectors == 0:
+            raise ValueError(f"{self.code}: VPs without a collector")
+        low, high = self.stub_multihoming
+        if not 1 <= low <= high:
+            raise ValueError(f"bad stub_multihoming for {self.code}")
+
+    def total_ases(self) -> int:
+        """ASes this profile will generate (excluding route servers)."""
+        incumbent = 2 if self.incumbent_dual_as else 1
+        education = 1 if self.has_education else 0
+        return incumbent + self.n_transit + self.n_access + self.n_stub + education
+
+
+def _minor(code: str, **overrides: object) -> CountryProfile:
+    """A small country with no public vantage points."""
+    base = CountryProfile(
+        code=code,
+        incumbent_dual_as=False,
+        n_transit=1,
+        n_access=2,
+        n_stub=4,
+        n_vps=0,
+        n_collectors=0,
+        address_blocks=2,
+    )
+    return replace(base, **overrides)  # type: ignore[arg-type]
+
+
+def default_profiles() -> dict[str, CountryProfile]:
+    """Profile set for the main generated world.
+
+    VP counts follow the paper's Table 4 ordering with the same leaders
+    (NL, GB, US, DE, BR) and the same ≥ 7-VP floor for the case-study
+    countries (AU, JP, RU, US).
+    """
+    profiles: dict[str, CountryProfile] = {}
+
+    def add(profile: CountryProfile) -> None:
+        profiles[profile.code] = profile
+
+    # The five stability-study countries (paper Table 3).
+    add(CountryProfile("NL", n_vps=47, n_collectors=3, has_multihop_collector=True,
+                       n_transit=4, n_access=6, n_stub=18, address_blocks=10,
+                       has_route_server=True, cross_border_partner="DE"))
+    add(CountryProfile("GB", n_vps=35, n_collectors=3, has_multihop_collector=True,
+                       n_transit=4, n_access=7, n_stub=20, address_blocks=16,
+                       has_route_server=True, cross_border_partner="FR"))
+    add(CountryProfile("US", n_vps=34, n_collectors=4, has_multihop_collector=True,
+                       incumbent_dual_as=False, incumbent_dominance=0.35,
+                       n_transit=8, n_access=14, n_stub=40, address_blocks=64,
+                       has_education=True, has_route_server=True,
+                       cross_border_partner="CA"))
+    add(CountryProfile("DE", n_vps=24, n_collectors=2,
+                       n_transit=4, n_access=7, n_stub=18, address_blocks=20,
+                       has_route_server=True, cross_border_partner="AT"))
+    add(CountryProfile("BR", n_vps=15, n_collectors=2, has_multihop_collector=True,
+                       n_transit=3, n_access=6, n_stub=22, address_blocks=18,
+                       cross_border_partner="AR"))
+    # Remaining Table-4 countries, descending VP counts.
+    add(CountryProfile("CH", n_vps=15, n_collectors=2, n_stub=8, address_blocks=4,
+                       cross_border_partner="DE"))
+    add(CountryProfile("ZA", n_vps=14, n_collectors=1, n_stub=8, address_blocks=5,
+                       cross_border_partner="NA"))
+    add(CountryProfile("AT", n_vps=13, n_collectors=1, n_stub=8, address_blocks=3,
+                       cross_border_partner="DE"))
+    add(CountryProfile("SG", n_vps=12, n_collectors=1, n_stub=8, address_blocks=3,
+                       cross_border_partner="MY"))
+    add(CountryProfile("IT", n_vps=12, n_collectors=1, n_stub=10, address_blocks=9,
+                       cross_border_partner="CH"))
+    add(CountryProfile("FR", n_vps=11, n_collectors=1, n_stub=10, address_blocks=12,
+                       has_education=True, cross_border_partner="ES"))
+    add(CountryProfile("AU", n_vps=8, n_collectors=1, incumbent_dominance=0.45,
+                       n_transit=3, n_access=6, n_stub=14, address_blocks=8,
+                       cross_border_partner="NZ"))
+    add(CountryProfile("SE", n_vps=7, n_collectors=1, n_stub=7, address_blocks=4,
+                       cross_border_partner="NO"))
+    add(CountryProfile("RU", n_vps=7, n_collectors=1, incumbent_dominance=0.4,
+                       n_transit=5, n_access=8, n_stub=20, address_blocks=8,
+                       cross_border_partner="KZ"))
+    add(CountryProfile("ES", n_vps=7, n_collectors=1, n_stub=9, address_blocks=6,
+                       cross_border_partner="PT"))
+    add(CountryProfile("JP", n_vps=7, n_collectors=1, incumbent_dominance=0.5,
+                       n_transit=3, n_access=6, n_stub=12, address_blocks=24,
+                       cross_border_partner="KR"))
+    # Case-study neighbours and regionally interesting countries.
+    add(CountryProfile("TW", n_vps=7, n_collectors=1, incumbent_dominance=0.55,
+                       n_transit=2, n_access=5, n_stub=10, address_blocks=6,
+                       has_education=True, cross_border_partner="JP"))
+    add(CountryProfile("CN", n_vps=0, n_collectors=0, incumbent_dominance=0.7,
+                       n_transit=2, n_access=6, n_stub=12, address_blocks=24))
+    add(CountryProfile("KR", n_vps=0, n_collectors=0, n_stub=8, address_blocks=8))
+    add(CountryProfile("IN", n_vps=0, n_collectors=0, n_transit=3, n_access=6,
+                       n_stub=14, address_blocks=12, cross_border_rate=0.25,
+                       cross_border_partner="SG"))
+    add(CountryProfile("CA", n_vps=0, n_collectors=0, n_stub=8, address_blocks=8,
+                       cross_border_rate=0.2, cross_border_partner="US"))
+    # Former-Soviet countries that lean on Russian transit (Figure 7).
+    for code in ("KZ", "KG", "TJ", "TM"):
+        add(_minor(code, cross_border_partner="RU"))
+    for code in ("UA", "BY", "EE", "LV", "LT", "MD", "UZ", "AM", "GE", "AZ"):
+        add(_minor(code))
+    # A sample of minor countries on every continent.
+    for code in ("MX", "PA", "CR", "GT", "AR", "CL", "CO", "PE", "EC",
+                 "PL", "PT", "GR", "NO", "FI", "HR", "GG",
+                 "KE", "UG", "NG", "MA", "CI", "TN", "EG", "MU", "NA", "GH", "TZ",
+                 "ID", "TH", "MY", "PH", "VN", "HK", "AF",
+                 "NZ", "FJ", "PG", "NC", "WS"):
+        add(_minor(code))
+    # Countries with notoriously split address geography (Tables 13–14).
+    # A cross-border share of exactly one half leaves no majority
+    # country, so the 50 % threshold filters the prefix.
+    for code, rate, partner in (
+        ("AF", 0.30, "IN"),
+        ("HR", 0.28, "AT"),
+        ("LT", 0.32, "LV"),
+        ("GG", 0.25, "GB"),
+        ("MU", 0.22, "ZA"),
+        ("NA", 0.30, "ZA"),
+    ):
+        profiles[code] = replace(
+            profiles[code],
+            address_blocks=4,
+            cross_border_rate=rate,
+            cross_border_share=0.5,
+            cross_border_partner=partner,
+        )
+    return profiles
+
+
+def small_profiles() -> dict[str, CountryProfile]:
+    """A compact six-country world for tests and the quickstart example."""
+    profiles: dict[str, CountryProfile] = {}
+    profiles["US"] = CountryProfile(
+        "US", incumbent_dual_as=False, incumbent_dominance=0.4,
+        n_transit=2, n_access=3, n_stub=6, n_vps=6, n_collectors=2,
+        has_multihop_collector=True, address_blocks=12, has_route_server=True,
+        cross_border_partner="CA",
+    )
+    profiles["NL"] = CountryProfile(
+        "NL", n_transit=2, n_access=2, n_stub=5, n_vps=8, n_collectors=1,
+        address_blocks=4, has_route_server=True, cross_border_partner="DE",
+    )
+    profiles["AU"] = CountryProfile(
+        "AU", incumbent_dominance=0.5, n_transit=2, n_access=2, n_stub=5,
+        n_vps=5, n_collectors=1, address_blocks=4, cross_border_partner="NZ",
+    )
+    profiles["JP"] = CountryProfile(
+        "JP", n_transit=1, n_access=2, n_stub=4, n_vps=4, n_collectors=1,
+        address_blocks=6, cross_border_partner="KR",
+    )
+    profiles["DE"] = CountryProfile(
+        "DE", n_transit=1, n_access=2, n_stub=4, n_vps=4, n_collectors=1,
+        address_blocks=4, cross_border_partner="AT",
+    )
+    profiles["BR"] = _minor("BR", n_stub=4, cross_border_partner=None)
+    return profiles

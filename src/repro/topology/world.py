@@ -1,0 +1,80 @@
+"""The :class:`World`: one simulated Internet.
+
+Bundles the AS graph (ground-truth relationships and prefix
+originations), the country registry, and the collector/VP ecosystem.
+Everything downstream — propagation, RIB generation, geolocation,
+sanitization, rankings — consumes a world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.collectors import CollectorSet
+from repro.net.prefix import Prefix
+from repro.topology.countries import CountryRegistry, default_registry
+from repro.topology.model import ASGraph, OriginatedPrefix
+
+
+@dataclass
+class World:
+    """A simulated Internet: topology + geography + measurement fabric."""
+
+    graph: ASGraph
+    countries: CountryRegistry = field(default_factory=default_registry)
+    collectors: CollectorSet = field(default_factory=CollectorSet)
+    name: str = "world"
+
+    def origins(self) -> list[int]:
+        """ASes that originate at least one prefix, sorted."""
+        return [asn for asn in self.graph.asns() if self.graph.node(asn).prefixes]
+
+    def originations(self) -> list[tuple[int, OriginatedPrefix]]:
+        """Every (origin ASN, origination) pair in deterministic order."""
+        return list(self.graph.originations())
+
+    def announced_prefixes(self) -> list[Prefix]:
+        """All announced prefixes in deterministic order."""
+        return [record.prefix for _, record in self.graph.originations()]
+
+    def vp_asns(self) -> frozenset[int]:
+        """ASes hosting at least one vantage point."""
+        return self.collectors.vp_asns()
+
+    def validate(self) -> None:
+        """Cross-check graph, collectors, and countries.
+
+        Raises ``ValueError`` on: VPs in unknown ASes, collectors or
+        originations in unknown countries, or graph invariant failures.
+        """
+        self.graph.validate()
+        for collector in self.collectors:
+            if collector.country not in self.countries:
+                raise ValueError(
+                    f"collector {collector.name} in unknown country {collector.country}"
+                )
+            for vp in collector.vps:
+                if vp.asn not in self.graph:
+                    raise ValueError(f"VP {vp.ip} in unknown AS{vp.asn}")
+        for asn, record in self.graph.originations():
+            if record.country not in self.countries:
+                raise ValueError(
+                    f"AS{asn} originates {record.prefix} in unknown country "
+                    f"{record.country}"
+                )
+            if record.foreign_country and record.foreign_country not in self.countries:
+                raise ValueError(
+                    f"AS{asn} origination {record.prefix} references unknown "
+                    f"country {record.foreign_country}"
+                )
+
+    def summary(self) -> dict[str, int]:
+        """Headline sizes for logging and reports."""
+        return {
+            "ases": len(self.graph),
+            "edges": self.graph.edge_count(),
+            "prefixes": len(self.announced_prefixes()),
+            "countries": len(self.countries),
+            "collectors": len(self.collectors),
+            "vps": len(self.collectors.all_vps()),
+        }

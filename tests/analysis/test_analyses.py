@@ -1,0 +1,189 @@
+"""Tests for case-study, temporal, regional, filtering, and VP analyses."""
+
+import pytest
+
+from repro import run_pipeline
+from repro.analysis.case_studies import (
+    case_study_table,
+    global_comparison_table,
+    render_case_study,
+    render_global_comparison,
+)
+from repro.analysis.filtering_stats import (
+    filtered_length_distribution,
+    filtering_table,
+    render_filtering_table,
+    threshold_sweep,
+)
+from repro.analysis.regions import (
+    continental_dominance,
+    country_hegemony_over,
+    destination_countries,
+    render_dominance_table,
+)
+from repro.analysis.temporal import compare_snapshots
+from repro.analysis.vp_distribution import (
+    render_census,
+    single_vp_share,
+    top_vp_countries,
+    vp_census,
+    vp_concentration,
+)
+from repro.topology.paper_world import SNAPSHOT_2021, SNAPSHOT_2023, build_paper_world
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_pipeline(build_paper_world(SNAPSHOT_2021))
+
+
+@pytest.fixture(scope="module")
+def result_2023():
+    return run_pipeline(build_paper_world(SNAPSHOT_2023))
+
+
+class TestCaseStudies:
+    def test_rows_cover_metric_tops(self, result):
+        rows = case_study_table(result, "JP", top_per_metric=2)
+        asns = [row.asn for row in rows]
+        for metric in ("CCI", "AHI", "CCN", "AHN"):
+            for asn in result.ranking(metric, "JP").top_asns(2):
+                assert asn in asns
+
+    def test_rows_sorted_by_best_rank(self, result):
+        rows = case_study_table(result, "JP")
+        assert rows[0].best_rank() == 1
+
+    def test_render(self, result):
+        rows = case_study_table(result, "AU")
+        text = render_case_study(rows, "AU")
+        assert "1299" in text and "CCG" in text
+
+    def test_global_comparison_render(self, result):
+        rows = global_comparison_table(result, "AU")
+        text = render_global_comparison(rows, "AU")
+        assert "AHC" in text and "Arelion" in text
+
+
+class TestTemporal:
+    def test_same_snapshot_no_changes(self, result):
+        comparison = compare_snapshots(result, result, "RU", "CCI")
+        assert not comparison.entered()
+        assert not comparison.departed()
+        for row in comparison.rows:
+            assert row.rank_delta == 0
+            assert row.share_delta == pytest.approx(0.0)
+
+    def test_k_limits_rows(self, result, result_2023):
+        comparison = compare_snapshots(result, result_2023, "RU", "AHI", k=5)
+        assert len(comparison.rows) == 5
+
+    def test_render_contains_labels(self, result, result_2023):
+        comparison = compare_snapshots(
+            result, result_2023, "TW", "CCI",
+            before_label="20210401", after_label="20230301",
+        )
+        text = comparison.render()
+        assert "20210401" in text and "20230301" in text
+
+
+class TestRegions:
+    def test_destination_countries_cover_cases(self, result):
+        countries = destination_countries(result)
+        assert {"AU", "JP", "RU", "US", "TW"} <= set(countries)
+
+    def test_dominance_rows_consistent(self, result):
+        rows = continental_dominance(result)
+        for row in rows:
+            assert row.total() == sum(row.by_continent.values())
+            if row.top_as is not None:
+                asn, count = row.top_as
+                assert count >= 1
+                node = result.world.graph.node(asn)
+                assert node.registry_country == row.serving_country
+
+    def test_render(self, result):
+        rows = continental_dominance(result)
+        text = render_dominance_table(rows, result)
+        assert "US" in text
+
+    def test_hegemony_over_bounds(self, result):
+        hegemony = country_hegemony_over(result, "RU")
+        for value in hegemony.values():
+            assert 0.0 <= value <= 1.0
+        assert hegemony["RU"] > 0.2
+
+
+class TestFiltering:
+    def test_table_contains_case_studies(self, result):
+        rows = filtering_table(result.prefix_geo)
+        codes = [row.country for row in rows]
+        assert "US" in codes and "AU" in codes
+
+    def test_case_studies_barely_filtered(self, result):
+        rows = filtering_table(result.prefix_geo)
+        by_code = {row.country: row for row in rows}
+        for code in ("US", "RU", "AU", "JP"):
+            if code in by_code:
+                assert by_code[code].pct_addresses_filtered < 5.0
+
+    def test_render(self, result):
+        rows = filtering_table(result.prefix_geo, by_addresses=True)
+        text = render_filtering_table(rows, by_addresses=True)
+        assert "addresses" in text
+
+    def test_threshold_sweep_monotone(self, result):
+        points = threshold_sweep(
+            result.world.announced_prefixes(), result.geodb,
+            thresholds=(0.1, 0.5, 0.9),
+        )
+        # Higher thresholds can only filter more (fewer assignments).
+        for country in points[0].assigned_fraction:
+            series = [
+                p.assigned_fraction.get(country, 0.0) for p in points
+            ]
+            assert series[0] >= series[-1] - 1e-9
+
+    def test_band_counting(self, result):
+        points = threshold_sweep(
+            result.world.announced_prefixes(), result.geodb, thresholds=(0.5,)
+        )
+        point = points[0]
+        bands = ((-0.01, 0.25), (0.25, 0.5), (0.5, 0.75), (0.75, 1.0))
+        total = sum(point.countries_in_band(low, high) for low, high in bands)
+        assert total == len(point.assigned_fraction)
+
+    def test_length_distribution(self, result):
+        histogram = filtered_length_distribution(result.prefix_geo)
+        assert histogram  # the curated world plants covered prefixes
+        total_covered = sum(bucket["covered"] for bucket in histogram.values())
+        assert total_covered == len(result.prefix_geo.covered)
+
+
+class TestVPDistribution:
+    def test_census_matches_geolocator(self, result):
+        rows = vp_census(result)
+        census = result.vp_geo.census()
+        for row in rows:
+            assert census[row.country] == row.vp_ips
+            assert row.vp_asns <= row.vp_ips
+            assert row.addresses > 0
+
+    def test_top_countries_sorted(self, result):
+        rows = top_vp_countries(result, k=5)
+        assert len(rows) == 5
+        assert rows[0].vp_ips >= rows[-1].vp_ips
+
+    def test_concentration_histogram(self, result):
+        histogram = vp_concentration(result)
+        star = histogram["*"]
+        located = len(result.vp_geo.located())
+        assert sum(n * count for n, count in star.items()) == located
+
+    def test_single_vp_share(self, result):
+        share = single_vp_share(result)
+        assert 0.0 < share <= 1.0
+
+    def test_render(self, result):
+        text = render_census(vp_census(result))
+        assert "VP IPs" in text

@@ -1,0 +1,107 @@
+"""Tests for rank-agreement statistics."""
+
+import pytest
+
+from repro import run_pipeline
+from repro.analysis.rank_correlation import (
+    agreement,
+    kendall_tau,
+    metric_matrix,
+    rank_biased_overlap,
+    render_matrix,
+    spearman_rho,
+)
+from repro.core.ranking import Ranking
+from repro.topology.paper_world import build_paper_world
+
+
+def ranking(metric, *asns):
+    return Ranking.from_scores(
+        metric, {asn: float(len(asns) - i) for i, asn in enumerate(asns)}
+    )
+
+
+class TestKendall:
+    def test_identical(self):
+        assert kendall_tau([(1, 1), (2, 2), (3, 3)]) == 1.0
+
+    def test_reversed(self):
+        assert kendall_tau([(1, 3), (2, 2), (3, 1)]) == -1.0
+
+    def test_small(self):
+        assert kendall_tau([(1, 1)]) == 1.0
+        assert kendall_tau([]) == 1.0
+
+
+class TestSpearman:
+    def test_identical(self):
+        assert spearman_rho([(1, 1), (2, 2), (3, 3)]) == pytest.approx(1.0)
+
+    def test_reversed(self):
+        assert spearman_rho([(1, 3), (2, 2), (3, 1)]) == pytest.approx(-1.0)
+
+    def test_constant_side(self):
+        assert spearman_rho([(1, 5), (2, 5)]) == 1.0
+
+
+class TestRBO:
+    def test_identical_lists(self):
+        a = ranking("a", 1, 2, 3, 4)
+        assert rank_biased_overlap(a, a) == pytest.approx(1.0)
+
+    def test_disjoint_lists(self):
+        a = ranking("a", 1, 2, 3)
+        b = ranking("b", 7, 8, 9)
+        assert rank_biased_overlap(a, b) == pytest.approx(0.0)
+
+    def test_top_weighted(self):
+        base = ranking("a", 1, 2, 3, 4, 5)
+        top_swap = ranking("b", 2, 1, 3, 4, 5)       # disagreement at top
+        tail_swap = ranking("c", 1, 2, 3, 5, 4)      # disagreement at tail
+        assert rank_biased_overlap(base, tail_swap) > rank_biased_overlap(
+            base, top_swap
+        )
+
+    def test_p_validated(self):
+        a = ranking("a", 1)
+        with pytest.raises(ValueError):
+            rank_biased_overlap(a, a, p=1.0)
+
+    def test_empty(self):
+        empty = Ranking.from_scores("e", {})
+        assert rank_biased_overlap(empty, empty) == 0.0
+
+
+class TestAgreement:
+    def test_summary_fields(self):
+        a = ranking("a", 1, 2, 3)
+        b = ranking("b", 1, 3, 2)
+        result = agreement(a, b)
+        assert result.shared == 3
+        assert -1.0 <= result.kendall_tau <= 1.0
+        assert 0.0 <= result.rbo <= 1.0
+
+
+class TestMetricMatrix:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_pipeline(build_paper_world())
+
+    def test_families_cohere_more_than_cross(self, result):
+        """§3.3's claim quantified: same-family metric pairs agree more
+        than the cone-vs-hegemony pairs, on average."""
+        matrix = metric_matrix(result, "AU")
+        same_family = [matrix[("CCI", "CCN")].rbo, matrix[("AHI", "AHN")].rbo]
+        cross_family = [
+            matrix[("CCI", "AHI")].rbo,
+            matrix[("CCN", "AHN")].rbo,
+        ]
+        assert sum(same_family) / 2 > sum(cross_family) / 2 - 0.15
+
+    def test_matrix_covers_all_pairs(self, result):
+        matrix = metric_matrix(result, "JP")
+        assert len(matrix) == 6
+
+    def test_render(self, result):
+        text = render_matrix(metric_matrix(result, "AU"))
+        assert "tau" in text and "RBO" in text

@@ -1,0 +1,47 @@
+"""Tests for the markdown country reports."""
+
+import pytest
+
+from repro import run_pipeline
+from repro.analysis.reports import country_report
+from repro.analysis.sovereignty import dependency_matrix
+from repro.topology.paper_world import build_paper_world
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_pipeline(build_paper_world())
+
+
+class TestCountryReport:
+    def test_case_study_report_sections(self, result):
+        report = country_report(result, "AU")
+        text = report.markdown
+        assert "# Internet profile: AU" in text
+        assert "## Rankings" in text
+        assert "## Foreign dependence" in text
+        assert "## Market concentration" in text
+        assert "Telstra" in text and "Vocus" in text
+        assert "CCN" in text  # national views available (>= 7 VPs)
+
+    def test_country_without_vps_skips_national(self, result):
+        report = country_report(result, "KZ")
+        assert "national views" in report.markdown.lower()
+        assert "| CCN | 1 |" not in report.markdown
+        assert "| CCI | 1 |" in report.markdown
+
+    def test_matrix_reused(self, result):
+        matrix = dependency_matrix(result, ["AU", "TW"])
+        report = country_report(result, "TW", matrix=matrix)
+        assert report.matrix is matrix
+        assert "self-reliance" in report.markdown.lower()
+
+    def test_k_limits_rows(self, result):
+        short = country_report(result, "AU", k=2)
+        # Two ranking rows ("| CCI | <rank> |"); the cross-metric table
+        # header also mentions CCI but in a different cell pattern.
+        ranking_rows = [
+            line for line in short.markdown.splitlines()
+            if line.startswith("| CCI | ")
+        ]
+        assert len(ranking_rows) == 2

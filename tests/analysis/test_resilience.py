@@ -1,0 +1,103 @@
+"""Tests for what-if disconnection analysis."""
+
+import pytest
+
+from repro.analysis.resilience import (
+    ases_registered_in,
+    disconnection_impact,
+)
+from repro.topology.model import ASGraph, ASRole
+from repro.topology.paper_world import build_paper_world
+from repro.topology.world import World
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_paper_world()
+
+
+class TestRemovalSets:
+    def test_registered_ases(self, world):
+        russians = ases_registered_in(world, "RU")
+        assert 12389 in russians and 20485 in russians
+        assert 3356 not in russians
+
+    def test_route_servers_excluded(self, world):
+        graph = world.graph
+        for country in ("US", "AU"):
+            removal = ases_registered_in(world, country)
+            assert not removal & graph.route_servers()
+
+
+class TestHandBuiltImpact:
+    def make_world(self):
+        graph = ASGraph()
+        graph.add_as(1, role=ASRole.CLIQUE)
+        graph.add_as(2, role=ASRole.CLIQUE)
+        graph.add_as(10, registry_country="RU", role=ASRole.TRANSIT)
+        graph.add_as(20, registry_country="KZ", role=ASRole.STUB)
+        graph.add_as(30, registry_country="DE", role=ASRole.STUB)
+        graph.add_p2p(1, 2)
+        graph.add_p2c(1, 10)
+        graph.add_p2c(10, 20)   # KZ hangs solely off the RU transit
+        graph.add_p2c(1, 30)
+        graph.add_p2c(2, 30)    # DE is dual-homed to the clique
+        graph.node(10).originate("10.0.0.0/16", "RU")
+        graph.node(20).originate("20.0.0.0/16", "KZ")
+        graph.node(30).originate("30.0.0.0/16", "DE")
+        return World(graph)
+
+    def test_single_homed_dependent_stranded(self):
+        world = self.make_world()
+        impact = disconnection_impact(world, {10})
+        assert impact.by_country["KZ"].lost_share == pytest.approx(1.0)
+        assert impact.by_country["DE"].lost_share == 0.0
+        assert impact.stranded_countries() == ["KZ"]
+
+    def test_dual_homed_reroutes(self):
+        world = self.make_world()
+        impact = disconnection_impact(world, {2})
+        de = impact.by_country["DE"]
+        assert de.lost_share == 0.0
+        # DE survives; its route at clique member 1 was already via 1,
+        # so no reroute either — removing a redundant provider is free.
+        assert de.rerouted_share == 0.0
+
+    def test_removing_whole_clique_rejected(self):
+        world = self.make_world()
+        with pytest.raises(ValueError):
+            disconnection_impact(world, {1, 2})
+
+    def test_render(self):
+        world = self.make_world()
+        text = disconnection_impact(world, {10}).render()
+        assert "KZ" in text and "lost" in text
+
+
+class TestPaperWorldScenarios:
+    def test_removing_russia_strands_central_asia(self, world):
+        """The §6.1/Figure-7 dependence, tested destructively: without
+        Russian carriers, their Central-Asian dependents lose most or
+        all reachability while Western Europe shrugs."""
+        impact = disconnection_impact(world, ases_registered_in(world, "RU"))
+        for code in ("KG", "TM"):
+            assert impact.by_country[code].lost_share > 0.5, code
+        for code in ("UA", "DE", "US", "AU"):
+            assert impact.by_country[code].lost_share < 0.05, code
+
+    def test_removing_china_spares_taiwan(self, world):
+        """§6.2 destructively: Taiwan barely notices China's carriers
+        disappearing."""
+        impact = disconnection_impact(world, ases_registered_in(world, "CN"))
+        taiwan = impact.by_country["TW"]
+        assert taiwan.lost_share < 0.05
+
+    def test_removing_lumen_reroutes_but_rarely_strands(self, world):
+        """Tier-1s are redundant: removing Lumen forces rerouting,
+        not blackouts (every multihomed customer survives)."""
+        impact = disconnection_impact(world, {3356})
+        total_lost = sum(i.lost_addresses for i in impact.by_country.values())
+        total = sum(i.total_addresses for i in impact.by_country.values())
+        assert total_lost / total < 0.1
+        rerouted = sum(i.rerouted_addresses for i in impact.by_country.values())
+        assert rerouted > 0

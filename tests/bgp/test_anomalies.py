@@ -1,0 +1,116 @@
+"""Unit tests for anomaly injection."""
+
+import random
+
+import pytest
+
+from repro.bgp.anomalies import (
+    AnomalyConfig,
+    AnomalyInjectionError,
+    inject_anomalies,
+    make_loop,
+    make_poisoned,
+    make_prepended,
+    make_route_server,
+    make_unallocated,
+)
+from repro.net.aspath import ASPath
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+class TestMakers:
+    def test_loop(self, rng):
+        path = ASPath.of(1, 2, 3, 4)
+        assert not path.has_loop()
+        for _ in range(20):
+            assert make_loop(path, rng).has_loop()
+
+    def test_loop_needs_two_ases(self, rng):
+        with pytest.raises(AnomalyInjectionError):
+            make_loop(ASPath.of(1), rng)
+
+    def test_poisoned(self, rng):
+        clique = frozenset({10, 11})
+        path = ASPath.of(1, 10, 11, 2)
+        poisoned = make_poisoned(path, clique, rng, filler=99)
+        asns = poisoned.asns
+        index = asns.index(99)
+        assert asns[index - 1] in clique and asns[index + 1] in clique
+
+    def test_poisoned_needs_clique_pair(self, rng):
+        with pytest.raises(AnomalyInjectionError):
+            make_poisoned(ASPath.of(1, 2, 3), frozenset({10}), rng, filler=99)
+
+    def test_poisoned_filler_must_be_outside_clique(self, rng):
+        clique = frozenset({10, 11})
+        with pytest.raises(AnomalyInjectionError):
+            make_poisoned(ASPath.of(10, 11), clique, rng, filler=10)
+
+    def test_unallocated(self, rng):
+        modified = make_unallocated(ASPath.of(1, 2, 3), 500000, rng)
+        assert 500000 in modified
+
+    def test_prepended(self, rng):
+        path = ASPath.of(1, 2, 3)
+        modified = make_prepended(path, rng)
+        assert len(modified) > len(path)
+        assert modified.collapse_prepending() == path
+
+    def test_route_server(self):
+        modified = make_route_server(ASPath.of(1, 2, 3), 777)
+        assert modified.asns[1] == 777
+        assert modified.without({777}) == ASPath.of(1, 2, 3)
+
+    def test_route_server_needs_length(self):
+        with pytest.raises(AnomalyInjectionError):
+            make_route_server(ASPath.of(1), 777)
+
+
+class TestConfig:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            AnomalyConfig(loop_rate=1.5)
+
+    def test_none(self):
+        config = AnomalyConfig.none()
+        assert config.loop_rate == 0.0 and config.route_server_rate == 0.0
+
+
+class TestInjection:
+    def _records(self, count=2000):
+        return [((0, i), ASPath.of(1, 10, 11, 2 + (i % 5))) for i in range(count)]
+
+    def test_rates_produce_each_category(self, rng):
+        config = AnomalyConfig(
+            loop_rate=0.05, poison_rate=0.05, unallocated_rate=0.05,
+            prepend_rate=0.05, route_server_rate=0.05,
+        )
+        overrides, summary = inject_anomalies(
+            self._records(), config, clique=frozenset({10, 11}),
+            unallocated_pool=[500000], route_servers=frozenset({777}),
+            rng=rng, filler_pool=[1, 2, 3, 4, 5, 6],
+        )
+        assert summary.loops > 0
+        assert summary.poisoned > 0
+        assert summary.unallocated > 0
+        assert summary.prepended > 0
+        assert summary.route_server > 0
+        assert len(overrides) == summary.total()
+
+    def test_zero_config_injects_nothing(self, rng):
+        overrides, summary = inject_anomalies(
+            self._records(100), AnomalyConfig.none(), frozenset(), [1_000_000],
+            frozenset(), rng,
+        )
+        assert not overrides and summary.total() == 0
+
+    def test_unallocated_requires_pool(self, rng):
+        with pytest.raises(ValueError):
+            inject_anomalies(
+                self._records(10), AnomalyConfig(unallocated_rate=0.5),
+                frozenset(), [], frozenset(), rng,
+            )

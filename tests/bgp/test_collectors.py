@@ -1,0 +1,67 @@
+"""Unit tests for collectors and vantage points."""
+
+import pytest
+
+from repro.bgp.collectors import Collector, CollectorProject, CollectorSet
+
+
+def make_set():
+    collectors = CollectorSet()
+    ams = collectors.add(Collector("ams-ix", CollectorProject.RIS, "NL"))
+    mh = collectors.add(
+        Collector("route-views-mh", CollectorProject.ROUTEVIEWS, "US", multihop=True)
+    )
+    ams.add_vp("10.0.0.1", 100)
+    ams.add_vp("10.0.0.2", 100)
+    ams.add_vp("10.0.1.1", 200)
+    mh.add_vp("10.9.0.1", 300)
+    return collectors
+
+
+class TestCollector:
+    def test_add_vp(self):
+        collector = Collector("c1", CollectorProject.RIS, "NL")
+        vp = collector.add_vp("10.0.0.1", 64500 + 1)
+        assert vp.collector == "c1"
+
+    def test_duplicate_ip_rejected(self):
+        collector = Collector("c1", CollectorProject.RIS, "NL")
+        collector.add_vp("10.0.0.1", 1)
+        with pytest.raises(ValueError):
+            collector.add_vp("10.0.0.1", 2)
+
+    def test_vp_asns(self):
+        collector = Collector("c1", CollectorProject.RIS, "NL")
+        collector.add_vp("10.0.0.1", 1)
+        collector.add_vp("10.0.0.2", 1)
+        assert collector.vp_asns() == frozenset({1})
+
+
+class TestCollectorSet:
+    def test_duplicate_name_rejected(self):
+        collectors = make_set()
+        with pytest.raises(ValueError):
+            collectors.add(Collector("ams-ix", CollectorProject.RIS, "NL"))
+
+    def test_lookup(self):
+        collectors = make_set()
+        assert collectors.get("ams-ix").country == "NL"
+        assert "ams-ix" in collectors
+        assert len(collectors) == 2
+
+    def test_vp_partitions(self):
+        collectors = make_set()
+        assert len(collectors.all_vps()) == 4
+        assert len(collectors.geolocatable_vps()) == 3
+        assert len(collectors.multihop_vps()) == 1
+
+    def test_vp_country(self):
+        collectors = make_set()
+        located = collectors.geolocatable_vps()[0]
+        unlocated = collectors.multihop_vps()[0]
+        assert collectors.vp_country(located) == "NL"
+        assert collectors.vp_country(unlocated) is None
+
+    def test_vp_asns(self):
+        collectors = make_set()
+        assert collectors.vp_asns() == frozenset({100, 200, 300})

@@ -1,0 +1,58 @@
+"""Unit tests for routing policy primitives."""
+
+import pytest
+
+from repro.bgp.policy import Route, RouteClass, better
+
+
+class TestRoute:
+    def test_accessors(self):
+        route = Route((1, 2, 3), RouteClass.CUSTOMER)
+        assert route.holder == 1
+        assert route.origin == 3
+        assert route.next_hop == 2
+
+    def test_origin_route(self):
+        route = Route((5,), RouteClass.ORIGIN)
+        assert route.next_hop == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Route((), RouteClass.CUSTOMER)
+
+    def test_origin_must_be_single_hop(self):
+        with pytest.raises(ValueError):
+            Route((1, 2), RouteClass.ORIGIN)
+
+
+class TestPreference:
+    def test_class_dominates_length(self):
+        customer = Route((1, 2, 3, 4, 5), RouteClass.CUSTOMER)
+        peer = Route((1, 9), RouteClass.PEER)
+        assert better(peer, customer) is customer
+        assert better(customer, peer) is customer
+
+    def test_shorter_wins_within_class(self):
+        short = Route((1, 2), RouteClass.PEER)
+        long = Route((1, 3, 4), RouteClass.PEER)
+        assert better(long, short) is short
+
+    def test_lower_next_hop_breaks_ties(self):
+        low = Route((1, 2, 9), RouteClass.PROVIDER)
+        high = Route((1, 3, 9), RouteClass.PROVIDER)
+        assert better(high, low) is low
+        assert better(low, high) is low
+
+    def test_none_incumbent(self):
+        candidate = Route((1, 2), RouteClass.PROVIDER)
+        assert better(None, candidate) is candidate
+
+
+class TestExportRules:
+    def test_customer_and_origin_export_up(self):
+        assert Route((1,), RouteClass.ORIGIN).exports_to_peers_and_providers()
+        assert Route((1, 2), RouteClass.CUSTOMER).exports_to_peers_and_providers()
+
+    def test_peer_provider_do_not_export_up(self):
+        assert not Route((1, 2), RouteClass.PEER).exports_to_peers_and_providers()
+        assert not Route((1, 2), RouteClass.PROVIDER).exports_to_peers_and_providers()

@@ -1,0 +1,139 @@
+"""Property-based tests for route propagation over random economies.
+
+Hypothesis builds random tiered AS graphs (provider edges always point
+from a lower-numbered tier downward, so they are acyclic by
+construction; peering is arbitrary within adjacency constraints) and
+checks the Gao–Rexford invariants on every propagated route.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bgp.policy import RouteClass
+from repro.bgp.propagation import propagate
+from repro.topology.model import ASGraph
+
+
+@st.composite
+def economies(draw):
+    """A random acyclic transit economy with 4–16 ASes."""
+    n = draw(st.integers(min_value=4, max_value=16))
+    graph = ASGraph()
+    for asn in range(1, n + 1):
+        graph.add_as(asn)
+    # Provider edges always point low ASN -> high ASN: acyclic.
+    for customer in range(2, n + 1):
+        provider_count = draw(st.integers(min_value=0, max_value=min(3, customer - 1)))
+        providers = draw(
+            st.lists(
+                st.integers(min_value=1, max_value=customer - 1),
+                min_size=provider_count, max_size=provider_count, unique=True,
+            )
+        )
+        for provider in providers:
+            graph.add_p2c(provider, customer)
+    # Random peering among unrelated pairs.
+    peer_pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=n),
+                st.integers(min_value=1, max_value=n),
+            ),
+            max_size=2 * n,
+        )
+    )
+    for left, right in peer_pairs:
+        if left != right and graph.relationship(left, right) is None:
+            graph.add_p2p(left, right)
+    origin = draw(st.integers(min_value=1, max_value=n))
+    tiebreak = draw(st.sampled_from(["asn", "hash"]))
+    return graph, origin, tiebreak
+
+
+def label_sequence(graph, path):
+    return [graph.relationship(a, b) for a, b in zip(path, path[1:])]
+
+
+class TestGaoRexfordInvariants:
+    @settings(max_examples=150, deadline=None)
+    @given(economies())
+    def test_all_routes_valley_free(self, economy):
+        graph, origin, tiebreak = economy
+        routes = propagate(graph, origin, tiebreak)
+        for asn, route in routes.items():
+            labels = label_sequence(graph, route.path)
+            assert None not in labels
+            phase = 0  # 0 climbing, 1 crossed peer, 2 descending
+            for label in labels:
+                if label == "c2p":
+                    assert phase == 0
+                elif label == "p2p":
+                    assert phase == 0
+                    phase = 1
+                else:
+                    phase = 2
+
+    @settings(max_examples=150, deadline=None)
+    @given(economies())
+    def test_route_structure(self, economy):
+        graph, origin, tiebreak = economy
+        routes = propagate(graph, origin, tiebreak)
+        assert routes[origin].route_class is RouteClass.ORIGIN
+        for asn, route in routes.items():
+            assert route.path[0] == asn
+            assert route.path[-1] == origin
+            # Loop-free.
+            assert len(set(route.path)) == len(route.path)
+
+    @settings(max_examples=150, deadline=None)
+    @given(economies())
+    def test_class_matches_first_hop(self, economy):
+        graph, origin, tiebreak = economy
+        routes = propagate(graph, origin, tiebreak)
+        for asn, route in routes.items():
+            if asn == origin:
+                continue
+            relationship = graph.relationship(asn, route.next_hop)
+            if relationship == "p2c":
+                assert route.route_class is RouteClass.CUSTOMER
+            elif relationship == "p2p":
+                assert route.route_class is RouteClass.PEER
+            else:
+                assert route.route_class is RouteClass.PROVIDER
+
+    @settings(max_examples=100, deadline=None)
+    @given(economies())
+    def test_customers_of_routed_providers_reachable(self, economy):
+        """If an AS has a route, every customer below it has one too
+        (providers export everything downward)."""
+        graph, origin, tiebreak = economy
+        routes = propagate(graph, origin, tiebreak)
+        for asn in routes:
+            stack = [asn]
+            seen = set()
+            while stack:
+                here = stack.pop()
+                if here in seen:
+                    continue
+                seen.add(here)
+                assert here in routes
+                stack.extend(graph.customers_of(here))
+
+    @settings(max_examples=100, deadline=None)
+    @given(economies())
+    def test_customer_route_preferred_when_available(self, economy):
+        """An AS with any customer-learned path to the origin never
+        selects a peer or provider route."""
+        graph, origin, tiebreak = economy
+        routes = propagate(graph, origin, tiebreak)
+        for asn, route in routes.items():
+            if asn == origin:
+                continue
+            has_customer_path = any(
+                customer in routes
+                and routes[customer].route_class in (
+                    RouteClass.ORIGIN, RouteClass.CUSTOMER,
+                )
+                for customer in graph.customers_of(asn)
+            )
+            if has_customer_path:
+                assert route.route_class is RouteClass.CUSTOMER

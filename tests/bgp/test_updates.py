@@ -1,0 +1,129 @@
+"""Tests for RIB diffing into BGP UPDATE streams."""
+
+import pytest
+
+from repro.bgp.announcement import Announcement
+from repro.bgp.collectors import VantagePoint
+from repro.bgp.propagation import propagate_all
+from repro.bgp.rib import generate_rib_days
+from repro.bgp.updates import (
+    ChurnSummary,
+    Update,
+    UpdateKind,
+    churn_profile,
+    daily_updates,
+    diff_ribs,
+)
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+from repro.topology import GeneratorConfig, generate_world, small_profiles
+
+
+def ann(vp_ip, prefix, *path):
+    return Announcement(
+        vp=VantagePoint(vp_ip, path[0], "c"),
+        prefix=Prefix.parse(prefix),
+        path=ASPath.of(*path),
+    )
+
+
+class TestUpdateType:
+    def test_announce_requires_path(self):
+        vp = VantagePoint("10.0.0.1", 1, "c")
+        with pytest.raises(ValueError):
+            Update(UpdateKind.ANNOUNCE, vp, Prefix.parse("10.0.0.0/24"))
+
+    def test_withdraw_rejects_path(self):
+        vp = VantagePoint("10.0.0.1", 1, "c")
+        with pytest.raises(ValueError):
+            Update(UpdateKind.WITHDRAW, vp, Prefix.parse("10.0.0.0/24"),
+                   ASPath.of(1, 2))
+
+    def test_str(self):
+        vp = VantagePoint("10.0.0.1", 1, "c")
+        a = Update(UpdateKind.ANNOUNCE, vp, Prefix.parse("10.0.0.0/24"), ASPath.of(1, 2))
+        w = Update(UpdateKind.WITHDRAW, vp, Prefix.parse("10.0.0.0/24"))
+        assert str(a).startswith("A ") and str(w).startswith("W ")
+
+
+class TestDiff:
+    def test_no_change_no_updates(self):
+        rib = [ann("10.0.0.1", "10.0.0.0/24", 1, 2, 3)]
+        assert list(diff_ribs(rib, rib)) == []
+
+    def test_new_route_announced(self):
+        updates = list(diff_ribs([], [ann("10.0.0.1", "10.0.0.0/24", 1, 2)]))
+        assert len(updates) == 1
+        assert updates[0].kind is UpdateKind.ANNOUNCE
+        assert updates[0].path == ASPath.of(1, 2)
+
+    def test_lost_route_withdrawn(self):
+        updates = list(diff_ribs([ann("10.0.0.1", "10.0.0.0/24", 1, 2)], []))
+        assert len(updates) == 1
+        assert updates[0].kind is UpdateKind.WITHDRAW
+        assert updates[0].path is None
+
+    def test_changed_path_reannounced(self):
+        before = [ann("10.0.0.1", "10.0.0.0/24", 1, 2, 3)]
+        after = [ann("10.0.0.1", "10.0.0.0/24", 1, 4, 3)]
+        updates = list(diff_ribs(before, after))
+        assert len(updates) == 1
+        assert updates[0].kind is UpdateKind.ANNOUNCE
+        assert updates[0].path == ASPath.of(1, 4, 3)
+
+    def test_keyed_per_vp(self):
+        before = [ann("10.0.0.1", "10.0.0.0/24", 1, 3)]
+        after = [ann("10.0.0.2", "10.0.0.0/24", 2, 3)]
+        updates = list(diff_ribs(before, after))
+        kinds = {u.vp.ip: u.kind for u in updates}
+        assert kinds["10.0.0.1"] is UpdateKind.WITHDRAW
+        assert kinds["10.0.0.2"] is UpdateKind.ANNOUNCE
+
+    def test_deterministic_order(self):
+        after = [
+            ann("10.0.0.2", "10.1.0.0/24", 2, 3),
+            ann("10.0.0.1", "10.0.0.0/24", 1, 3),
+        ]
+        updates = list(diff_ribs([], after))
+        assert [u.vp.ip for u in updates] == ["10.0.0.1", "10.0.0.2"]
+
+
+class TestSeriesChurn:
+    @pytest.fixture(scope="class")
+    def series(self):
+        world = generate_world(
+            GeneratorConfig(profiles=small_profiles(), clique_homes=("US", "US", "SE", "JP")),
+            seed=2,
+        )
+        outcome = propagate_all(world.graph, keep=world.vp_asns())
+        return generate_rib_days(world, outcome, seed=1)
+
+    def test_daily_updates_apply(self, series):
+        """Applying day-1→day-2 updates to day 1 yields day 2 exactly."""
+        table = {(a.vp.ip, a.prefix): a for a in series.announcements(0)}
+        for update in daily_updates(series, 1):
+            key = (update.vp.ip, update.prefix)
+            if update.kind is UpdateKind.WITHDRAW:
+                del table[key]
+            else:
+                table[key] = Announcement(update.vp, update.prefix, update.path)
+        expected = {(a.vp.ip, a.prefix): a for a in series.announcements(1)}
+        assert table == expected
+
+    def test_day_bounds(self, series):
+        with pytest.raises(ValueError):
+            list(daily_updates(series, 0))
+        with pytest.raises(ValueError):
+            list(daily_updates(series, series.config.days))
+
+    def test_churn_profile(self, series):
+        profile = churn_profile(series)
+        assert len(profile) == series.config.days - 1
+        for summary in profile:
+            assert isinstance(summary, ChurnSummary)
+            # Update volume is a small fraction of the table (healthy).
+            assert summary.churn_ratio < 0.5
+            assert summary.table_size > 0
+
+    def test_zero_table_ratio(self):
+        assert ChurnSummary(1, 0, 0, 0).churn_ratio == 0.0

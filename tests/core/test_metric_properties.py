@@ -1,0 +1,105 @@
+"""Property-based invariants of the ranking metrics over a real
+pipeline run (cheap to check, strong to hold)."""
+
+import math
+
+import pytest
+
+from repro import GeneratorConfig, generate_world, run_pipeline, small_profiles
+from repro.core.cone import cone_addresses, customer_cones, prefix_cones, transit_suffix
+from repro.core.hegemony import hegemony_scores, local_hegemony
+
+
+@pytest.fixture(scope="module")
+def result():
+    world = generate_world(
+        GeneratorConfig(profiles=small_profiles(), clique_homes=("US", "US", "SE", "JP")),
+        seed=12,
+    )
+    return run_pipeline(world)
+
+
+class TestConeInvariants:
+    def test_every_as_in_own_cone(self, result):
+        cones = customer_cones(result.paths.records, result.oracle)
+        for asn, members in cones.items():
+            assert asn in members
+
+    def test_suffix_always_ends_at_origin(self, result):
+        for record in result.paths.records[:2000]:
+            suffix = transit_suffix(record.path, result.oracle)
+            assert suffix[-1] == record.origin
+            assert len(suffix) >= 1
+
+    def test_suffix_is_contiguous_tail(self, result):
+        for record in result.paths.records[:2000]:
+            suffix = transit_suffix(record.path, result.oracle)
+            assert record.path.asns[-len(suffix):] == suffix
+
+    def test_origin_prefixes_in_own_prefix_cone(self, result):
+        cones = prefix_cones(result.paths.records, result.oracle)
+        observed: dict[int, set] = {}
+        for record in result.paths.records:
+            observed.setdefault(record.origin, set()).add(record.prefix)
+        for origin, prefixes in observed.items():
+            assert prefixes <= cones.get(origin, set())
+
+    def test_cone_addresses_bounded_by_view_total(self, result):
+        view = result.view("global")
+        total = view.total_addresses()
+        for asn, addresses in cone_addresses(view.records, result.oracle).items():
+            assert 0 < addresses <= total
+
+    def test_provider_cone_superset_on_p2c_chains(self, result):
+        """If every observed path into B's cone passes A→B (sole
+        provider), then cone(A) ⊇ cone(B). Check the weaker, always-true
+        variant: any AS observed downstream of A on a suffix has its
+        own suffix-tail inside A's cone for that same path."""
+        cones = customer_cones(result.paths.records, result.oracle)
+        for record in result.paths.records[:500]:
+            suffix = transit_suffix(record.path, result.oracle)
+            for index, asn in enumerate(suffix):
+                assert set(suffix[index:]) <= cones[asn]
+
+
+class TestHegemonyInvariants:
+    def test_scores_within_unit_interval(self, result):
+        scores = hegemony_scores(result.paths.records)
+        for asn, value in scores.items():
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_local_hegemony_of_origin_is_high(self, result):
+        """Every path toward an origin contains the origin, so its own
+        local hegemony is 1 (modulo trimming of empty VPs)."""
+        origins = {record.origin for record in result.paths.records}
+        for origin in sorted(origins)[:10]:
+            scores = local_hegemony(result.paths.records, origin)
+            if scores:
+                assert scores[origin] == pytest.approx(1.0)
+
+    def test_restricting_views_never_invents_ases(self, result):
+        for country in ("AU", "US"):
+            view_ases = {
+                asn
+                for record in result.view("international", country).records
+                for asn in record.path.asns
+            }
+            ranking = result.ranking("AHI", country)
+            assert {entry.asn for entry in ranking.entries} <= view_ases
+
+    def test_ndcg_of_full_ranking_is_exactly_one(self, result):
+        from repro.core.ndcg import ndcg
+
+        ranking = result.ranking("AHI", "AU")
+        assert ndcg(ranking, ranking) == pytest.approx(1.0)
+
+    def test_share_sums_exceed_one_are_fine_but_finite(self, result):
+        """Hegemony shares overlap (many ASes on one path); the sum is
+        bounded by the mean path length, not by 1."""
+        scores = hegemony_scores(result.paths.records)
+        total = sum(scores.values())
+        mean_path_len = sum(
+            len(record.path) for record in result.paths.records
+        ) / len(result.paths.records)
+        assert total <= mean_path_len + 1.0
+        assert math.isfinite(total)

@@ -1,0 +1,65 @@
+"""Tests for DCG / NDCG (paper §4.1)."""
+
+import math
+
+import pytest
+
+from repro.core.ndcg import dcg, ndcg
+from repro.core.ranking import Ranking
+
+
+def ranking(metric, scores):
+    return Ranking.from_scores(metric, scores)
+
+
+class TestDCG:
+    def test_empty(self):
+        assert dcg([]) == 0.0
+
+    def test_single(self):
+        assert dcg([4.0]) == pytest.approx(4.0)
+
+    def test_discounting(self):
+        assert dcg([1.0, 1.0]) == pytest.approx(1.0 + 1.0 / math.log2(3))
+
+    def test_order_matters(self):
+        assert dcg([2.0, 1.0]) > dcg([1.0, 2.0])
+
+
+class TestNDCG:
+    def test_identical_rankings(self):
+        full = ranking("m", {1: 10.0, 2: 5.0, 3: 1.0})
+        assert ndcg(full, full) == pytest.approx(1.0)
+
+    def test_same_order_different_values(self):
+        full = ranking("m", {1: 10.0, 2: 5.0, 3: 1.0})
+        sample = ranking("m", {1: 100.0, 2: 50.0, 3: 10.0})
+        assert ndcg(full, sample) == pytest.approx(1.0)
+
+    def test_swapped_order_scores_lower(self):
+        full = ranking("m", {1: 10.0, 2: 5.0, 3: 1.0})
+        sample = ranking("m", {2: 10.0, 1: 5.0, 3: 1.0})
+        value = ndcg(full, sample)
+        assert 0.0 < value < 1.0
+
+    def test_never_exceeds_one(self):
+        full = ranking("m", {1: 10.0, 2: 9.0, 3: 8.0, 4: 1.0})
+        for permutation in ([4, 3, 2, 1], [2, 4, 1, 3], [1, 2, 3, 4]):
+            sample = ranking(
+                "m", {asn: float(len(permutation) - i) for i, asn in enumerate(permutation)}
+            )
+            assert ndcg(full, sample) <= 1.0 + 1e-12
+
+    def test_junk_sample_scores_low(self):
+        full = ranking("m", {i: float(100 - i) for i in range(1, 20)})
+        junk = ranking("m", {i: 1.0 for i in range(50, 60)})
+        assert ndcg(full, junk) == pytest.approx(0.0)
+
+    def test_empty_full_ranking(self):
+        assert ndcg(ranking("m", {}), ranking("m", {1: 1.0})) == 0.0
+
+    def test_k_limits_depth(self):
+        full = ranking("m", {1: 10.0, 2: 5.0, 3: 1.0})
+        sample = ranking("m", {1: 10.0, 3: 5.0, 2: 1.0})
+        assert ndcg(full, sample, k=1) == pytest.approx(1.0)
+        assert ndcg(full, sample, k=3) < 1.0

@@ -1,0 +1,104 @@
+"""Tests for majority-threshold prefix geolocation."""
+
+import pytest
+
+from repro.geo.database import GeoDatabase
+from repro.geo.prefix_geo import geolocate_prefixes
+from repro.net.prefix import Prefix
+
+
+def p(text):
+    return Prefix.parse(text)
+
+
+@pytest.fixture
+def db():
+    database = GeoDatabase()
+    database.assign(p("10.0.0.0/8"), "US")
+    database.assign(p("11.0.0.0/8"), "CA")
+    database.assign(p("12.0.0.0/9"), "US")
+    database.assign(p("12.128.0.0/9"), "CA")
+    database.assign(p("13.0.0.0/8"), "FR")
+    database.assign(p("13.0.0.0/10"), "DE")  # 25 % DE, 75 % FR
+    return database
+
+
+class TestAssignment:
+    def test_clean_assignment(self, db):
+        result = geolocate_prefixes([p("10.0.0.0/16")], db)
+        assert result.country(p("10.0.0.0/16")) == "US"
+        assert result.owned_addresses[p("10.0.0.0/16")] == 1 << 16
+
+    def test_even_split_filtered(self, db):
+        result = geolocate_prefixes([p("12.0.0.0/8")], db)
+        assert result.country(p("12.0.0.0/8")) is None
+        assert p("12.0.0.0/8") in result.no_consensus
+        assert set(result.plurality_of[p("12.0.0.0/8")]) == {"US", "CA"}
+
+    def test_majority_above_threshold(self, db):
+        result = geolocate_prefixes([p("13.0.0.0/8")], db)
+        assert result.country(p("13.0.0.0/8")) == "FR"
+
+    def test_majority_below_custom_threshold(self, db):
+        result = geolocate_prefixes([p("13.0.0.0/8")], db, threshold=0.8)
+        assert result.country(p("13.0.0.0/8")) is None
+
+    def test_unknown_space_filtered(self, db):
+        result = geolocate_prefixes([p("99.0.0.0/8")], db)
+        assert result.country(p("99.0.0.0/8")) is None
+
+    def test_threshold_validated(self, db):
+        with pytest.raises(ValueError):
+            geolocate_prefixes([p("10.0.0.0/8")], db, threshold=1.0)
+
+
+class TestBlockSemantics:
+    def test_covered_prefix_dropped(self, db):
+        prefixes = [p("10.0.0.0/16"), p("10.0.0.0/17"), p("10.0.128.0/17")]
+        result = geolocate_prefixes(prefixes, db)
+        assert p("10.0.0.0/16") in result.covered
+        assert result.country(p("10.0.0.0/16")) is None
+        assert result.country(p("10.0.0.0/17")) == "US"
+
+    def test_owned_addresses_exclude_more_specifics(self, db):
+        prefixes = [p("10.0.0.0/16"), p("10.0.0.0/17")]
+        result = geolocate_prefixes(prefixes, db)
+        assert result.owned_addresses[p("10.0.0.0/16")] == 1 << 15
+        assert result.owned_addresses[p("10.0.0.0/17")] == 1 << 15
+
+    def test_majority_judged_on_owned_blocks_only(self, db):
+        # The /8 splits 50/50 between US and CA, but its US half is
+        # owned by a more-specific /9 — so the /8's *owned* addresses
+        # are all CA and it geolocates cleanly.
+        prefixes = [p("12.0.0.0/8"), p("12.0.0.0/9")]
+        result = geolocate_prefixes(prefixes, db)
+        assert result.country(p("12.0.0.0/9")) == "US"
+        assert result.country(p("12.0.0.0/8")) == "CA"
+
+
+class TestAggregates:
+    def test_addresses_by_country(self, db):
+        prefixes = [p("10.0.0.0/16"), p("10.1.0.0/16"), p("11.0.0.0/16")]
+        result = geolocate_prefixes(prefixes, db)
+        totals = result.addresses_by_country()
+        assert totals["US"] == 2 << 16
+        assert totals["CA"] == 1 << 16
+
+    def test_prefixes_of_country(self, db):
+        prefixes = [p("10.0.0.0/16"), p("11.0.0.0/16")]
+        result = geolocate_prefixes(prefixes, db)
+        assert result.prefixes_of_country("US") == [p("10.0.0.0/16")]
+
+    def test_stats_by_country(self, db):
+        prefixes = [p("10.0.0.0/16"), p("12.0.0.0/8")]
+        result = geolocate_prefixes(prefixes, db)
+        stats = result.stats_by_country()
+        assert stats["US"].total_prefixes == 2  # assigned + tied plurality
+        assert stats["US"].filtered_prefixes == 1
+        assert stats["CA"].filtered_prefixes == 1
+        assert 0.0 < stats["US"].pct_prefixes_filtered < 100.0
+
+    def test_accepted_sorted(self, db):
+        prefixes = [p("11.0.0.0/16"), p("10.0.0.0/16")]
+        result = geolocate_prefixes(prefixes, db)
+        assert result.accepted() == [p("10.0.0.0/16"), p("11.0.0.0/16")]

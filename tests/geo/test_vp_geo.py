@@ -1,0 +1,39 @@
+"""Tests for VP geolocation."""
+
+from repro.bgp.collectors import Collector, CollectorProject, CollectorSet
+from repro.geo.vp_geo import VPGeolocator
+
+
+def make_geolocator():
+    collectors = CollectorSet()
+    nl = collectors.add(Collector("nl-ix", CollectorProject.RIS, "NL"))
+    us = collectors.add(Collector("us-ix", CollectorProject.ROUTEVIEWS, "US"))
+    mh = collectors.add(
+        Collector("mh", CollectorProject.ROUTEVIEWS, "US", multihop=True)
+    )
+    nl.add_vp("10.0.0.1", 1)
+    nl.add_vp("10.0.0.2", 2)
+    us.add_vp("10.1.0.1", 3)
+    mh.add_vp("10.2.0.1", 4)
+    return VPGeolocator(collectors)
+
+
+class TestVPGeolocator:
+    def test_country(self):
+        geo = make_geolocator()
+        located = geo.located()
+        assert geo.country(located[0]) == "NL"
+
+    def test_multihop_unlocated(self):
+        geo = make_geolocator()
+        (vp,) = geo.unlocated()
+        assert geo.country(vp) is None
+
+    def test_partitions(self):
+        geo = make_geolocator()
+        assert len(geo.located()) == 3
+        assert len(geo.unlocated()) == 1
+
+    def test_census(self):
+        geo = make_geolocator()
+        assert geo.census() == {"NL": 2, "US": 1}

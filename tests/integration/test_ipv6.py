@@ -1,0 +1,93 @@
+"""Dual-stack (IPv6) pipeline tests.
+
+With ``GeneratorConfig(ipv6=True)`` every IPv4 origination gets a
+6to4-style twin, and ``PipelineConfig(family=6)`` ranks the IPv6
+universe separately — mirroring how the paper (and IHR) treat the two
+families as distinct ranking spaces.
+"""
+
+import pytest
+
+from repro import GeneratorConfig, PipelineConfig, generate_world, run_pipeline, small_profiles
+from repro.core.ndcg import ndcg
+from repro.net.prefix import Prefix
+
+CONFIG = GeneratorConfig(
+    profiles=small_profiles(), clique_homes=("US", "US", "SE", "JP"), ipv6=True
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(CONFIG, seed=4)
+
+
+@pytest.fixture(scope="module")
+def result_v4(world):
+    return run_pipeline(world, PipelineConfig(family=4))
+
+
+@pytest.fixture(scope="module")
+def result_v6(world):
+    return run_pipeline(world, PipelineConfig(family=6))
+
+
+class TestDualStackWorld:
+    def test_twins_mirror_v4_plan(self, world):
+        for node in world.graph.nodes():
+            v4 = [r for r in node.prefixes if r.prefix.version == 4]
+            v6 = [r for r in node.prefixes if r.prefix.version == 6]
+            assert len(v4) == len(v6)
+            for record in v6:
+                assert record.prefix.value >> 112 == 0x2002
+
+    def test_twin_geography_preserved(self, world):
+        for node in world.graph.nodes():
+            by_country_v4 = {}
+            by_country_v6 = {}
+            for record in node.prefixes:
+                bucket = by_country_v4 if record.prefix.version == 4 else by_country_v6
+                bucket[record.country] = bucket.get(record.country, 0) + 1
+            assert by_country_v4 == by_country_v6
+
+    def test_ipv6_off_by_default(self):
+        world = generate_world(
+            GeneratorConfig(profiles=small_profiles(), clique_homes=("US", "SE")),
+            seed=4,
+        )
+        assert all(
+            record.prefix.version == 4
+            for _, record in world.graph.originations()
+        )
+
+
+class TestFamilySeparation:
+    def test_family_validated(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(family=5)
+
+    def test_v4_pipeline_sees_only_v4(self, result_v4):
+        for record in result_v4.paths.records:
+            assert record.prefix.version == 4
+
+    def test_v6_pipeline_sees_only_v6(self, result_v6):
+        for record in result_v6.paths.records:
+            assert record.prefix.version == 6
+
+    def test_v6_address_totals_are_v6_sized(self, result_v6):
+        totals = result_v6.country_addresses()
+        assert totals
+        assert min(totals.values()) > 1 << 60
+
+    def test_mirrored_rankings_agree(self, result_v4, result_v6):
+        """The v6 plan mirrors v4, so rankings should nearly coincide —
+        the families differ only through family-specific noise draws."""
+        for metric, country in (("AHN", "AU"), ("CCI", "AU"), ("AHI", "US")):
+            v4 = result_v4.ranking(metric, country)
+            v6 = result_v6.ranking(metric, country)
+            assert ndcg(v4, v6) > 0.9, (metric, country)
+
+    def test_v6_geolocation_consistent(self, result_v6):
+        for prefix, country in list(result_v6.prefix_geo.country_of.items())[:50]:
+            assert prefix.version == 6
+            assert country in result_v6.world.countries

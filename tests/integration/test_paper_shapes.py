@@ -1,0 +1,213 @@
+"""The paper's headline qualitative results, asserted end-to-end on the
+curated world (Tables 5–12, §5–§6)."""
+
+import pytest
+
+from repro import PipelineConfig, run_pipeline
+from repro.analysis.case_studies import case_study_table, global_comparison_table
+from repro.analysis.regions import continental_dominance, country_hegemony_over
+from repro.analysis.temporal import compare_snapshots
+from repro.topology.paper_world import SNAPSHOT_2021, SNAPSHOT_2023, build_paper_world
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_pipeline(build_paper_world(SNAPSHOT_2021))
+
+
+@pytest.fixture(scope="module")
+def result_2023():
+    return run_pipeline(build_paper_world(SNAPSHOT_2023))
+
+
+class TestAustraliaTable5:
+    def test_cci_arelion_then_vocus(self, result):
+        top = result.ranking("CCI", "AU").top_asns(2)
+        assert top == [1299, 4826]
+
+    def test_ccn_vocus_then_telstra(self, result):
+        top = result.ranking("CCN", "AU").top_asns(2)
+        assert top == [4826, 1221]
+
+    def test_ahi_led_by_telstra_family(self, result):
+        ahi = result.ranking("AHI", "AU")
+        assert ahi.top_asns(1)[0] in (1221, 4637)
+        assert {1221, 4637} <= set(ahi.top_asns(4))
+
+    def test_ahn_telstra_then_vocus(self, result):
+        top = result.ranking("AHN", "AU").top_asns(2)
+        assert top == [1221, 4826]
+
+    def test_telstra_global_absent_domestically(self, result):
+        """AS 4637's AHN is near zero (paper: rank 140, ~0 %)."""
+        ahn = result.ranking("AHN", "AU")
+        assert (ahn.share_of(4637) or 0.0) < 0.1
+
+    def test_arelion_cone_inflated_through_vocus(self, result):
+        """Arelion's AU cone ⊇ Vocus' (the §5.1 inflation effect)."""
+        cci = result.ranking("CCI", "AU")
+        assert cci.value_of(1299) >= cci.value_of(4826)
+
+    def test_amazon_visible_to_ahn_not_ahc(self, result):
+        """§5.1.2: prefix-level geolocation sees Amazon's AU space,
+        registration-based AHC does not."""
+        ahn = result.ranking("AHN", "AU")
+        ahc = result.ranking("AHC", "AU")
+        assert ahn.rank_of(16509) is not None
+        assert (ahn.share_of(16509) or 0) > 0.01
+        assert (ahc.share_of(16509) or 0.0) < (ahn.share_of(16509) or 0.0)
+
+    def test_ahc_confounds_national_and_international(self, result):
+        """Table 9: AHC's top mixes AHI's and AHN's leaders."""
+        ahc_top = set(result.ranking("AHC", "AU").top_asns(6))
+        ahi_top = set(result.ranking("AHI", "AU").top_asns(2))
+        ahn_top = set(result.ranking("AHN", "AU").top_asns(2))
+        assert ahi_top & ahc_top
+        assert ahn_top & ahc_top
+
+
+class TestJapanTable6:
+    def test_ntt_split(self, result):
+        """NTT America (2914) leads internationally; NTT OCN (4713)
+        ranks highly nationally (paper §5.2)."""
+        assert result.ranking("CCI", "JP").top_asns(1) == [2914]
+        assert result.ranking("AHI", "JP").top_asns(1) == [2914]
+        ahn = result.ranking("AHN", "JP")
+        assert ahn.rank_of(4713) <= 3
+        assert ahn.rank_of(2914) > 3
+
+    def test_gtt_high_cci(self, result):
+        """GTT 3257 is a top international cone for Japan (paper #2)."""
+        assert result.ranking("CCI", "JP").rank_of(3257) <= 3
+
+    def test_domestic_carriers_top_national(self, result):
+        ccn_top = result.ranking("CCN", "JP").top_asns(3)
+        assert set(ccn_top) <= {2516, 4713, 17676, 9605}
+        assert result.ranking("CCN", "JP").top_asns(1) == [2516]
+
+
+class TestRussiaTable7:
+    def test_rostelecom_tops_hegemony(self, result):
+        assert result.ranking("AHI", "RU").top_asns(1) == [12389]
+        assert result.ranking("AHN", "RU").top_asns(1) == [12389]
+
+    def test_multinationals_top_cci(self, result):
+        top2 = result.ranking("CCI", "RU").top_asns(2)
+        assert top2 == [3356, 1299]
+
+    def test_mts_visible_nationally(self, result):
+        assert result.ranking("AHN", "RU").rank_of(8359) <= 6
+
+
+class TestUnitedStatesTable8:
+    def test_lumen_dominates(self, result):
+        assert result.ranking("CCI", "US").top_asns(1) == [3356]
+        assert result.ranking("CCN", "US").top_asns(1) == [3356]
+        assert result.ranking("AHN", "US").top_asns(1) == [3356]
+
+    def test_hurricane_high_ahi(self, result):
+        """Hurricane's liberal peering puts it at the top of AHI."""
+        assert result.ranking("AHI", "US").rank_of(6939) <= 3
+
+    def test_att_high_national(self, result):
+        assert result.ranking("AHN", "US").rank_of(7018) <= 5
+
+
+class TestGlobalBaselines:
+    def test_ccg_lumen_then_arelion(self, result):
+        """Paper: 3356 #1 and 1299 #2 in the global cone ranking."""
+        assert result.ranking("CCG").top_asns(2) == [3356, 1299]
+
+    def test_global_ranking_misorders_australia(self, result):
+        """§5.1.1: CCG ranks Telstra's international AS above the
+        domestically critical ASes."""
+        ccg = result.ranking("CCG")
+        assert ccg.rank_of(4637) < ccg.rank_of(1221)
+
+
+class TestRussiaTemporalTable10:
+    def test_foreign_dependence_persists(self, result, result_2023):
+        for res in (result, result_2023):
+            top = res.ranking("CCI", "RU").top_asns(3)
+            foreign = [
+                asn for asn in top
+                if res.world.graph.node(asn).registry_country != "RU"
+            ]
+            assert len(foreign) >= 2
+
+    def test_gtt_drops_out(self, result, result_2023):
+        assert result.ranking("CCI", "RU").rank_of(3257) <= 10
+        after = result_2023.ranking("CCI", "RU").rank_of(3257)
+        assert after is None or after > 10
+
+    def test_orange_joins(self, result, result_2023):
+        before = result.ranking("CCI", "RU").rank_of(5511)
+        assert before is None or before > 10
+        assert result_2023.ranking("CCI", "RU").rank_of(5511) <= 10
+
+    def test_comparison_object(self, result, result_2023):
+        comparison = compare_snapshots(result, result_2023, "RU", "CCI")
+        assert 3257 in comparison.departed()
+        assert 5511 in comparison.entered()
+        assert "CCI" in comparison.render()
+
+
+class TestTaiwanTable11:
+    def test_chunghwa_tops_ahi(self, result):
+        assert result.ranking("AHI", "TW").top_asns(1) == [3462]
+
+    def test_china_telecom_drops_out(self, result, result_2023):
+        assert result.ranking("CCI", "TW").rank_of(4134) <= 10
+        after = result_2023.ranking("CCI", "TW").rank_of(4134)
+        assert after is None or after > 10
+
+    def test_taiwan_self_reliance(self, result_2023):
+        """§6.2: Taiwanese and U.S. ISPs dominate; no Chinese AS in the
+        2023 top-10."""
+        graph = result_2023.world.graph
+        for asn in result_2023.ranking("AHI", "TW").top_asns(10):
+            assert graph.node(asn).registry_country != "CN"
+
+
+class TestContinentalDominanceTable12:
+    @pytest.fixture(scope="class")
+    def rows(self, result):
+        return continental_dominance(result)
+
+    def test_us_serves_most_countries(self, rows):
+        assert rows[0].serving_country == "US"
+        assert rows[0].total() >= rows[1].total()
+
+    def test_regional_hegemons_present(self, rows):
+        by_country = {row.serving_country: row for row in rows}
+        # Australia serves Oceania (Telstra Global is HK-registered, so
+        # SG/AU patterns show through Optus/SingTel and AU carriers).
+        assert "SE" in by_country  # Arelion
+        assert by_country["SE"].by_continent.get("Europe", 0) >= 1
+        assert "GB" in by_country  # Vodafone/Liquid
+        assert by_country["GB"].by_continent.get("Africa", 0) >= 1
+        assert "ES" in by_country  # Telefonica
+        assert by_country["ES"].by_continent.get("South America", 0) >= 1
+
+    def test_russia_serves_central_asia(self, result):
+        hegemony = country_hegemony_over(result, "RU")
+        strong = {code for code, value in hegemony.items() if value > 0.2}
+        assert "RU" in strong
+        assert {"KZ", "KG", "TM"} & strong
+        assert "UA" not in strong
+        assert "EE" not in strong
+
+
+class TestCaseStudyTables:
+    def test_table5_layout(self, result):
+        rows = case_study_table(result, "AU")
+        asns = {row.asn for row in rows}
+        assert {1299, 4826, 1221} <= asns
+        for row in rows:
+            assert set(row.cells) == {"CCI", "AHI", "CCN", "AHN"}
+
+    def test_table9_layout(self, result):
+        rows = global_comparison_table(result, "AU")
+        assert rows[0].cci_asn == 1299
+        assert rows[0].cci_ccg_rank == 2  # Arelion: 2nd-largest global cone
+        assert len(rows) == 10

@@ -1,0 +1,87 @@
+"""Tests for multi-plane path diversity."""
+
+import pytest
+
+from repro import GeneratorConfig, PipelineConfig, generate_world, run_pipeline, small_profiles
+from repro.bgp.propagation import propagate
+
+SMALL = GeneratorConfig(profiles=small_profiles(), clique_homes=("US", "US", "SE", "JP"))
+
+
+class TestSaltedPropagation:
+    def test_salts_change_some_tie_choices(self):
+        world = generate_world(SMALL, seed=9)
+        origins = world.origins()[:20]
+        differing = 0
+        for origin in origins:
+            a = propagate(world.graph, origin, "hash", salt=0)
+            b = propagate(world.graph, origin, "hash", salt=1)
+            if any(a[asn].path != b[asn].path for asn in a):
+                differing += 1
+        assert differing > 0
+
+    def test_salt_irrelevant_for_asn_tiebreak(self):
+        world = generate_world(SMALL, seed=9)
+        origin = world.origins()[0]
+        a = propagate(world.graph, origin, "asn", salt=0)
+        b = propagate(world.graph, origin, "asn", salt=7)
+        assert {k: r.path for k, r in a.items()} == {k: r.path for k, r in b.items()}
+
+    def test_salted_routes_still_valley_free(self):
+        world = generate_world(SMALL, seed=9)
+        graph = world.graph
+        for origin in world.origins()[:10]:
+            routes = propagate(graph, origin, "hash", salt=3)
+            for route in routes.values():
+                labels = [
+                    graph.relationship(a, b)
+                    for a, b in zip(route.path, route.path[1:])
+                ]
+                assert None not in labels
+                phase = 0
+                for label in labels:
+                    if label == "c2p":
+                        assert phase == 0
+                    elif label == "p2p":
+                        assert phase == 0
+                        phase = 1
+                    else:
+                        phase = 2
+
+
+class TestPipelineDiversity:
+    def test_diversity_validated(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(path_diversity=0)
+
+    def test_multi_plane_pipeline_runs(self):
+        world = generate_world(SMALL, seed=9)
+        single = run_pipeline(world, PipelineConfig(path_diversity=1))
+        multi = run_pipeline(world, PipelineConfig(path_diversity=3))
+        assert len(multi.paths) > 0
+        # Same record universe (planes change paths, not coverage).
+        assert abs(len(multi.paths) - len(single.paths)) < 0.1 * len(single.paths)
+
+    def test_diversity_enriches_observed_links(self):
+        """More planes can only reveal more distinct AS adjacencies."""
+        world = generate_world(SMALL, seed=9)
+
+        def links(result):
+            out = set()
+            for record in result.paths.records:
+                out.update(record.path.links())
+            return out
+
+        single = links(run_pipeline(world, PipelineConfig(path_diversity=1)))
+        multi = links(run_pipeline(world, PipelineConfig(path_diversity=4)))
+        assert len(multi) >= len(single)
+
+    def test_rankings_stay_sane_under_diversity(self):
+        from repro.topology.model import ASRole
+
+        world = generate_world(SMALL, seed=9)
+        result = run_pipeline(world, PipelineConfig(path_diversity=3))
+        top = result.ranking("AHN", "AU").top_asns(1)[0]
+        node = world.graph.node(top)
+        assert node.registry_country == "AU"
+        assert node.role is ASRole.TRANSIT

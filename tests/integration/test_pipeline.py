@@ -1,0 +1,168 @@
+"""End-to-end pipeline tests on the small world (Figure 6)."""
+
+import pytest
+
+from repro import GeneratorConfig, PipelineConfig, generate_world, run_pipeline, small_profiles
+from repro.bgp.rib import RibGenerationConfig
+from repro.bgp.anomalies import AnomalyConfig
+
+
+SMALL = GeneratorConfig(profiles=small_profiles(), clique_homes=("US", "US", "SE", "JP"))
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_pipeline(generate_world(SMALL, seed=1, name="small"))
+
+
+class TestFilterReport:
+    def test_accounting_closes(self, result):
+        report = result.paths.report
+        assert report.total == report.accepted + report.rejected_total()
+        assert report.total == result.ribs.total_announcements()
+
+    def test_all_injected_loops_rejected(self, result):
+        assert result.paths.report.rejected["loop"] > 0
+        for record in result.paths.records:
+            assert not record.path.has_loop()
+
+    def test_multihop_paths_rejected(self, result):
+        assert result.paths.report.rejected["vp_no_location"] > 0
+        multihop_ips = {vp.ip for vp in result.vp_geo.unlocated()}
+        for record in result.paths.records:
+            assert record.vp.ip not in multihop_ips
+
+    def test_route_servers_stripped(self, result):
+        route_servers = result.world.graph.route_servers()
+        for record in result.paths.records:
+            assert not route_servers & set(record.path.asns)
+
+    def test_no_prepending_left(self, result):
+        for record in result.paths.records:
+            assert record.path.collapse_prepending() == record.path
+
+
+class TestViewsAndRankings:
+    def test_views_partition(self, result):
+        paths = result.paths
+        for country in ("AU", "US"):
+            national = result.view("national", country)
+            international = result.view("international", country)
+            to_country = [
+                r for r in paths.records if r.prefix_country == country
+            ]
+            assert len(national) + len(international) == len(to_country)
+
+    def test_view_memoised(self, result):
+        assert result.view("global") is result.view("global")
+
+    def test_ranking_memoised(self, result):
+        assert result.ranking("AHN", "AU") is result.ranking("AHN", "AU")
+
+    def test_country_required(self, result):
+        with pytest.raises(ValueError):
+            result.ranking("CCI")
+
+    def test_unknown_metric(self, result):
+        with pytest.raises(ValueError):
+            result.ranking("XXX", "AU")
+
+    def test_unknown_view_kind(self, result):
+        with pytest.raises(ValueError):
+            result.view("sideways", "AU")
+
+    def test_all_metrics_compute(self, result):
+        for metric in ("CCI", "CCN", "AHI", "AHN", "AHC", "CTI"):
+            assert len(result.ranking(metric, "AU")) > 0
+        for metric in ("CCG", "AHG"):
+            assert len(result.ranking(metric)) > 0
+
+    def test_hegemony_shares_bounded(self, result):
+        for entry in result.ranking("AHI", "AU").entries:
+            assert 0.0 <= entry.value <= 1.0
+
+
+class TestPaperShapeClaims:
+    """The qualitative results the paper's case studies hinge on."""
+
+    def test_incumbent_domestic_tops_ahn(self, result):
+        names = {n.name: n.asn for n in result.world.graph.nodes()}
+        top = result.ranking("AHN", "AU").top_asns(1)[0]
+        assert top == names["Incumbent-Dom-AU"]
+
+    def test_incumbent_international_leads_ahi(self, result):
+        names = {n.name: n.asn for n in result.world.graph.nodes()}
+        top2 = result.ranking("AHI", "AU").top_asns(2)
+        assert names["Incumbent-Intl-AU"] in top2
+
+    def test_dual_as_split_between_views(self, result):
+        """The international AS ranks higher in AHI; the domestic AS
+        ranks higher in AHN (paper §5.5)."""
+        names = {n.name: n.asn for n in result.world.graph.nodes()}
+        intl, dom = names["Incumbent-Intl-AU"], names["Incumbent-Dom-AU"]
+        ahi = result.ranking("AHI", "AU")
+        ahn = result.ranking("AHN", "AU")
+        assert ahi.rank_of(intl) < ahi.rank_of(dom) or ahn.rank_of(dom) < ahn.rank_of(intl)
+        assert ahn.rank_of(dom) == 1
+
+    def test_multinationals_top_cci(self, result):
+        from repro.topology.model import ASRole
+
+        graph = result.world.graph
+        top3 = result.ranking("CCI", "AU").top_asns(3)
+        assert any(
+            graph.node(asn).role is ASRole.CLIQUE
+            or graph.node(asn).registry_country != "AU"
+            for asn in top3
+        )
+
+    def test_cc_inflation_of_large_providers(self, result):
+        """A clique provider's cone contains its customer incumbent's
+        cone, so its CCI value is at least as large (§5.1)."""
+        graph = result.world.graph
+        names = {n.name: n.asn for n in graph.nodes()}
+        intl = names["Incumbent-Intl-AU"]
+        cci = result.ranking("CCI", "AU")
+        providers = graph.providers_of(intl)
+        assert providers
+        best_provider = min(providers, key=lambda p: cci.rank_of(p) or 10**9)
+        assert cci.value_of(best_provider) >= cci.value_of(intl) * 0.99
+
+
+class TestDeterminism:
+    def test_same_seed_same_rankings(self):
+        a = run_pipeline(generate_world(SMALL, seed=2))
+        b = run_pipeline(generate_world(SMALL, seed=2))
+        ra = a.ranking("AHI", "AU")
+        rb = b.ranking("AHI", "AU")
+        assert ra.top_asns(10) == rb.top_asns(10)
+        assert [e.value for e in ra.entries] == [e.value for e in rb.entries]
+
+
+class TestInferredRelationshipsMode:
+    def test_cones_computable_with_inferred_labels(self):
+        config = PipelineConfig(use_inferred_relationships=True)
+        result = run_pipeline(generate_world(SMALL, seed=3), config)
+        assert result.inferred is not None
+        ranking = result.ranking("CCI", "AU")
+        assert len(ranking) > 0
+
+
+class TestCleanConfig:
+    def test_no_anomalies_no_rejects(self):
+        config = PipelineConfig(
+            rib=RibGenerationConfig(
+                churn_rate=0.0, vp_visibility=1.0, anomalies=AnomalyConfig.none()
+            ),
+            geo_noise_rate=0.0,
+            geo_miss_rate=0.0,
+        )
+        result = run_pipeline(generate_world(SMALL, seed=4), config)
+        report = result.paths.report
+        assert report.rejected["unstable"] == 0
+        assert report.rejected["loop"] == 0
+        assert report.rejected["unallocated"] == 0
+        assert report.rejected["poisoned"] == 0
+        # Multihop VPs and engineered covered prefixes remain.
+        assert report.rejected["vp_no_location"] > 0
+        assert report.rejected["covered"] > 0

@@ -1,0 +1,101 @@
+"""Tests for the MRT-style RIB dump format."""
+
+import gzip
+import json
+
+import pytest
+
+from repro import GeneratorConfig, generate_world, small_profiles
+from repro.bgp.announcement import Announcement
+from repro.bgp.collectors import VantagePoint
+from repro.bgp.propagation import propagate_all
+from repro.bgp.rib import generate_rib_days
+from repro.io.mrt import (
+    MrtFormatError,
+    dump_rib,
+    dump_series,
+    load_rib,
+    read_header,
+)
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+
+
+def sample_announcements(n=5):
+    return [
+        Announcement(
+            vp=VantagePoint(f"192.0.2.{i}", 100 + i, "test-ix"),
+            prefix=Prefix.parse(f"10.{i}.0.0/16"),
+            path=ASPath.of(100 + i, 50, i + 1),
+        )
+        for i in range(n)
+    ]
+
+
+class TestRoundTrip:
+    def test_dump_and_load(self, tmp_path):
+        announcements = sample_announcements()
+        path = dump_rib(announcements, tmp_path / "rib.jsonl.gz", day=2)
+        assert read_header(path).day == 2
+        loaded = list(load_rib(path))
+        assert loaded == announcements
+
+    def test_empty_dump(self, tmp_path):
+        path = dump_rib([], tmp_path / "empty.jsonl.gz")
+        assert list(load_rib(path)) == []
+
+    def test_series_round_trip(self, tmp_path):
+        world = generate_world(
+            GeneratorConfig(profiles=small_profiles(), clique_homes=("US", "US", "SE", "JP")),
+            seed=3,
+        )
+        outcome = propagate_all(world.graph, keep=world.vp_asns())
+        series = generate_rib_days(world, outcome, seed=1)
+        written = dump_series(series, tmp_path / "dumps")
+        assert len(written) == series.config.days
+        for day, path in enumerate(written):
+            loaded = sum(1 for _ in load_rib(path))
+            original = sum(1 for _ in series.announcements(day))
+            assert loaded == original
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.jsonl.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write(json.dumps({"type": "header", "format": "other"}) + "\n")
+        with pytest.raises(MrtFormatError):
+            read_header(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "v99.jsonl.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write(json.dumps(
+                {"type": "header", "format": "repro-mrt", "version": 99, "day": 0}
+            ) + "\n")
+        with pytest.raises(MrtFormatError):
+            read_header(path)
+
+    def test_missing_trailer_rejected(self, tmp_path):
+        path = tmp_path / "truncated.jsonl.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write(json.dumps(
+                {"type": "header", "format": "repro-mrt", "version": 1, "day": 0}
+            ) + "\n")
+        with pytest.raises(MrtFormatError):
+            list(load_rib(path))
+
+    def test_corrupt_count_rejected(self, tmp_path):
+        path = dump_rib(sample_announcements(3), tmp_path / "rib.jsonl.gz")
+        text = gzip.decompress(path.read_bytes()).decode()
+        text = text.replace('"entries": 3', '"entries": 7')
+        path.write_bytes(gzip.compress(text.encode()))
+        with pytest.raises(MrtFormatError):
+            list(load_rib(path))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "void.jsonl.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("")
+        with pytest.raises(MrtFormatError):
+            list(load_rib(path))

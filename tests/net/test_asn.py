@@ -1,0 +1,91 @@
+"""Unit tests for repro.net.asn."""
+
+import pytest
+
+from repro.net.asn import (
+    AS_TRANS,
+    ASNRegistry,
+    is_documentation_asn,
+    is_private_asn,
+    is_public_asn,
+    is_reserved_asn,
+)
+
+
+class TestClassification:
+    def test_reserved(self):
+        for asn in (0, 112, AS_TRANS, 65535, 4294967295):
+            assert is_reserved_asn(asn)
+            assert not is_public_asn(asn)
+
+    def test_private_ranges(self):
+        assert is_private_asn(64512)
+        assert is_private_asn(65534)
+        assert is_private_asn(4200000000)
+        assert not is_private_asn(64511)
+
+    def test_documentation_ranges(self):
+        assert is_documentation_asn(64496)
+        assert is_documentation_asn(65551)
+        assert not is_documentation_asn(65552)
+
+    def test_public(self):
+        for asn in (1, 3356, 1299, 6939, 174):
+            assert is_public_asn(asn)
+        assert not is_public_asn(-5)
+        assert not is_public_asn(2**33)
+
+
+class TestRegistry:
+    def test_allocate_specific(self):
+        registry = ASNRegistry()
+        assert registry.allocate(3356) == 3356
+        assert registry.is_allocated(3356)
+        assert 3356 in registry
+
+    def test_allocate_duplicate_rejected(self):
+        registry = ASNRegistry()
+        registry.allocate(42)
+        with pytest.raises(ValueError):
+            registry.allocate(42)
+
+    def test_allocate_reserved_rejected(self):
+        registry = ASNRegistry()
+        for asn in (0, 112, 64512, 64496):
+            with pytest.raises(ValueError):
+                registry.allocate(asn)
+
+    def test_allocate_auto_skips_taken(self):
+        registry = ASNRegistry()
+        registry.allocate(1)
+        registry.allocate(2)
+        assert registry.allocate() == 3
+
+    def test_allocate_many(self):
+        registry = ASNRegistry()
+        asns = registry.allocate_many(5)
+        assert asns == [1, 2, 3, 4, 5]
+        assert len(registry) == 5
+
+    def test_unallocated_sample_avoids_allocated(self):
+        registry = ASNRegistry()
+        registry.allocate(100000)
+        sample = registry.unallocated_sample(3, start=100000)
+        assert 100000 not in sample
+        assert len(sample) == 3
+        assert all(not registry.is_allocated(asn) for asn in sample)
+
+    def test_update_bulk(self):
+        registry = ASNRegistry()
+        registry.update([3356, 1299])
+        assert registry.is_allocated(3356) and registry.is_allocated(1299)
+
+    def test_update_rejects_reserved(self):
+        registry = ASNRegistry()
+        with pytest.raises(ValueError):
+            registry.update([0])
+
+    def test_iteration_sorted(self):
+        registry = ASNRegistry()
+        registry.update([30, 10, 20])
+        assert list(registry) == [10, 20, 30]

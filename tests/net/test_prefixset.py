@@ -1,0 +1,135 @@
+"""Unit and property tests for PrefixSet CIDR algebra."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.prefix import Prefix, PrefixError
+from repro.net.prefixset import PrefixSet
+
+
+def ps(*texts):
+    return PrefixSet.parse(*texts)
+
+
+class TestCanonicalisation:
+    def test_adjacent_halves_aggregate(self):
+        assert ps("10.0.0.0/9", "10.128.0.0/9").blocks() == (Prefix.parse("10.0.0.0/8"),)
+
+    def test_overlap_deduplicates(self):
+        a = ps("10.0.0.0/8", "10.1.0.0/16")
+        assert a.blocks() == (Prefix.parse("10.0.0.0/8"),)
+
+    def test_disjoint_stay_separate(self):
+        a = ps("10.0.0.0/8", "12.0.0.0/8")
+        assert len(a.blocks()) == 2
+
+    def test_equality_by_addresses(self):
+        assert ps("10.0.0.0/9", "10.128.0.0/9") == ps("10.0.0.0/8")
+        assert hash(ps("10.0.0.0/8")) == hash(ps("10.0.0.0/9", "10.128.0.0/9"))
+
+    def test_empty(self):
+        empty = PrefixSet()
+        assert empty.is_empty() and not empty and empty.num_addresses() == 0
+
+    def test_version_mismatch_rejected(self):
+        with pytest.raises(PrefixError):
+            PrefixSet([Prefix.parse("2001:db8::/32")], version=4)
+
+
+class TestQueries:
+    def test_num_addresses(self):
+        assert ps("10.0.0.0/24", "10.1.0.0/24").num_addresses() == 512
+
+    def test_contains_address(self):
+        a = ps("10.0.0.0/24")
+        assert a.contains_address(10 << 24)
+        assert a.contains_address((10 << 24) + 255)
+        assert not a.contains_address((10 << 24) + 256)
+
+    def test_contains_prefix(self):
+        a = ps("10.0.0.0/8")
+        assert a.contains(Prefix.parse("10.9.0.0/16"))
+        assert not a.contains(Prefix.parse("11.0.0.0/16"))
+        assert not a.contains(Prefix.parse("8.0.0.0/7"))
+
+    def test_contains_spanning_adjacent_blocks(self):
+        # 10.0.0.0/8 + 11.0.0.0/8 cannot aggregate (unaligned), but a
+        # spanning /7-sized query of addresses is still fully inside.
+        a = ps("10.0.0.0/8", "11.0.0.0/8")
+        assert a.contains(Prefix.parse("10.0.0.0/8"))
+        assert a.contains(Prefix.parse("11.128.0.0/9"))
+
+
+class TestAlgebra:
+    def test_union(self):
+        assert (ps("10.0.0.0/9") | ps("10.128.0.0/9")) == ps("10.0.0.0/8")
+
+    def test_intersection(self):
+        assert (ps("10.0.0.0/8") & ps("10.64.0.0/10")) == ps("10.64.0.0/10")
+        assert (ps("10.0.0.0/8") & ps("11.0.0.0/8")).is_empty()
+
+    def test_difference(self):
+        result = ps("10.0.0.0/8") - ps("10.0.0.0/9")
+        assert result == ps("10.128.0.0/9")
+
+    def test_difference_carves_hole(self):
+        result = ps("10.0.0.0/8") - ps("10.64.0.0/16")
+        assert result.num_addresses() == (1 << 24) - (1 << 16)
+        assert not result.contains_address((10 << 24) + (64 << 16))
+
+    def test_mixed_family_rejected(self):
+        v6 = PrefixSet([Prefix.parse("2001:db8::/32")], version=6)
+        with pytest.raises(PrefixError):
+            ps("10.0.0.0/8") | v6
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            ps("10.0.0.0/8") | "10.0.0.0/8"
+
+
+@st.composite
+def prefix_sets(draw):
+    count = draw(st.integers(min_value=0, max_value=10))
+    prefixes = []
+    for _ in range(count):
+        length = draw(st.integers(min_value=4, max_value=20))
+        chunk = draw(st.integers(min_value=0, max_value=(1 << 16) - 1))
+        mask = chunk & ((1 << (length - 4)) - 1 if length > 4 else 0)
+        prefixes.append(Prefix(4, (1 << 28) | (mask << (32 - length)), length))
+    return PrefixSet(prefixes)
+
+
+class TestAlgebraProperties:
+    @settings(max_examples=80)
+    @given(prefix_sets(), prefix_sets())
+    def test_inclusion_exclusion(self, a, b):
+        assert (a | b).num_addresses() == (
+            a.num_addresses() + b.num_addresses() - (a & b).num_addresses()
+        )
+
+    @settings(max_examples=80)
+    @given(prefix_sets(), prefix_sets())
+    def test_difference_partitions(self, a, b):
+        assert (a - b).num_addresses() + (a & b).num_addresses() == a.num_addresses()
+        assert ((a - b) & b).is_empty()
+
+    @settings(max_examples=80)
+    @given(prefix_sets(), prefix_sets())
+    def test_commutativity(self, a, b):
+        assert (a | b) == (b | a)
+        assert (a & b) == (b & a)
+
+    @settings(max_examples=50)
+    @given(prefix_sets())
+    def test_identities(self, a):
+        empty = PrefixSet()
+        assert (a | empty) == a
+        assert (a & a) == a
+        assert (a - a).is_empty()
+
+    @settings(max_examples=50)
+    @given(prefix_sets())
+    def test_blocks_disjoint_and_sorted(self, a):
+        blocks = a.blocks()
+        for left, right in zip(blocks, blocks[1:]):
+            assert left.last_address() < right.first_address()

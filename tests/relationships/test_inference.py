@@ -1,0 +1,101 @@
+"""Tests for AS relationship inference and its validation."""
+
+import pytest
+
+from repro.bgp.propagation import propagate_all
+from repro.net.aspath import ASPath
+from repro.relationships import (
+    InferredRelationships,
+    infer_clique,
+    infer_relationships,
+    transit_degrees,
+    validate_inference,
+)
+from repro.topology import GeneratorConfig, generate_world, small_profiles
+
+
+class TestTransitDegrees:
+    def test_interior_only(self):
+        degrees = transit_degrees([ASPath.of(1, 2, 3)])
+        assert degrees == {2: 2}
+
+    def test_accumulates_across_paths(self):
+        degrees = transit_degrees([ASPath.of(1, 2, 3), ASPath.of(4, 2, 5)])
+        assert degrees[2] == 4
+
+    def test_short_paths_ignored(self):
+        assert transit_degrees([ASPath.of(1, 2)]) == {}
+
+
+class TestInferClique:
+    def test_simple_top(self):
+        # 10 and 11 are adjacent high-degree cores.
+        paths = [
+            ASPath.of(1, 10, 11, 2),
+            ASPath.of(3, 10, 11, 4),
+            ASPath.of(5, 11, 10, 6),
+            ASPath.of(7, 10, 8),
+            ASPath.of(9, 11, 12),
+        ]
+        clique = infer_clique(paths)
+        assert {10, 11} <= set(clique)
+
+    def test_empty(self):
+        assert infer_clique([]) == frozenset()
+
+
+class TestInferredRelationships:
+    def test_symmetry(self):
+        table = InferredRelationships(clique=frozenset())
+        table.set_label(1, 2, "p2c")
+        assert table.relationship(1, 2) == "p2c"
+        assert table.relationship(2, 1) == "c2p"
+
+    def test_set_label_normalizes(self):
+        table = InferredRelationships(clique=frozenset())
+        table.set_label(5, 2, "p2c")  # 5 provides to 2
+        assert table.relationship(5, 2) == "p2c"
+        assert table.relationship(2, 5) == "c2p"
+
+    def test_unknown_pair(self):
+        table = InferredRelationships(clique=frozenset())
+        assert table.relationship(1, 2) is None
+        assert table.relationship(1, 1) is None
+
+    def test_bad_label_rejected(self):
+        table = InferredRelationships(clique=frozenset())
+        with pytest.raises(ValueError):
+            table.set_label(1, 2, "sibling")
+
+
+class TestEndToEndInference:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return generate_world(
+            GeneratorConfig(profiles=small_profiles(), clique_homes=("US", "US", "SE", "JP")),
+            seed=21,
+        )
+
+    @pytest.fixture(scope="class")
+    def inferred(self, world):
+        outcome = propagate_all(world.graph, keep=world.vp_asns())
+        paths = [
+            ASPath(route.path)
+            for routes in outcome.routes.values()
+            for route in routes.values()
+        ]
+        return infer_relationships(paths)
+
+    def test_clique_recovered(self, world, inferred):
+        validation = validate_inference(inferred, world.graph)
+        assert validation.clique_recall >= 0.75
+        assert validation.clique_precision >= 0.5
+
+    def test_label_accuracy(self, world, inferred):
+        validation = validate_inference(inferred, world.graph)
+        assert validation.accuracy >= 0.8
+        assert validation.total_links > 50
+
+    def test_p2c_direction_mostly_right(self, world, inferred):
+        validation = validate_inference(inferred, world.graph)
+        assert validation.flipped_p2c <= validation.correct * 0.1

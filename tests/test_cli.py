@@ -1,0 +1,59 @@
+"""Tests for the repro-rank command-line interface."""
+
+import pytest
+
+from repro.cli import build_world, main
+
+
+class TestBuildWorld:
+    def test_named_worlds(self):
+        assert build_world("small", 0).summary()["ases"] < 100
+        assert build_world("paper2021", 0).name == "paper:2021-04"
+        assert build_world("paper2023", 0).name == "paper:2023-03"
+
+    def test_unknown_world(self):
+        with pytest.raises(ValueError):
+            build_world("tiny", 0)
+
+
+class TestCommands:
+    def test_world_summary(self, capsys):
+        assert main(["--world", "small", "world"]) == 0
+        out = capsys.readouterr().out
+        assert "ases" in out and "vps" in out
+
+    def test_rank(self, capsys):
+        assert main(["--world", "small", "rank", "AHN", "AU", "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "AHN:AU" in out
+
+    def test_filter_report(self, capsys):
+        assert main(["--world", "small", "filter"]) == 0
+        out = capsys.readouterr().out
+        assert "accepted" in out
+
+    def test_case_study(self, capsys):
+        assert main(["--world", "small", "case-study", "AU"]) == 0
+        out = capsys.readouterr().out
+        assert "CCI" in out and "AHN" in out
+
+    def test_census(self, capsys):
+        assert main(["--world", "small", "census"]) == 0
+        assert "VP IPs" in capsys.readouterr().out
+
+    def test_report(self, capsys):
+        assert main(["--world", "small", "report", "AU"]) == 0
+        out = capsys.readouterr().out
+        assert "# Internet profile: AU" in out
+        assert "Market concentration" in out
+
+    def test_release(self, capsys, tmp_path):
+        target = tmp_path / "bundle"
+        assert main([
+            "--world", "small", "release", str(target), "--countries", "AU",
+        ]) == 0
+        assert (target / "manifest.json").exists()
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main(["--world", "small"])

@@ -1,0 +1,69 @@
+"""Unit tests for the country registry."""
+
+import pytest
+
+from repro.topology.countries import CONTINENTS, Country, CountryRegistry, default_registry
+
+
+class TestCountry:
+    def test_valid(self):
+        country = Country("AU", "Australia", "Oceania")
+        assert str(country) == "AU"
+
+    def test_bad_code(self):
+        with pytest.raises(ValueError):
+            Country("aus", "Australia", "Oceania")
+        with pytest.raises(ValueError):
+            Country("au", "Australia", "Oceania")
+
+    def test_bad_continent(self):
+        with pytest.raises(ValueError):
+            Country("AU", "Australia", "Atlantis")
+
+
+class TestRegistry:
+    def test_add_get(self):
+        registry = CountryRegistry()
+        registry.add(Country("AU", "Australia", "Oceania"))
+        assert registry.get("AU").name == "Australia"
+        assert registry.maybe("ZZ") is None
+        assert "AU" in registry and len(registry) == 1
+
+    def test_duplicate_rejected(self):
+        registry = CountryRegistry([Country("AU", "Australia", "Oceania")])
+        with pytest.raises(ValueError):
+            registry.add(Country("AU", "Australia again", "Oceania"))
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            CountryRegistry().get("AU")
+
+    def test_by_continent(self):
+        registry = default_registry()
+        oceania = registry.by_continent("Oceania")
+        assert any(c.code == "AU" for c in oceania)
+        with pytest.raises(ValueError):
+            registry.by_continent("Atlantis")
+
+
+class TestDefaultRegistry:
+    def test_case_study_countries_present(self):
+        registry = default_registry()
+        for code in ("AU", "JP", "RU", "US", "TW", "CN", "UA"):
+            assert code in registry
+
+    def test_continents_covered(self):
+        registry = default_registry()
+        for continent in CONTINENTS:
+            assert registry.by_continent(continent), continent
+
+    def test_former_soviet(self):
+        registry = default_registry()
+        soviet = {c.code for c in registry.former_soviet()}
+        assert {"RU", "KZ", "KG", "TJ", "TM", "UA"} <= soviet
+        assert "US" not in soviet
+
+    def test_iteration_sorted(self):
+        registry = default_registry()
+        codes = [c.code for c in registry]
+        assert codes == sorted(codes)

@@ -1,0 +1,157 @@
+"""Tests for the world generator (structure, determinism, realism)."""
+
+import pytest
+
+from repro.topology import (
+    ASRole,
+    GeneratorConfig,
+    generate_world,
+    small_profiles,
+)
+
+
+SMALL_CONFIG = GeneratorConfig(
+    profiles=small_profiles(), clique_homes=("US", "US", "SE", "JP")
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(SMALL_CONFIG, seed=7, name="test")
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        a = generate_world(SMALL_CONFIG, seed=3)
+        b = generate_world(SMALL_CONFIG, seed=3)
+        assert a.summary() == b.summary()
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+        assert [str(v.ip) for v in a.collectors.all_vps()] == [
+            str(v.ip) for v in b.collectors.all_vps()
+        ]
+
+    def test_different_seed_different_world(self):
+        a = generate_world(SMALL_CONFIG, seed=3)
+        b = generate_world(SMALL_CONFIG, seed=4)
+        assert sorted(a.graph.edges()) != sorted(b.graph.edges())
+
+
+class TestStructure:
+    def test_validates(self, world):
+        world.validate()
+
+    def test_clique_fully_meshed(self, world):
+        clique = sorted(world.graph.clique())
+        assert len(clique) == 4
+        for i, left in enumerate(clique):
+            for right in clique[i + 1 :]:
+                assert world.graph.relationship(left, right) == "p2p"
+
+    def test_clique_transit_free(self, world):
+        for member in world.graph.clique():
+            assert not world.graph.providers_of(member)
+
+    def test_dual_as_incumbent(self, world):
+        names = {node.name: node.asn for node in world.graph.nodes()}
+        assert "Incumbent-Intl-AU" in names and "Incumbent-Dom-AU" in names
+        intl, dom = names["Incumbent-Intl-AU"], names["Incumbent-Dom-AU"]
+        assert world.graph.relationship(intl, dom) == "p2c"
+
+    def test_us_single_incumbent(self, world):
+        names = {node.name for node in world.graph.nodes()}
+        assert "Incumbent-US" in names
+        assert "Incumbent-Intl-US" not in names
+
+    def test_every_operational_as_originates(self, world):
+        for node in world.graph.nodes():
+            if node.role is not ASRole.ROUTE_SERVER:
+                assert node.prefixes, node.name
+
+    def test_route_server_originates_nothing(self, world):
+        for asn in world.graph.route_servers():
+            assert not world.graph.node(asn).prefixes
+
+    def test_stubs_have_providers(self, world):
+        for asn in world.graph.by_role(ASRole.STUB):
+            assert world.graph.providers_of(asn)
+
+    def test_minor_country_fed_regionally(self, world):
+        # BR is the minor in small_profiles; its incumbent's providers
+        # must include another country's incumbent (a US entry point).
+        names = {node.name: node.asn for node in world.graph.nodes()}
+        incumbent = names["Incumbent-BR"]
+        providers = world.graph.providers_of(incumbent)
+        provider_names = {world.graph.node(p).name for p in providers}
+        assert any("Incumbent" in name for name in provider_names)
+
+
+class TestCollectors:
+    def test_vp_counts_match_profiles(self, world):
+        profiles = small_profiles()
+        located = {}
+        for collector in world.collectors:
+            if not collector.multihop:
+                located.setdefault(collector.country, 0)
+                located[collector.country] += len(collector.vps)
+        for code, profile in profiles.items():
+            assert located.get(code, 0) == profile.n_vps
+
+    def test_multihop_collector_exists(self, world):
+        assert any(c.multihop for c in world.collectors)
+
+    def test_multihop_vps_foreign(self, world):
+        for collector in world.collectors:
+            if collector.multihop:
+                for vp in collector.vps:
+                    node = world.graph.node(vp.asn)
+                    assert node.registry_country != collector.country
+
+    def test_vp_ips_unique(self, world):
+        ips = [vp.ip for vp in world.collectors.all_vps()]
+        assert len(ips) == len(set(ips))
+
+    def test_vp_hosts_exist_and_originate(self, world):
+        for vp in world.collectors.all_vps():
+            assert world.graph.node(vp.asn).prefixes
+
+
+class TestAddressPlan:
+    def test_country_space_disjoint(self, world):
+        seen = set()
+        for _, record in world.graph.originations():
+            top = record.prefix.value >> 24
+            seen.add(top)
+        assert seen  # all originations land in per-country or global /8s
+
+    def test_incumbent_announces_more_specifics(self, world):
+        # GB-sized countries announce a /16 plus both /17s; in the small
+        # world the US incumbent does (address_blocks >= 4).
+        names = {node.name: node for node in world.graph.nodes()}
+        incumbent = names["Incumbent-US"]
+        lengths = sorted(r.prefix.length for r in incumbent.prefixes)
+        assert 16 in lengths and 17 in lengths
+
+    def test_cross_border_records_valid(self, world):
+        for _, record in world.graph.originations():
+            if record.foreign_share:
+                assert record.foreign_country != record.country
+
+
+class TestConfigValidation:
+    def test_empty_clique_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(clique_homes=())
+
+    def test_unknown_profile_country_rejected(self):
+        from repro.topology.profiles import CountryProfile
+
+        config = GeneratorConfig(profiles={"ZZ": CountryProfile("ZZ", n_collectors=0, n_vps=0)})
+        with pytest.raises(ValueError):
+            generate_world(config)
+
+    def test_unknown_clique_home_rejected(self):
+        config = GeneratorConfig(
+            profiles=small_profiles(), clique_homes=("XX",)
+        )
+        with pytest.raises(ValueError):
+            generate_world(config)

@@ -1,0 +1,156 @@
+"""Unit tests for repro.topology.model (ASGraph invariants)."""
+
+import pytest
+
+from repro.net.prefix import Prefix
+from repro.topology.model import (
+    ASGraph,
+    ASRole,
+    OriginatedPrefix,
+    TopologyError,
+)
+
+
+@pytest.fixture
+def graph():
+    g = ASGraph()
+    for asn in (1, 2, 3, 4):
+        g.add_as(asn, f"AS{asn}", "US")
+    return g
+
+
+class TestNodes:
+    def test_add_and_lookup(self, graph):
+        node = graph.node(1)
+        assert node.asn == 1 and node.registry_country == "US"
+        assert graph.maybe_node(99) is None
+        assert 1 in graph and 99 not in graph
+        assert len(graph) == 4
+
+    def test_duplicate_rejected(self, graph):
+        with pytest.raises(TopologyError):
+            graph.add_as(1)
+
+    def test_reserved_asn_rejected(self):
+        with pytest.raises(TopologyError):
+            ASGraph().add_as(0)
+
+    def test_registry_synced(self, graph):
+        assert graph.asn_registry.is_allocated(1)
+
+
+class TestEdges:
+    def test_p2c(self, graph):
+        graph.add_p2c(1, 2)
+        assert graph.relationship(1, 2) == "p2c"
+        assert graph.relationship(2, 1) == "c2p"
+        assert graph.customers_of(1) == frozenset({2})
+        assert graph.providers_of(2) == frozenset({1})
+
+    def test_p2p(self, graph):
+        graph.add_p2p(1, 2)
+        assert graph.relationship(1, 2) == "p2p"
+        assert graph.relationship(2, 1) == "p2p"
+        assert graph.peers_of(1) == frozenset({2})
+
+    def test_no_relationship(self, graph):
+        assert graph.relationship(1, 2) is None
+
+    def test_self_edge_rejected(self, graph):
+        with pytest.raises(TopologyError):
+            graph.add_p2c(1, 1)
+
+    def test_double_edge_rejected(self, graph):
+        graph.add_p2c(1, 2)
+        with pytest.raises(TopologyError):
+            graph.add_p2p(1, 2)
+        with pytest.raises(TopologyError):
+            graph.add_p2c(2, 1)
+
+    def test_unknown_endpoint_rejected(self, graph):
+        with pytest.raises(TopologyError):
+            graph.add_p2c(1, 99)
+
+    def test_remove_edge(self, graph):
+        graph.add_p2p(1, 2)
+        graph.remove_edge(1, 2)
+        assert graph.relationship(1, 2) is None
+        with pytest.raises(TopologyError):
+            graph.remove_edge(1, 2)
+
+    def test_neighbors_and_degrees(self, graph):
+        graph.add_p2c(1, 2)
+        graph.add_p2c(1, 3)
+        graph.add_p2p(1, 4)
+        assert graph.neighbors_of(1) == frozenset({2, 3, 4})
+        assert graph.degree(1) == 3
+        assert graph.transit_degree(1) == 2
+
+    def test_edges_iteration(self, graph):
+        graph.add_p2c(1, 2)
+        graph.add_p2p(3, 4)
+        edges = list(graph.edges())
+        assert len(edges) == 2
+        assert graph.edge_count() == 2
+
+
+class TestValidation:
+    def test_acyclic_ok(self, graph):
+        graph.add_p2c(1, 2)
+        graph.add_p2c(2, 3)
+        graph.validate()
+
+    def test_cycle_detected(self, graph):
+        graph.add_p2c(1, 2)
+        graph.add_p2c(2, 3)
+        graph.add_p2c(3, 1)
+        with pytest.raises(TopologyError):
+            graph.validate()
+
+    def test_peering_cycles_fine(self, graph):
+        graph.add_p2p(1, 2)
+        graph.add_p2p(2, 3)
+        graph.add_p2p(3, 1)
+        graph.validate()
+
+
+class TestOriginations:
+    def test_originate(self, graph):
+        node = graph.node(1)
+        record = node.originate("10.0.0.0/8", "US")
+        assert record.prefix == Prefix.parse("10.0.0.0/8")
+        assert node.originated_prefixes() == [Prefix.parse("10.0.0.0/8")]
+        assert node.address_count() == 1 << 24
+
+    def test_cross_border_validation(self):
+        with pytest.raises(TopologyError):
+            OriginatedPrefix(Prefix.parse("10.0.0.0/8"), "US", 0.5, None)
+        with pytest.raises(TopologyError):
+            OriginatedPrefix(Prefix.parse("10.0.0.0/8"), "US", 0.5, "US")
+        with pytest.raises(TopologyError):
+            OriginatedPrefix(Prefix.parse("10.0.0.0/8"), "US", 1.0, "CA")
+
+    def test_originations_iteration(self, graph):
+        graph.node(2).originate("10.0.0.0/8", "US")
+        graph.node(1).originate("11.0.0.0/8", "CA")
+        pairs = list(graph.originations())
+        assert [asn for asn, _ in pairs] == [1, 2]
+
+
+class TestRoleQueries:
+    def test_roles(self):
+        g = ASGraph()
+        g.add_as(1, role=ASRole.CLIQUE)
+        g.add_as(2, role=ASRole.CLIQUE)
+        g.add_as(3, role=ASRole.ROUTE_SERVER)
+        g.add_as(4, role=ASRole.STUB)
+        assert g.clique() == frozenset({1, 2})
+        assert g.route_servers() == frozenset({3})
+        assert g.by_role(ASRole.STUB) == [4]
+
+    def test_by_registry_country(self):
+        g = ASGraph()
+        g.add_as(1, registry_country="US")
+        g.add_as(2, registry_country="JP")
+        g.add_as(3, registry_country="US")
+        assert g.by_registry_country("US") == [1, 3]

@@ -1,0 +1,129 @@
+"""Tests for the curated paper world and its snapshots."""
+
+import pytest
+
+from repro.topology.model import ASRole
+from repro.topology.paper_world import (
+    CASE_STUDY_COUNTRIES,
+    PAPER_SNAPSHOTS,
+    SNAPSHOT_2021,
+    SNAPSHOT_2023,
+    build_paper_world,
+    paper_as_names,
+)
+
+
+@pytest.fixture(scope="module")
+def world_2021():
+    return build_paper_world(SNAPSHOT_2021)
+
+
+@pytest.fixture(scope="module")
+def world_2023():
+    return build_paper_world(SNAPSHOT_2023)
+
+
+class TestStructure:
+    def test_validates(self, world_2021, world_2023):
+        world_2021.validate()
+        world_2023.validate()
+
+    def test_named_ases_present(self, world_2021):
+        for asn in (3356, 1299, 174, 2914, 6939, 1221, 4637, 4826, 4713,
+                    2516, 12389, 3462, 9505, 4134, 16509):
+            assert asn in world_2021.graph
+
+    def test_clique_is_tier1_mesh(self, world_2021):
+        clique = sorted(world_2021.graph.clique())
+        assert 3356 in clique and 1299 in clique
+        assert 6939 not in clique  # Hurricane peers but is not tier-1
+        for index, left in enumerate(clique):
+            for right in clique[index + 1:]:
+                assert world_2021.graph.relationship(left, right) == "p2p"
+
+    def test_telstra_dual_as(self, world_2021):
+        graph = world_2021.graph
+        assert graph.relationship(4637, 1221) == "p2c"
+        assert graph.node(1221).registry_country == "AU"
+        assert graph.node(4637).registry_country != "AU"
+
+    def test_amazon_registered_us_originates_au(self, world_2021):
+        node = world_2021.graph.node(16509)
+        assert node.registry_country == "US"
+        countries = {record.country for record in node.prefixes}
+        assert "AU" in countries and "US" in countries
+
+    def test_case_study_countries_have_vps(self, world_2021):
+        located = {}
+        for collector in world_2021.collectors:
+            if not collector.multihop:
+                located.setdefault(collector.country, 0)
+                located[collector.country] += len(collector.vps)
+        for code in CASE_STUDY_COUNTRIES + ("TW",):
+            assert located.get(code, 0) >= 7, code
+
+    def test_former_soviet_fed_by_russia(self, world_2021):
+        graph = world_2021.graph
+        for code in ("KZ", "KG", "TM"):
+            incumbents = [
+                asn for asn in graph.asns()
+                if graph.node(asn).registry_country == code
+                and graph.providers_of(asn)
+            ]
+            assert incumbents, code
+            providers = set()
+            for asn in incumbents:
+                providers |= graph.providers_of(asn)
+            russian = {p for p in providers
+                       if graph.node(p).registry_country == "RU"}
+            assert russian, code
+
+    def test_western_ex_soviet_not_fed_by_russia(self, world_2021):
+        graph = world_2021.graph
+        for code in ("UA", "EE", "LT"):
+            for asn in graph.asns():
+                node = graph.node(asn)
+                if node.registry_country != code:
+                    continue
+                for provider in graph.providers_of(asn):
+                    assert graph.node(provider).registry_country != "RU"
+
+    def test_every_non_rs_as_originates(self, world_2021):
+        for node in world_2021.graph.nodes():
+            if node.role is not ASRole.ROUTE_SERVER:
+                assert node.prefixes, node.name
+
+    def test_deterministic(self):
+        a = build_paper_world(SNAPSHOT_2021)
+        b = build_paper_world(SNAPSHOT_2021)
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+        assert [vp.ip for vp in a.collectors.all_vps()] == [
+            vp.ip for vp in b.collectors.all_vps()
+        ]
+
+    def test_unknown_snapshot_rejected(self):
+        with pytest.raises(ValueError):
+            build_paper_world("2019-01")
+
+
+class TestSnapshotDeltas:
+    def test_gtt_leaves_russia(self, world_2021, world_2023):
+        assert world_2021.graph.relationship(3257, 20485) == "p2c"
+        assert world_2023.graph.relationship(3257, 20485) is None
+
+    def test_orange_joins_russia(self, world_2021, world_2023):
+        assert world_2021.graph.relationship(5511, 12389) is None
+        assert world_2023.graph.relationship(5511, 12389) == "p2c"
+
+    def test_china_telecom_leaves_taiwan(self, world_2021, world_2023):
+        assert world_2021.graph.relationship(4134, 9924) == "p2c"
+        assert world_2023.graph.relationship(4134, 9924) is None
+
+    def test_names_cover_named_ases(self):
+        names = paper_as_names()
+        assert names[3356] == "Lumen"
+        assert names[1221] == "Telstra"
+        assert len(names) > 50
+
+    def test_both_snapshots_listed(self):
+        assert SNAPSHOT_2021 in PAPER_SNAPSHOTS and SNAPSHOT_2023 in PAPER_SNAPSHOTS

@@ -1,0 +1,80 @@
+"""Unit tests for country profiles."""
+
+import pytest
+
+from repro.topology.profiles import CountryProfile, default_profiles, small_profiles
+
+
+class TestProfileValidation:
+    def test_defaults_valid(self):
+        profile = CountryProfile("AU")
+        assert profile.total_ases() > 0
+
+    def test_dominance_range(self):
+        with pytest.raises(ValueError):
+            CountryProfile("AU", incumbent_dominance=1.5)
+
+    def test_vps_need_collector(self):
+        with pytest.raises(ValueError):
+            CountryProfile("AU", n_vps=3, n_collectors=0)
+
+    def test_negative_counts(self):
+        with pytest.raises(ValueError):
+            CountryProfile("AU", n_vps=-1)
+
+    def test_multihoming_bounds(self):
+        with pytest.raises(ValueError):
+            CountryProfile("AU", stub_multihoming=(2, 1))
+        with pytest.raises(ValueError):
+            CountryProfile("AU", stub_multihoming=(0, 1))
+
+    def test_total_ases(self):
+        profile = CountryProfile(
+            "AU", incumbent_dual_as=True, n_transit=2, n_access=3,
+            n_stub=5, has_education=True,
+        )
+        assert profile.total_ases() == 2 + 2 + 3 + 5 + 1
+
+
+class TestDefaultProfiles:
+    def test_table4_vp_ordering(self):
+        """The paper's Table 4 leaders must stay in order."""
+        profiles = default_profiles()
+        vps = [profiles[c].n_vps for c in ("NL", "GB", "US", "DE", "BR")]
+        assert vps == sorted(vps, reverse=True)
+        assert vps[0] > vps[-1]
+
+    def test_case_study_floor(self):
+        """AU/JP/RU/US need >= 7 in-country VPs for national views (§5)."""
+        profiles = default_profiles()
+        for code in ("AU", "JP", "RU", "US"):
+            assert profiles[code].n_vps >= 7
+
+    def test_dual_as_incumbents(self):
+        profiles = default_profiles()
+        assert profiles["AU"].incumbent_dual_as
+        assert profiles["JP"].incumbent_dual_as
+        assert not profiles["US"].incumbent_dual_as  # Lumen pattern (§5.5)
+
+    def test_former_soviet_feed_from_russia(self):
+        profiles = default_profiles()
+        for code in ("KZ", "KG", "TJ", "TM"):
+            assert profiles[code].cross_border_partner == "RU"
+
+    def test_most_filtered_countries_split_evenly(self):
+        profiles = default_profiles()
+        for code in ("AF", "HR", "LT", "GG", "MU", "NA"):
+            assert profiles[code].cross_border_share == 0.5
+            assert profiles[code].cross_border_rate > 0.1
+
+
+class TestSmallProfiles:
+    def test_compact(self):
+        profiles = small_profiles()
+        assert len(profiles) <= 8
+        total = sum(p.total_ases() for p in profiles.values())
+        assert total < 120
+
+    def test_has_national_view_country(self):
+        profiles = small_profiles()
+        assert any(p.n_vps >= 4 for p in profiles.values())
