@@ -1,0 +1,52 @@
+"""Micro-overhead guard for the observability layer.
+
+The instrumentation contract is that a pipeline run with tracing
+*disabled* (the default no-op tracer on every hook) stays within noise
+of the pre-instrumentation runtime — the hooks are attribute lookups
+and no-op method calls, never conditionals or allocations in hot
+loops. This benchmark measures both modes on the small world and emits
+the ratio; the tier-1 equivalent with generous bounds lives in
+``tests/obs/test_overhead.py``.
+"""
+
+import time
+
+from conftest import once
+
+from repro.cli import build_world
+from repro.core.pipeline import PipelineConfig, run_pipeline
+
+
+def _time_run(world, trace: bool, repeats: int = 3) -> float:
+    """Best-of-N wall time of one full pipeline run (best-of suppresses
+    scheduler noise better than a mean for second-scale workloads)."""
+    best = float("inf")
+    for index in range(repeats):
+        config = PipelineConfig(seed=0, trace=trace)
+        start = time.perf_counter()
+        run_pipeline(world, config)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_obs_overhead(benchmark, emit):
+    world = build_world("small", 0)
+    # Warm caches before timing either mode.
+    run_pipeline(world, PipelineConfig(seed=0))
+
+    disabled = once(benchmark, lambda: _time_run(world, trace=False))
+    enabled = _time_run(world, trace=True)
+
+    ratio = enabled / disabled if disabled else 1.0
+    emit(
+        "obs_overhead",
+        "\n".join([
+            "== tracing overhead (small world, best of 3) ==",
+            f"trace disabled: {disabled * 1000.0:8.1f}ms",
+            f"trace enabled:  {enabled * 1000.0:8.1f}ms",
+            f"enabled/disabled ratio: {ratio:.3f}",
+        ]),
+    )
+    # Enabled tracing records ~30 spans and a few dozen metric updates
+    # per run — it must stay cheap too (well under 2x on any machine).
+    assert ratio < 2.0

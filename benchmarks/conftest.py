@@ -69,6 +69,25 @@ def emit():
     return write
 
 
+@pytest.fixture(scope="session", autouse=True)
+def pipeline_trace_artifact():
+    """Persist a traced small-world pipeline run after every bench
+    session (``benchmarks/output/pipeline_trace.json``, JSONL events).
+
+    This is the perf-trajectory baseline: each benchmark run leaves
+    behind per-stage wall/CPU times and volume counters that future
+    optimization PRs diff against.
+    """
+    yield
+    from repro.cli import run_traced
+    from repro.obs.export import to_jsonl
+
+    _, tracer = run_traced("small", seed=0)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "pipeline_trace.json").write_text(to_jsonl(tracer) + "\n")
+    tracer.close()
+
+
 def once(benchmark, fn):
     """Run an analysis exactly once under the benchmark timer.
 

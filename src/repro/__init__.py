@@ -27,6 +27,7 @@ from repro.core.pipeline import (
 )
 from repro.core.ranking import RankEntry, Ranking
 from repro.core.ndcg import dcg, ndcg
+from repro.obs import Tracer, stage_report, to_jsonl, to_prometheus
 from repro.topology.generator import GeneratorConfig, generate_world
 from repro.topology.profiles import default_profiles, small_profiles
 from repro.topology.world import World
@@ -43,6 +44,7 @@ __all__ = [
     "PipelineResult",
     "RankEntry",
     "Ranking",
+    "Tracer",
     "World",
     "__version__",
     "dcg",
@@ -51,4 +53,7 @@ __all__ = [
     "ndcg",
     "run_pipeline",
     "small_profiles",
+    "stage_report",
+    "to_jsonl",
+    "to_prometheus",
 ]

@@ -29,6 +29,8 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 
 from repro.bgp.policy import Route, RouteClass
+from repro.obs.metrics import NULL_HISTOGRAM
+from repro.obs.trace import NULL_TRACER
 from repro.topology.model import ASGraph
 
 
@@ -109,6 +111,7 @@ def propagate_all(
     keep: Iterable[int] | None = None,
     tiebreak: str = "asn",
     salt: int = 0,
+    tracer=NULL_TRACER,
 ) -> RoutingOutcome:
     """Propagate every origin and keep routes only at ``keep`` ASes.
 
@@ -116,24 +119,42 @@ def propagate_all(
     prefix; ``keep`` defaults to all ASes (memory scales with
     ``len(origins) * len(keep)``, so pass the VP ASes when you only
     need collector views).
+
+    ``tracer`` wraps the sweep in a ``propagate.plane`` span, counts
+    origins and kept routes, and samples per-level BFS frontier sizes
+    into the ``propagate.frontier`` histogram.
     """
-    adjacency = _Adjacency(graph)
-    if origins is None:
-        origins = [asn for asn in graph.asns() if graph.node(asn).prefixes]
-    keep_set = set(keep) if keep is not None else None
-    all_routes: dict[int, dict[int, Route]] = {}
-    for origin in sorted(set(origins)):
-        if origin not in graph:
-            raise KeyError(f"origin AS{origin} not in graph")
-        routes = _propagate(adjacency, origin, tiebreak, salt)
-        if keep_set is not None:
-            routes = {asn: route for asn, route in routes.items() if asn in keep_set}
-        all_routes[origin] = routes
+    with tracer.span("propagate.plane", tiebreak=tiebreak, salt=salt) as span:
+        adjacency = _Adjacency(graph)
+        if origins is None:
+            origins = [asn for asn in graph.asns() if graph.node(asn).prefixes]
+        keep_set = set(keep) if keep is not None else None
+        frontier_hist = tracer.metrics.histogram("propagate.frontier")
+        kept_routes = 0
+        all_routes: dict[int, dict[int, Route]] = {}
+        origin_list = sorted(set(origins))
+        for origin in origin_list:
+            if origin not in graph:
+                raise KeyError(f"origin AS{origin} not in graph")
+            routes = _propagate(adjacency, origin, tiebreak, salt, frontier_hist)
+            if keep_set is not None:
+                routes = {
+                    asn: route for asn, route in routes.items() if asn in keep_set
+                }
+            kept_routes += len(routes)
+            all_routes[origin] = routes
+        span.set(origins=len(origin_list), routes=kept_routes)
+        tracer.metrics.counter("propagate.origins").inc(len(origin_list))
+        tracer.metrics.counter("propagate.routes").inc(kept_routes)
     return RoutingOutcome(all_routes)
 
 
 def _propagate(
-    adjacency: _Adjacency, origin: int, tiebreak: str = "asn", salt: int = 0
+    adjacency: _Adjacency,
+    origin: int,
+    tiebreak: str = "asn",
+    salt: int = 0,
+    frontier_hist=NULL_HISTOGRAM,
 ) -> dict[int, Route]:
     providers = adjacency.providers
     customers = adjacency.customers
@@ -157,6 +178,8 @@ def _propagate(
         for provider, (_, next_hop) in candidates.items():
             up_paths[provider] = (provider,) + up_paths[next_hop]
             next_frontier.append(provider)
+        if next_frontier:
+            frontier_hist.observe(len(next_frontier))
         frontier = next_frontier
 
     # Phase 2 (across): the best customer route crosses one peer link.

@@ -36,6 +36,7 @@ from repro.bgp.collectors import VantagePoint
 from repro.bgp.propagation import RoutingOutcome
 from repro.net.aspath import ASPath
 from repro.net.prefix import Prefix
+from repro.obs.trace import NULL_TRACER
 from repro.topology.world import World
 
 
@@ -78,6 +79,7 @@ class RibSeries:
         outcome: "RoutingOutcome | list[RoutingOutcome]",
         config: RibGenerationConfig,
         seed: int = 0,
+        tracer=NULL_TRACER,
     ) -> None:
         self.world = world
         self.config = config
@@ -90,10 +92,30 @@ class RibSeries:
         outcomes = outcome if isinstance(outcome, list) else [outcome]
         if not outcomes:
             raise ValueError("need at least one routing outcome")
-        self._paths = self._collect_paths(outcomes)
-        self._missing = self._sample_visibility()
-        self.unstable_days = self._sample_churn()
-        self.overrides, self.injection_summary = self._inject()
+        with tracer.span(
+            "ribs", vps=len(self.vps), prefixes=len(self.prefix_table),
+            days=config.days,
+        ) as span:
+            with tracer.span("ribs.paths"):
+                self._paths = self._collect_paths(outcomes)
+            with tracer.span("ribs.visibility"):
+                self._missing = self._sample_visibility()
+            with tracer.span("ribs.churn"):
+                self.unstable_days = self._sample_churn()
+            with tracer.span("ribs.inject"):
+                self.overrides, self.injection_summary = self._inject()
+            span.set(
+                paths=len(self._paths),
+                missing=len(self._missing),
+                unstable=len(self.unstable_days),
+                overrides=len(self.overrides),
+            )
+            metrics = tracer.metrics
+            metrics.gauge("ribs.vps").set(len(self.vps))
+            metrics.gauge("ribs.prefixes").set(len(self.prefix_table))
+            metrics.gauge("ribs.paths").set(len(self._paths))
+            metrics.gauge("ribs.unstable_prefixes").set(len(self.unstable_days))
+            metrics.gauge("ribs.overrides").set(len(self.overrides))
 
     # -- construction ------------------------------------------------------
 
@@ -246,9 +268,10 @@ def generate_rib_days(
     outcome: "RoutingOutcome | list[RoutingOutcome]",
     config: RibGenerationConfig | None = None,
     seed: int = 0,
+    tracer=NULL_TRACER,
 ) -> RibSeries:
     """Build the daily RIB series for one or more routing planes."""
-    return RibSeries(world, outcome, config or RibGenerationConfig(), seed)
+    return RibSeries(world, outcome, config or RibGenerationConfig(), seed, tracer)
 
 
 @dataclass(frozen=True, slots=True)

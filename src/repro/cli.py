@@ -15,10 +15,18 @@ Subcommands mirror the paper's workflow:
 * ``concentration`` — HHI market concentration per country;
 * ``release``     — write the reproducibility dataset to a directory;
 * ``replay``      — recompute a ranking from a released paths.jsonl
-  (no world needed: relationships are inferred from the paths).
+  (no world needed: relationships are inferred from the paths);
+* ``trace``       — run the pipeline under the observability layer and
+  print the Figure-6-style stage report (``--json`` for JSONL trace
+  events, ``--prom`` for a Prometheus text exposition).
 
 Worlds: ``small`` (seconds), ``default`` (the generated ~1000-AS world),
 ``paper2021`` / ``paper2023`` (the curated case-study snapshots).
+
+Unknown metrics and country codes are validated up front against
+``ALL_METRICS`` and the selected world's country registry; the CLI
+prints a one-line error to stderr and exits with status 2 instead of
+surfacing a traceback or empty output.
 """
 
 from __future__ import annotations
@@ -34,9 +42,17 @@ from repro.analysis.resilience import ases_registered_in, disconnection_impact
 from repro.analysis.sovereignty import dependency_matrix, render_dependencies
 from repro.analysis.stability import international_stability, national_stability
 from repro.analysis.vp_distribution import render_census, vp_census
-from repro.core.pipeline import PipelineConfig, PipelineResult, run_pipeline
+from repro.core.pipeline import (
+    ALL_METRICS,
+    COUNTRY_METRICS,
+    PipelineConfig,
+    PipelineResult,
+    run_pipeline,
+)
 from repro.io.export import release_dataset
 from repro.io.replay import ReplaySession
+from repro.obs.export import stage_report, to_jsonl, to_prometheus
+from repro.obs.trace import Tracer
 from repro.topology.generator import GeneratorConfig, generate_world
 from repro.topology.paper_world import (
     SNAPSHOT_2021,
@@ -47,6 +63,9 @@ from repro.topology.profiles import small_profiles
 from repro.topology.world import World
 
 WORLD_CHOICES = ("small", "default", "paper2021", "paper2023")
+
+#: exit status for input-validation failures (argparse uses 2 as well)
+EXIT_USAGE = 2
 
 
 def build_world(kind: str, seed: int) -> World:
@@ -65,8 +84,66 @@ def build_world(kind: str, seed: int) -> World:
     raise ValueError(f"unknown world {kind!r}")
 
 
-def _run(kind: str, seed: int) -> PipelineResult:
-    return run_pipeline(build_world(kind, seed), PipelineConfig(seed=seed))
+def _fail(message: str) -> int:
+    """Print a one-line error and return the usage exit status."""
+    print(f"repro-rank: error: {message}", file=sys.stderr)
+    return EXIT_USAGE
+
+
+def _bad_metric(metric: str) -> str:
+    return (
+        f"unknown metric {metric!r} (valid: {', '.join(ALL_METRICS)})"
+    )
+
+
+def _bad_country(world: World, code: str) -> str:
+    known = ", ".join(world.countries.codes())
+    return f"unknown country {code!r} for world {world.name!r} (valid: {known})"
+
+
+def _normalize_metric(metric: str) -> str | None:
+    """The canonical metric name, or ``None`` when unknown."""
+    upper = metric.upper()
+    return upper if upper in ALL_METRICS else None
+
+
+def _normalize_country(world: World, code: str) -> str | None:
+    """The canonical country code, or ``None`` when not in the world."""
+    upper = code.upper()
+    return upper if upper in world.countries else None
+
+
+def best_traced_country(result: PipelineResult) -> str:
+    """The country whose rankings the ``trace`` subcommand computes:
+    the one with the most in-country VPs (ties break alphabetically),
+    falling back to the first destination country seen."""
+    census = result.vp_geo.census()
+    if census:
+        return min(census, key=lambda code: (-census[code], code))
+    countries = result.paths.countries()
+    return countries[0] if countries else "US"
+
+
+def run_traced(
+    world_kind: str = "small",
+    seed: int = 0,
+    country: str | None = None,
+    capture_memory: bool = False,
+    world: World | None = None,
+) -> tuple[PipelineResult, Tracer]:
+    """Run the full pipeline under a tracer, then compute one ranking
+    per metric family (cone, hegemony, AHC, CTI) so the trace covers
+    every Figure-6 stage. Shared by ``repro-rank trace`` and the
+    benchmark harness (which persists the trace as the perf baseline).
+    """
+    if world is None:
+        world = build_world(world_kind, seed)
+    tracer = Tracer(capture_memory=capture_memory)
+    result = run_pipeline(world, PipelineConfig(seed=seed, trace=True), tracer)
+    code = country or best_traced_country(result)
+    for metric in ("CCI", "AHN", "AHC", "CTI"):
+        result.ranking(metric, code)
+    return result, tracer
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -127,20 +204,97 @@ def main(argv: list[str] | None = None) -> int:
     replay.add_argument("country", nargs="?")
     replay.add_argument("-k", type=int, default=10)
 
+    trace = sub.add_parser(
+        "trace", help="run the pipeline traced and print the stage report"
+    )
+    trace.add_argument(
+        "--json", action="store_true", help="emit the JSONL trace events"
+    )
+    trace.add_argument(
+        "--prom", action="store_true",
+        help="emit a Prometheus-style text exposition of the metrics",
+    )
+    trace.add_argument(
+        "--country", help="country for the ranking stages (default: best VP coverage)"
+    )
+    trace.add_argument(
+        "--memory", action="store_true",
+        help="also capture tracemalloc peak memory per stage",
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "replay":
+        if _normalize_metric(args.metric) is None:
+            return _fail(_bad_metric(args.metric))
         session = ReplaySession.from_file(args.paths_file)
         print(session.ranking(args.metric, args.country).render(args.k))
         return 0
 
+    world = build_world(args.world, args.seed)
+
+    # -- input validation (before the expensive pipeline run) ---------------
+    metric_arg = getattr(args, "metric", None)
+    if args.command in ("rank", "stability", "concentration") and metric_arg:
+        metric = _normalize_metric(metric_arg)
+        if metric is None:
+            return _fail(_bad_metric(metric_arg))
+        args.metric = metric
+    country_arg = getattr(args, "country", None)
+    if args.command in (
+        "case-study", "stability", "sovereignty", "report",
+    ) or (args.command in ("rank", "trace") and country_arg):
+        if country_arg is None:
+            return _fail("this command requires a country code")
+        country = _normalize_country(world, country_arg)
+        if country is None:
+            return _fail(_bad_country(world, country_arg))
+        args.country = country
+    if args.command == "rank":
+        if args.metric in COUNTRY_METRICS and args.country is None:
+            return _fail(f"metric {args.metric} requires a country code")
+    if args.command == "concentration":
+        codes = [c for c in args.countries.split(",") if c]
+        normalized = [_normalize_country(world, code) for code in codes]
+        for code, norm in zip(codes, normalized):
+            if norm is None:
+                return _fail(_bad_country(world, code))
+        args.countries = ",".join(normalized)
+    if args.command == "disconnect" and args.target.isalpha():
+        if len(args.target) != 2 or _normalize_country(world, args.target) is None:
+            return _fail(_bad_country(world, args.target))
+    if args.command == "disconnect" and not args.target.isalpha():
+        try:
+            [int(a) for a in args.target.split(",")]
+        except ValueError:
+            return _fail(
+                f"target {args.target!r} is neither a country code nor a "
+                "comma-separated ASN list"
+            )
+
     if args.command == "world":
-        world = build_world(args.world, args.seed)
         for key, value in world.summary().items():
             print(f"{key:>12}: {value}")
         return 0
 
-    result = _run(args.world, args.seed)
+    if args.command == "trace":
+        _, tracer = run_traced(
+            args.world, args.seed, args.country,
+            capture_memory=args.memory, world=world,
+        )
+        if args.json:
+            print(to_jsonl(tracer))
+        elif args.prom:
+            print(to_prometheus(tracer.metrics))
+        else:
+            print(stage_report(
+                tracer,
+                title=f"pipeline stage report (world={args.world}, seed={args.seed})",
+            ))
+        tracer.close()
+        return 0
+
+    result = run_pipeline(world, PipelineConfig(seed=args.seed))
     if args.command == "rank":
         ranking = result.ranking(args.metric, args.country)
         print(ranking.render(args.k, result.as_name))

@@ -24,6 +24,7 @@ from typing import Iterable, Mapping
 from repro.core.hegemony import hegemony_scores
 from repro.core.ranking import Ranking
 from repro.core.sanitize import PathRecord, PathSet
+from repro.obs.trace import NULL_TRACER
 
 
 def ahc_scores(
@@ -82,8 +83,16 @@ def ahc_ranking(
     country_origins: Iterable[int],
     trim: float = 0.1,
     weighting: str = "as_count",
+    tracer=NULL_TRACER,
 ) -> Ranking:
     """The AHC baseline ranking for one country."""
-    scores = ahc_scores(paths.records, country_origins, trim, weighting)
-    shares: Mapping[int, float] = scores
-    return Ranking.from_scores(f"AHC:{country}", scores, shares, country)
+    origins = sorted(set(country_origins))
+    with tracer.span(
+        "ahc", country=country, origins=len(origins),
+        input=len(paths.records),
+    ) as span:
+        scores = ahc_scores(paths.records, origins, trim, weighting)
+        span.set(output=len(scores))
+        tracer.metrics.histogram("ahc.origins").observe(len(origins))
+        shares: Mapping[int, float] = scores
+        return Ranking.from_scores(f"AHC:{country}", scores, shares, country)

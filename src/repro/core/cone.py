@@ -30,6 +30,7 @@ from repro.core.sanitize import PathRecord, RelationshipOracle
 from repro.core.views import View
 from repro.net.aspath import ASPath
 from repro.net.prefix import Prefix
+from repro.obs.trace import NULL_TRACER
 
 
 def transit_suffix(path: ASPath, oracle: RelationshipOracle) -> tuple[int, ...]:
@@ -105,6 +106,7 @@ def cone_ranking(
     oracle: RelationshipOracle,
     metric: str | None = None,
     total_addresses: int | None = None,
+    tracer=NULL_TRACER,
 ) -> Ranking:
     """Rank ASes by cone address coverage within a view.
 
@@ -115,16 +117,22 @@ def cone_ranking(
     """
     if metric is None:
         metric = "CC" if view.country is None else f"CC:{view.country}"
-    addresses = cone_addresses(view.records, oracle)
-    denominator = (
-        total_addresses if total_addresses is not None else view.total_addresses()
-    )
-    shares = (
-        {asn: count / denominator for asn, count in addresses.items()}
-        if denominator
-        else None
-    )
-    return Ranking.from_scores(
-        metric, {asn: float(count) for asn, count in addresses.items()},
-        shares, view.country,
-    )
+    with tracer.span(
+        "cone", metric=metric, input=len(view.records),
+    ) as span:
+        addresses = cone_addresses(view.records, oracle)
+        denominator = (
+            total_addresses if total_addresses is not None
+            else view.total_addresses()
+        )
+        shares = (
+            {asn: count / denominator for asn, count in addresses.items()}
+            if denominator
+            else None
+        )
+        span.set(output=len(addresses))
+        tracer.metrics.histogram("cone.ases").observe(len(addresses))
+        return Ranking.from_scores(
+            metric, {asn: float(count) for asn, count in addresses.items()},
+            shares, view.country,
+        )

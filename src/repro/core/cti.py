@@ -24,6 +24,7 @@ from repro.core.hegemony import trimmed_mean
 from repro.core.ranking import Ranking
 from repro.core.sanitize import PathRecord, RelationshipOracle
 from repro.core.views import View
+from repro.obs.trace import NULL_TRACER
 
 
 def cti_scores(
@@ -64,11 +65,17 @@ def cti_ranking(
     view: View,
     oracle: RelationshipOracle,
     trim: float = 0.1,
+    tracer=NULL_TRACER,
 ) -> Ranking:
     """CTI ranking over a country's international view."""
     country = view.country
-    total = view.total_addresses()
-    scores = cti_scores(view.records, oracle, total, trim)
-    shares: Mapping[int, float] = scores
     metric = "CTI" if country is None else f"CTI:{country}"
-    return Ranking.from_scores(metric, scores, shares, country)
+    with tracer.span(
+        "cti", metric=metric, trim=trim, input=len(view.records),
+    ) as span:
+        total = view.total_addresses()
+        scores = cti_scores(view.records, oracle, total, trim)
+        span.set(output=len(scores))
+        tracer.metrics.histogram("cti.universe").observe(len(scores))
+        shares: Mapping[int, float] = scores
+        return Ranking.from_scores(metric, scores, shares, country)

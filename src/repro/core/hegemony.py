@@ -24,6 +24,7 @@ from typing import Iterable, Mapping
 from repro.core.ranking import Ranking
 from repro.core.sanitize import PathRecord
 from repro.core.views import View
+from repro.obs.trace import NULL_TRACER
 
 
 def _per_vp_scores(
@@ -111,6 +112,7 @@ def hegemony_ranking(
     metric: str | None = None,
     trim: float = 0.1,
     weighting: str = "addresses",
+    tracer=NULL_TRACER,
 ) -> Ranking:
     """Rank ASes by hegemony within a view.
 
@@ -120,6 +122,11 @@ def hegemony_ranking(
     """
     if metric is None:
         metric = "AH" if view.country is None else f"AH:{view.country}"
-    scores = hegemony_scores(view.records, trim, weighting)
-    shares: Mapping[int, float] = scores
-    return Ranking.from_scores(metric, scores, shares, view.country)
+    with tracer.span(
+        "hegemony", metric=metric, trim=trim, input=len(view.records),
+    ) as span:
+        scores = hegemony_scores(view.records, trim, weighting)
+        span.set(output=len(scores))
+        tracer.metrics.histogram("hegemony.universe").observe(len(scores))
+        shares: Mapping[int, float] = scores
+        return Ranking.from_scores(metric, scores, shares, view.country)

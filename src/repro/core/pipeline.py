@@ -31,6 +31,7 @@ from repro.core.views import (
 from repro.geo.database import GeoDatabase
 from repro.geo.prefix_geo import PrefixGeolocation, geolocate_prefixes
 from repro.geo.vp_geo import VPGeolocator
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.relationships.inference import InferredRelationships, infer_relationships
 from repro.topology.world import World
 
@@ -67,12 +68,19 @@ class PipelineConfig:
     #: (and IHR) treat IPv4 and IPv6 as separate ranking universes
     family: int = 4
     seed: int = 0
+    #: collect per-stage telemetry (spans + metrics) into
+    #: ``PipelineResult.trace``; ``"memory"`` additionally captures
+    #: tracemalloc peaks per stage. ``False`` keeps the no-op tracer on
+    #: every hook (near-zero overhead).
+    trace: bool | str = False
 
     def __post_init__(self) -> None:
         if self.path_diversity < 1:
             raise ValueError("path_diversity must be >= 1")
         if self.family not in (4, 6):
             raise ValueError("family must be 4 or 6")
+        if self.trace not in (False, True, "memory"):
+            raise ValueError("trace must be False, True, or 'memory'")
 
 
 class PipelineResult:
@@ -90,6 +98,7 @@ class PipelineResult:
         paths: PathSet,
         oracle: RelationshipOracle,
         inferred: InferredRelationships | None,
+        tracer=NULL_TRACER,
     ) -> None:
         self.world = world
         self.config = config
@@ -101,8 +110,17 @@ class PipelineResult:
         self.paths = paths
         self.oracle = oracle
         self.inferred = inferred
+        #: the tracer every lazily-computed view/ranking records into
+        #: (the shared no-op tracer when telemetry is off)
+        self._tracer = tracer
         self._views: dict[tuple[str, str | None], View] = {}
         self._rankings: dict[tuple[str, str | None], Ranking] = {}
+
+    @property
+    def trace(self):
+        """The collected telemetry (:class:`repro.obs.Tracer`), or
+        ``None`` when the run was not traced."""
+        return self._tracer if self._tracer.enabled else None
 
     # -- views ---------------------------------------------------------------
 
@@ -112,14 +130,17 @@ class PipelineResult:
         key = (kind, country)
         if key in self._views:
             return self._views[key]
+        tracer = self._tracer
         if kind == "global":
-            built = global_view(self.paths)
+            built = global_view(self.paths, tracer=tracer)
         elif kind == "national":
-            built = national_view(self.paths, self._need_country(country))
+            built = national_view(self.paths, self._need_country(country), tracer=tracer)
         elif kind == "international":
-            built = international_view(self.paths, self._need_country(country))
+            built = international_view(
+                self.paths, self._need_country(country), tracer=tracer
+            )
         elif kind == "outbound":
-            built = outbound_view(self.paths, self._need_country(country))
+            built = outbound_view(self.paths, self._need_country(country), tracer=tracer)
         else:
             raise ValueError(f"unknown view kind {kind!r}")
         self._views[key] = built
@@ -135,40 +156,57 @@ class PipelineResult:
         key = (metric, country)
         if key in self._rankings:
             return self._rankings[key]
-        built = self._compute_ranking(metric, country)
+        tracer = self._tracer
+        with tracer.span("ranking", metric=metric, country=country) as span:
+            built = self._compute_ranking(metric, country)
+            span.set(output=len(built.entries))
+            tracer.metrics.histogram("ranking.size").observe(len(built.entries))
+            tracer.metrics.counter("ranking.computed").inc()
         self._rankings[key] = built
         return built
 
     def _compute_ranking(self, metric: str, country: str | None) -> Ranking:
         trim = self.config.trim
+        tracer = self._tracer
         if metric == "CCG":
-            return cone_ranking(self.view("global"), self.oracle, "CCG")
+            return cone_ranking(self.view("global"), self.oracle, "CCG", tracer=tracer)
         if metric == "AHG":
-            return hegemony_ranking(self.view("global"), "AHG", trim)
+            return hegemony_ranking(self.view("global"), "AHG", trim, tracer=tracer)
         code = self._need_country(country)
         if metric == "CCI":
             return cone_ranking(
-                self.view("international", code), self.oracle, f"CCI:{code}"
+                self.view("international", code), self.oracle, f"CCI:{code}",
+                tracer=tracer,
             )
         if metric == "CCN":
             return cone_ranking(
-                self.view("national", code), self.oracle, f"CCN:{code}"
+                self.view("national", code), self.oracle, f"CCN:{code}",
+                tracer=tracer,
             )
         if metric == "AHI":
-            return hegemony_ranking(self.view("international", code), f"AHI:{code}", trim)
+            return hegemony_ranking(
+                self.view("international", code), f"AHI:{code}", trim, tracer=tracer
+            )
         if metric == "AHN":
-            return hegemony_ranking(self.view("national", code), f"AHN:{code}", trim)
+            return hegemony_ranking(
+                self.view("national", code), f"AHN:{code}", trim, tracer=tracer
+            )
         if metric == "AHC":
             origins = self.world.graph.by_registry_country(code)
-            return ahc_ranking(self.paths, code, origins, trim)
+            return ahc_ranking(self.paths, code, origins, trim, tracer=tracer)
         if metric == "CTI":
-            return cti_ranking(self.view("international", code), self.oracle, trim)
+            return cti_ranking(
+                self.view("international", code), self.oracle, trim, tracer=tracer
+            )
         if metric == "CCO":
             return cone_ranking(
-                self.view("outbound", code), self.oracle, f"CCO:{code}"
+                self.view("outbound", code), self.oracle, f"CCO:{code}",
+                tracer=tracer,
             )
         if metric == "AHO":
-            return hegemony_ranking(self.view("outbound", code), f"AHO:{code}", trim)
+            return hegemony_ranking(
+                self.view("outbound", code), f"AHO:{code}", trim, tracer=tracer
+            )
         raise ValueError(f"unknown metric {metric!r}")
 
     # -- conveniences ---------------------------------------------------------------
@@ -201,51 +239,76 @@ class Pipeline:
 
     config: PipelineConfig = field(default_factory=PipelineConfig)
 
-    def run(self, world: World) -> PipelineResult:
-        """Execute every stage of Figure 6 on one world."""
+    def run(self, world: World, tracer: "Tracer | None" = None) -> PipelineResult:
+        """Execute every stage of Figure 6 on one world.
+
+        ``tracer`` overrides the tracer built from ``config.trace``
+        (pass a preconfigured :class:`repro.obs.Tracer` to share one
+        registry across runs or to tune memory capture).
+        """
         config = self.config
-        outcomes = [
-            propagate_all(
-                world.graph, keep=world.vp_asns(),
-                tiebreak=config.tiebreak, salt=salt,
+        if tracer is None:
+            tracer = (
+                Tracer(capture_memory=config.trace == "memory")
+                if config.trace else NULL_TRACER
             )
-            for salt in range(config.path_diversity)
-        ]
-        outcome = outcomes[0]
-        ribs = generate_rib_days(world, outcomes, config.rib, config.seed)
-        geodb = GeoDatabase.from_world(
-            world, config.geo_noise_rate, config.geo_miss_rate,
-            config.seed + 1, config.family,
-        )
-        prefix_geo = geolocate_prefixes(
-            world.announced_prefixes(), geodb, config.geo_threshold,
-            version=config.family,
-        )
-        vp_geo = VPGeolocator(world.collectors)
-        graph = world.graph
-        family_records = (
-            record for record in ribs.records()
-            if record.prefix.version == config.family
-        )
-        paths = sanitize(
-            family_records,
-            clique=graph.clique(),
-            is_allocated=graph.asn_registry.is_allocated,
-            route_servers=graph.route_servers(),
-            vp_geo=vp_geo,
-            prefix_geo=prefix_geo,
-        )
-        inferred: InferredRelationships | None = None
-        oracle: RelationshipOracle = graph
-        if config.use_inferred_relationships:
-            inferred = infer_relationships(record.path for record in paths.records)
-            oracle = inferred
+        with tracer.span(
+            "pipeline", world=world.name, seed=config.seed, family=config.family,
+        ):
+            with tracer.span("propagate", planes=config.path_diversity):
+                outcomes = [
+                    propagate_all(
+                        world.graph, keep=world.vp_asns(),
+                        tiebreak=config.tiebreak, salt=salt, tracer=tracer,
+                    )
+                    for salt in range(config.path_diversity)
+                ]
+            outcome = outcomes[0]
+            ribs = generate_rib_days(
+                world, outcomes, config.rib, config.seed, tracer=tracer
+            )
+            with tracer.span("geodb"):
+                geodb = GeoDatabase.from_world(
+                    world, config.geo_noise_rate, config.geo_miss_rate,
+                    config.seed + 1, config.family,
+                )
+            prefix_geo = geolocate_prefixes(
+                world.announced_prefixes(), geodb, config.geo_threshold,
+                version=config.family, tracer=tracer,
+            )
+            vp_geo = VPGeolocator(world.collectors)
+            graph = world.graph
+            family_records = (
+                record for record in ribs.records()
+                if record.prefix.version == config.family
+            )
+            paths = sanitize(
+                family_records,
+                clique=graph.clique(),
+                is_allocated=graph.asn_registry.is_allocated,
+                route_servers=graph.route_servers(),
+                vp_geo=vp_geo,
+                prefix_geo=prefix_geo,
+                tracer=tracer,
+            )
+            inferred: InferredRelationships | None = None
+            oracle: RelationshipOracle = graph
+            if config.use_inferred_relationships:
+                with tracer.span("relationships", input=len(paths.records)):
+                    inferred = infer_relationships(
+                        record.path for record in paths.records
+                    )
+                oracle = inferred
         return PipelineResult(
             world, config, outcome, ribs, geodb, prefix_geo, vp_geo, paths,
-            oracle, inferred,
+            oracle, inferred, tracer,
         )
 
 
-def run_pipeline(world: World, config: PipelineConfig | None = None) -> PipelineResult:
+def run_pipeline(
+    world: World,
+    config: PipelineConfig | None = None,
+    tracer: "Tracer | None" = None,
+) -> PipelineResult:
     """One-shot convenience wrapper around :class:`Pipeline`."""
-    return Pipeline(config or PipelineConfig()).run(world)
+    return Pipeline(config or PipelineConfig()).run(world, tracer)

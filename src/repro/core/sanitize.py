@@ -32,6 +32,7 @@ from repro.geo.prefix_geo import PrefixGeolocation
 from repro.geo.vp_geo import VPGeolocator
 from repro.net.aspath import ASPath
 from repro.net.prefix import Prefix
+from repro.obs.trace import NULL_TRACER
 
 
 class RelationshipOracle(Protocol):
@@ -185,8 +186,43 @@ def sanitize(
     route_servers: frozenset[int],
     vp_geo: VPGeolocator,
     prefix_geo: PrefixGeolocation,
+    tracer=NULL_TRACER,
 ) -> PathSet:
-    """Run the full Table-1 pipeline over deduplicated RIB records."""
+    """Run the full Table-1 pipeline over deduplicated RIB records.
+
+    ``tracer`` wraps the pass in a ``sanitize`` span and mirrors the
+    :class:`FilterReport` into ``sanitize.input`` / ``sanitize.accepted``
+    / ``sanitize.dropped.<category>`` counters — the aggregation happens
+    in the report either way, so tracing adds nothing to the per-record
+    loop.
+    """
+    with tracer.span("sanitize") as span:
+        path_set = _sanitize(
+            records, clique, is_allocated, route_servers, vp_geo, prefix_geo
+        )
+        report = path_set.report
+        span.set(
+            input=report.total, output=report.accepted,
+            records=len(path_set.records),
+        )
+        metrics = tracer.metrics
+        metrics.counter("sanitize.input").inc(report.total)
+        metrics.counter("sanitize.accepted").inc(report.accepted)
+        for category in REJECT_CATEGORIES:
+            metrics.counter(f"sanitize.dropped.{category}").inc(
+                report.rejected[category]
+            )
+    return path_set
+
+
+def _sanitize(
+    records: Iterable[RibRecord],
+    clique: frozenset[int],
+    is_allocated: Callable[[int], bool],
+    route_servers: frozenset[int],
+    vp_geo: VPGeolocator,
+    prefix_geo: PrefixGeolocation,
+) -> PathSet:
     report = FilterReport()
     out: list[PathRecord] = []
     for record in records:

@@ -18,6 +18,7 @@ from typing import Iterable
 
 from repro.bgp.collectors import VantagePoint
 from repro.core.sanitize import PathRecord, PathSet
+from repro.obs.trace import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -56,38 +57,50 @@ class View:
         )
 
 
-def national_view(paths: PathSet, country: str) -> View:
+def _build_view(paths: PathSet, kind: str, country: str | None, keep, tracer) -> View:
+    """Construct a view under a ``views`` span; record its size/VP
+    distributions (VP counting only runs when tracing is on — it is
+    pure telemetry, never on the disabled path)."""
+    name = kind if country is None else f"{kind}:{country}"
+    with tracer.span(
+        "views", kind=kind, country=country, input=len(paths.records),
+    ) as span:
+        records = (
+            tuple(paths.records) if keep is None
+            else tuple(record for record in paths.records if keep(record))
+        )
+        view = View(name=name, country=country, records=records)
+        span.set(output=len(view.records))
+        if tracer.enabled:
+            tracer.metrics.histogram("views.size").observe(len(view.records))
+            tracer.metrics.histogram("views.vps").observe(len(view.vps()))
+    return view
+
+
+def national_view(paths: PathSet, country: str, tracer=NULL_TRACER) -> View:
     """Paths from in-country VPs to in-country prefixes (CCN/AHN input)."""
-    return View(
-        name=f"national:{country}",
-        country=country,
-        records=tuple(
-            record
-            for record in paths.records
-            if record.vp_country == country and record.prefix_country == country
-        ),
+    return _build_view(
+        paths, "national", country,
+        lambda r: r.vp_country == country and r.prefix_country == country,
+        tracer,
     )
 
 
-def international_view(paths: PathSet, country: str) -> View:
+def international_view(paths: PathSet, country: str, tracer=NULL_TRACER) -> View:
     """Paths from out-of-country VPs to in-country prefixes (CCI/AHI)."""
-    return View(
-        name=f"international:{country}",
-        country=country,
-        records=tuple(
-            record
-            for record in paths.records
-            if record.vp_country != country and record.prefix_country == country
-        ),
+    return _build_view(
+        paths, "international", country,
+        lambda r: r.vp_country != country and r.prefix_country == country,
+        tracer,
     )
 
 
-def global_view(paths: PathSet) -> View:
+def global_view(paths: PathSet, tracer=NULL_TRACER) -> View:
     """Every sanitized path (CCG/AHG baselines)."""
-    return View(name="global", country=None, records=tuple(paths.records))
+    return _build_view(paths, "global", None, None, tracer)
 
 
-def outbound_view(paths: PathSet, country: str) -> View:
+def outbound_view(paths: PathSet, country: str, tracer=NULL_TRACER) -> View:
     """Paths from in-country VPs to out-of-country prefixes.
 
     The paper's §7 names "a metric that characterizes paths *out of* a
@@ -95,14 +108,10 @@ def outbound_view(paths: PathSet, country: str) -> View:
     reaches the rest of the world. Feeding it to the cone/hegemony
     metrics yields CCO/AHO, the outbound analogues of CCI/AHI.
     """
-    return View(
-        name=f"outbound:{country}",
-        country=country,
-        records=tuple(
-            record
-            for record in paths.records
-            if record.vp_country == country and record.prefix_country != country
-        ),
+    return _build_view(
+        paths, "outbound", country,
+        lambda r: r.vp_country == country and r.prefix_country != country,
+        tracer,
     )
 
 

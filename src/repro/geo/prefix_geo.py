@@ -22,6 +22,7 @@ from typing import Iterable, Mapping
 from repro.geo.database import GeoDatabase
 from repro.net.blocks import Block, split_into_blocks
 from repro.net.prefix import Prefix
+from repro.obs.trace import NULL_TRACER
 
 
 @dataclass(frozen=True, slots=True)
@@ -123,8 +124,40 @@ def geolocate_prefixes(
     database: GeoDatabase,
     threshold: float = 0.5,
     version: int = 4,
+    tracer=NULL_TRACER,
 ) -> PrefixGeolocation:
-    """Run the full §3.2.1 pipeline over an announced-prefix set."""
+    """Run the full §3.2.1 pipeline over an announced-prefix set.
+
+    ``tracer`` wraps the pass in a ``geolocate`` span and mirrors the
+    outcome into ``geo.prefixes.accepted`` / ``geo.prefixes.covered`` /
+    ``geo.prefixes.no_consensus`` counters and the
+    ``geo.addresses.owned`` gauge.
+    """
+    with tracer.span("geolocate", threshold=threshold) as span:
+        outcome = _geolocate_prefixes(prefixes, database, threshold, version)
+        span.set(
+            input=len(outcome.country_of) + len(outcome.no_consensus)
+            + len(outcome.covered),
+            output=len(outcome.country_of),
+        )
+        metrics = tracer.metrics
+        metrics.counter("geo.prefixes.accepted").inc(len(outcome.country_of))
+        metrics.counter("geo.prefixes.covered").inc(len(outcome.covered))
+        metrics.counter("geo.prefixes.no_consensus").inc(
+            len(outcome.no_consensus)
+        )
+        metrics.gauge("geo.addresses.owned").set(
+            sum(outcome.owned_addresses.values())
+        )
+    return outcome
+
+
+def _geolocate_prefixes(
+    prefixes: Iterable[Prefix],
+    database: GeoDatabase,
+    threshold: float = 0.5,
+    version: int = 4,
+) -> PrefixGeolocation:
     if not 0.0 <= threshold < 1.0:
         raise ValueError(f"threshold out of range: {threshold}")
     unique = sorted(

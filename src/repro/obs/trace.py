@@ -1,0 +1,249 @@
+"""Lightweight span tracing for the pipeline.
+
+A :class:`Tracer` records a tree of timed *spans*::
+
+    with tracer.span("sanitize", input=n) as span:
+        ...
+        span.set(output=len(out))
+
+Each closed span becomes an immutable :class:`SpanRecord` carrying
+wall-clock duration, CPU time, optional ``tracemalloc`` peak memory,
+and a free-form attribute dict (conventionally the stage's input /
+output volumes). Spans nest via an explicit stack, so the records form
+a forest: anything opened while another span is live becomes its child,
+and rankings computed lazily after the run start fresh roots.
+
+Everything except the timing fields is deterministic: span ids are
+allocated sequentially, event order follows execution order, and
+attributes are whatever the instrumented code put there — two runs with
+the same seed produce the same records modulo ``start_s`` / ``dur_s`` /
+``cpu_s`` / ``mem_peak``.
+
+Disabled mode is the module-level :data:`NULL_TRACER`: its ``span()``
+returns one shared no-op context manager and its ``metrics`` registry
+hands out shared no-op instruments, so instrumented code calls the same
+methods unconditionally — no ``if tracing:`` branches in hot paths, and
+no allocation per call when tracing is off.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+
+
+@dataclass(frozen=True, slots=True)
+class SpanRecord:
+    """One finished span."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    #: wall-clock offset from the tracer's creation, seconds
+    start_s: float
+    dur_s: float
+    cpu_s: float
+    #: tracemalloc peak (bytes) observed while the span was open, or
+    #: ``None`` when memory capture was off
+    mem_peak: int | None
+    attrs: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def error(self) -> bool:
+        """Whether the span closed by propagating an exception."""
+        return bool(self.attrs.get("error"))
+
+
+class Span:
+    """A live span; use as a context manager, annotate with :meth:`set`."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id",
+                 "_wall0", "_cpu0")
+
+    def __init__(
+        self, tracer: "Tracer", name: str, parent_id: int | None,
+        span_id: int, attrs: dict[str, object],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach attributes (volumes, counts, labels) to the span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        dur = time.perf_counter() - self._wall0
+        cpu = time.process_time() - self._cpu0
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._pop(self, dur, cpu)
+        return False  # never swallow the exception
+
+
+class Tracer:
+    """Collects spans and owns a :class:`MetricsRegistry`.
+
+    ``capture_memory=True`` starts ``tracemalloc`` (if not already
+    running) and records, per span, the peak traced heap observed while
+    the span was open. The peak counter is global and only reset when a
+    *root* span opens, so nested spans report "peak since my subtree's
+    root started" — coarse, but free of per-span bookkeeping.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        capture_memory: bool = False,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.spans: list[SpanRecord] = []
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.capture_memory = capture_memory
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self._epoch = time.perf_counter()
+        self._started_tracemalloc = False
+        if capture_memory:
+            import tracemalloc
+
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._started_tracemalloc = True
+
+    # -- public API ---------------------------------------------------------
+
+    def span(self, name: str, **attrs: object) -> Span:
+        """Open a new span (child of the innermost live span, if any)."""
+        parent_id = self._stack[-1].span_id if self._stack else None
+        span_id = self._next_id
+        self._next_id += 1
+        return Span(self, name, parent_id, span_id, dict(attrs))
+
+    def close(self) -> None:
+        """Stop tracemalloc if this tracer started it."""
+        if self._started_tracemalloc:
+            import tracemalloc
+
+            tracemalloc.stop()
+            self._started_tracemalloc = False
+
+    def stage_names(self) -> list[str]:
+        """Distinct span names in first-recorded order."""
+        seen: dict[str, None] = {}
+        for record in self.spans:
+            seen.setdefault(record.name)
+        return list(seen)
+
+    def find(self, name: str) -> list[SpanRecord]:
+        """All recorded spans with the given name."""
+        return [record for record in self.spans if record.name == name]
+
+    # -- span bookkeeping ---------------------------------------------------
+
+    def _push(self, span: Span) -> None:
+        if self.capture_memory and not self._stack:
+            import tracemalloc
+
+            tracemalloc.reset_peak()
+        self._stack.append(span)
+
+    def _pop(self, span: Span, dur: float, cpu: float) -> None:
+        # Close any children an exception left open, innermost first,
+        # so the record list stays a well-formed forest.
+        while self._stack and self._stack[-1] is not span:
+            dangling = self._stack.pop()
+            self.spans.append(
+                SpanRecord(
+                    span_id=dangling.span_id,
+                    parent_id=dangling.parent_id,
+                    name=dangling.name,
+                    start_s=dangling._wall0 - self._epoch,
+                    dur_s=0.0,
+                    cpu_s=0.0,
+                    mem_peak=None,
+                    attrs={**dangling.attrs, "error": "abandoned"},
+                )
+            )
+        if self._stack:
+            self._stack.pop()
+        mem_peak: int | None = None
+        if self.capture_memory:
+            import tracemalloc
+
+            mem_peak = tracemalloc.get_traced_memory()[1]
+        self.spans.append(
+            SpanRecord(
+                span_id=span.span_id,
+                parent_id=span.parent_id,
+                name=span.name,
+                start_s=span._wall0 - self._epoch,
+                dur_s=dur,
+                cpu_s=cpu,
+                mem_peak=mem_peak,
+                attrs=span.attrs,
+            )
+        )
+
+
+class NullSpan:
+    """The shared do-nothing span."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: object) -> "NullSpan":
+        return self
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+class NullTracer:
+    """The disabled tracer: every call is a cheap no-op.
+
+    ``span()`` hands back one shared :class:`NullSpan` instance (no
+    allocation), and ``metrics`` is the shared no-op registry, so code
+    instrumented against a tracer pays only an attribute lookup and a
+    method call when tracing is off.
+    """
+
+    enabled = False
+    metrics = NULL_METRICS
+    spans: tuple[SpanRecord, ...] = ()
+    capture_memory = False
+
+    __slots__ = ()
+
+    def span(self, name: str = "", **attrs: object) -> NullSpan:
+        return NULL_SPAN
+
+    def close(self) -> None:
+        pass
+
+    def stage_names(self) -> list[str]:
+        return []
+
+    def find(self, name: str) -> list[SpanRecord]:
+        return []
+
+
+#: Module-level singletons for disabled-mode instrumentation.
+NULL_SPAN = NullSpan()
+NULL_TRACER = NullTracer()

@@ -1,0 +1,94 @@
+"""MetricsRegistry semantics and the Prometheus exposition."""
+
+import pytest
+
+from repro.obs.export import to_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestCounter:
+    def test_get_or_create_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc()
+        registry.counter("a.b").inc(4)
+        assert registry.counters() == {"a.b": 5}
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("a").inc(-1)
+
+    def test_zero_increment_ok(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(0)
+        assert registry.counters() == {"a": 0}
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(3.0)
+        registry.gauge("g").set(1.5)
+        assert registry.gauges() == {"g": 1.5}
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for value in (4.0, 1.0, 7.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 12.0
+        assert hist.min == 1.0
+        assert hist.max == 7.0
+        assert hist.mean() == 4.0
+
+    def test_empty_mean_is_zero(self):
+        assert MetricsRegistry().histogram("h").mean() == 0.0
+
+
+class TestRegistry:
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_snapshot_sorted_and_json_ready(self):
+        registry = MetricsRegistry()
+        registry.counter("z.count").inc(2)
+        registry.gauge("a.gauge").set(1.0)
+        registry.histogram("m.hist").observe(3.0)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a.gauge", "m.hist", "z.count"]
+        assert snapshot["z.count"] == {"kind": "counter", "value": 2}
+        assert snapshot["m.hist"]["count"] == 1
+        assert snapshot["m.hist"]["min"] == 3.0
+
+    def test_empty_histogram_snapshot_uses_none(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        assert registry.snapshot()["h"]["min"] is None
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter("sanitize.dropped.loop").inc(12)
+        registry.gauge("ribs.paths").set(420)
+        registry.histogram("views.size").observe(10)
+        registry.histogram("views.size").observe(30)
+        text = to_prometheus(registry)
+        assert "# TYPE repro_sanitize_dropped_loop_total counter" in text
+        assert "repro_sanitize_dropped_loop_total 12" in text
+        assert "repro_ribs_paths 420" in text
+        assert "repro_views_size_count 2" in text
+        assert "repro_views_size_sum 40" in text
+        assert "repro_views_size_min 10" in text
+        assert "repro_views_size_max 30" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""

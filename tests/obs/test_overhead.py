@@ -1,0 +1,82 @@
+"""Micro-overhead guard: disabled-mode hooks must be near-free.
+
+The strict <5 % whole-pipeline comparison lives in
+``benchmarks/bench_obs_overhead.py`` where timing noise is managed; the
+tier-1 guards here use generous absolute bounds so they never flake,
+while still catching any accidental allocation or real work sneaking
+onto the disabled path.
+"""
+
+import time
+
+from repro.core.pipeline import PipelineConfig, run_pipeline
+from repro.obs.trace import NULL_SPAN, NULL_TRACER
+from repro.topology.generator import GeneratorConfig, generate_world
+from repro.topology.profiles import small_profiles
+
+
+def small_world():
+    config = GeneratorConfig(
+        profiles=small_profiles(), clique_homes=("US", "US", "SE", "JP")
+    )
+    return generate_world(config, seed=0, name="small")
+
+
+class TestNullPrimitivesAreCheap:
+    N = 100_000
+
+    def test_null_span_loop(self):
+        start = time.perf_counter()
+        for _ in range(self.N):
+            with NULL_TRACER.span("hot"):
+                pass
+        elapsed = time.perf_counter() - start
+        # ~3 attribute lookups + 2 method calls per iteration; anything
+        # near 10 µs/call means real work leaked onto the disabled path.
+        assert elapsed < self.N * 10e-6
+
+    def test_null_span_allocates_nothing(self):
+        spans = {id(NULL_TRACER.span("x", a=1)) for _ in range(100)}
+        assert spans == {id(NULL_SPAN)}
+
+    def test_null_metrics_loop(self):
+        counter = NULL_TRACER.metrics.counter("hot.counter")
+        hist = NULL_TRACER.metrics.histogram("hot.hist")
+        start = time.perf_counter()
+        for index in range(self.N):
+            counter.inc()
+            hist.observe(index)
+        elapsed = time.perf_counter() - start
+        assert elapsed < self.N * 10e-6
+
+
+class TestDisabledModeIsTransparent:
+    def test_results_identical_with_and_without_trace(self):
+        world = small_world()
+        plain = run_pipeline(world, PipelineConfig(seed=3))
+        traced = run_pipeline(world, PipelineConfig(seed=3, trace=True))
+
+        assert plain.trace is None
+        assert traced.trace is not None
+
+        assert plain.paths.report.rejected == traced.paths.report.rejected
+        assert plain.paths.report.accepted == traced.paths.report.accepted
+        for metric, country in (("AHN", "AU"), ("CCI", "AU"), ("AHG", None)):
+            left = plain.ranking(metric, country)
+            right = traced.ranking(metric, country)
+            assert [(e.asn, e.value) for e in left.entries] == [
+                (e.asn, e.value) for e in right.entries
+            ]
+
+    def test_traced_runs_are_seed_stable(self):
+        world = small_world()
+        shapes = []
+        for _ in range(2):
+            result = run_pipeline(world, PipelineConfig(seed=3, trace=True))
+            result.ranking("AHN", "AU")
+            tracer = result.trace
+            shapes.append((
+                [(r.span_id, r.parent_id, r.name) for r in tracer.spans],
+                tracer.metrics.snapshot(),
+            ))
+        assert shapes[0] == shapes[1]

@@ -1,8 +1,13 @@
 """Tests for the repro-rank command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_world, main
+from repro.core.pipeline import PipelineConfig, run_pipeline
+from repro.core.sanitize import REJECT_CATEGORIES
+from repro.obs.export import validate_jsonl
 
 
 class TestBuildWorld:
@@ -57,3 +62,95 @@ class TestCommands:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main(["--world", "small"])
+
+
+class TestTraceCommand:
+    def test_stage_report_drops_match_filter_report(self, capsys):
+        assert main(["--world", "small", "trace"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline stage report" in out
+        assert "sanitize" in out
+
+        # The same world/seed, run directly: the report's Table-1 drop
+        # counts must match the FilterReport exactly.
+        result = run_pipeline(build_world("small", 0), PipelineConfig(seed=0))
+        report = result.paths.report
+        section = out.split("-- sanitize drops")[1].split("\n--")[0]
+        drop_lines = {
+            parts[0]: int(parts[1])
+            for parts in (line.split() for line in section.splitlines())
+            if parts and parts[0] in REJECT_CATEGORIES
+        }
+        for category in REJECT_CATEGORIES:
+            assert drop_lines[category] == report.rejected[category], category
+
+    def test_json_mode_emits_schema_valid_spans(self, capsys):
+        assert main(["--world", "small", "trace", "--json"]) == 0
+        out = capsys.readouterr().out
+        assert validate_jsonl(out) == []
+        events = [json.loads(line) for line in out.splitlines() if line.strip()]
+        stages = {e["name"] for e in events if e["type"] == "span"}
+        required = {
+            "ribs", "sanitize", "geolocate", "views", "cone", "hegemony",
+            "ahc", "cti", "ranking",
+        }
+        assert required <= stages
+        assert len(stages) >= 8
+
+    def test_prom_mode(self, capsys):
+        assert main(["--world", "small", "trace", "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_sanitize_input_total counter" in out
+        assert "repro_sanitize_accepted_total" in out
+
+    def test_country_option(self, capsys):
+        assert main(["--world", "small", "trace", "--country", "AU"]) == 0
+        assert "stage report" in capsys.readouterr().out
+
+
+class TestValidation:
+    def test_unknown_metric(self, capsys):
+        assert main(["--world", "small", "rank", "XXX"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown metric 'XXX'" in err
+        assert "CCI" in err  # lists the valid choices
+
+    def test_unknown_country(self, capsys):
+        assert main(["--world", "small", "rank", "AHN", "ZZ"]) == 2
+        assert "unknown country 'ZZ'" in capsys.readouterr().err
+
+    def test_country_metric_without_country(self, capsys):
+        assert main(["--world", "small", "rank", "AHN"]) == 2
+        assert "requires a country" in capsys.readouterr().err
+
+    def test_lowercase_inputs_accepted(self, capsys):
+        assert main(["--world", "small", "rank", "ahg", "-k", "2"]) == 0
+        assert "AHG" in capsys.readouterr().out
+
+    def test_case_study_unknown_country(self, capsys):
+        assert main(["--world", "small", "case-study", "QQ"]) == 2
+        assert "unknown country" in capsys.readouterr().err
+
+    def test_stability_unknown_metric(self, capsys):
+        assert main(["--world", "small", "stability", "AU", "BOGUS"]) == 2
+        assert "unknown metric" in capsys.readouterr().err
+
+    def test_concentration_unknown_country(self, capsys):
+        assert main(["--world", "small", "concentration", "AU,??"]) == 2
+        assert "unknown country" in capsys.readouterr().err
+
+    def test_disconnect_bad_target(self, capsys):
+        assert main(["--world", "small", "disconnect", "1,2,x"]) == 2
+        assert "neither a country code nor" in capsys.readouterr().err
+
+    def test_disconnect_unknown_country(self, capsys):
+        assert main(["--world", "small", "disconnect", "qq"]) == 2
+        assert "unknown country" in capsys.readouterr().err
+
+    def test_trace_unknown_country(self, capsys):
+        assert main(["--world", "small", "trace", "--country", "ZZ"]) == 2
+        assert "unknown country" in capsys.readouterr().err
+
+    def test_replay_unknown_metric(self, capsys):
+        assert main(["replay", "nonexistent.jsonl", "NOPE"]) == 2
+        assert "unknown metric" in capsys.readouterr().err
