@@ -1,0 +1,18 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Full scaling benchmark (small + medium worlds); writes
+## BENCH_pipeline.json at the repo root and fails below the 3x
+## indexed-vs-naive floor on the medium world.
+bench:
+	$(PYTHON) benchmarks/bench_pipeline_scaling.py --min-speedup 3.0
+
+## Quick perf gate: small world under a time ceiling (see
+## benchmarks/smoke.sh); writes benchmarks/output/BENCH_smoke.json.
+bench-smoke:
+	sh benchmarks/smoke.sh

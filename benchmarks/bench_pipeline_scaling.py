@@ -1,0 +1,219 @@
+"""Perf trajectory: batch ranking engine scaling benchmark.
+
+Times, per world (small / medium):
+
+* **cold pipeline** — a full ``run_pipeline`` (propagate → RIBs →
+  sanitize → geolocate), serial;
+* **naive sweep** — the pre-batch-engine behaviour: every (metric,
+  country) pair rebuilds its view by scanning all sanitized records
+  and recomputes every intermediate (transit suffixes, cones, per-VP
+  betweenness, address totals) from scratch;
+* **indexed sweep** — ``PipelineResult.rank_all`` over the same pairs:
+  shared path index + cross-metric intermediate caches;
+* **parallel pipeline** — the cold pipeline with ``workers`` process
+  fan-out on route propagation (recorded for the trajectory; on a
+  single-core box this is expected to be slower, not faster).
+
+Writes ``BENCH_pipeline.json`` at the repo root (override with
+``--output``) and exits non-zero when the indexed-vs-naive speedup
+falls below ``--min-speedup`` — the hook ``make bench-smoke`` uses to
+fail loudly on perf regressions.
+
+Run:  PYTHONPATH=src python benchmarks/bench_pipeline_scaling.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro import (
+    GeneratorConfig,
+    PipelineConfig,
+    PipelineResult,
+    generate_world,
+    run_pipeline,
+    small_profiles,
+)
+from repro.core.cone import cone_ranking
+from repro.core.cti import cti_ranking
+from repro.core.hegemony import hegemony_ranking
+from repro.core.views import international_view, national_view, outbound_view
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The paper's four country metrics plus the CTI baseline — the
+#: composition of the Tables 9–12 sweeps.
+SWEEP_METRICS = ("CCI", "CCN", "AHI", "AHN", "CTI")
+
+_NAIVE_VIEWS = {
+    "CCI": international_view,
+    "CCN": national_view,
+    "AHI": international_view,
+    "AHN": national_view,
+    "CTI": international_view,
+    "CCO": outbound_view,
+    "AHO": outbound_view,
+}
+
+
+def build_world(kind: str, seed: int):
+    if kind == "small":
+        config = GeneratorConfig(
+            profiles=small_profiles(), clique_homes=("US", "US", "SE", "JP")
+        )
+        return generate_world(config, seed=seed, name="small")
+    if kind == "medium":
+        return generate_world(seed=seed, name="medium")
+    raise ValueError(f"unknown bench world {kind!r}")
+
+
+def naive_ranking(result: PipelineResult, metric: str, country: str):
+    """One (metric, country) ranking the pre-engine way: rebuild the
+    view by a full-record scan, recompute every intermediate."""
+    view = _NAIVE_VIEWS[metric](result.paths, country)
+    trim = result.config.trim
+    if metric.startswith("CC"):
+        return cone_ranking(view, result.oracle, f"{metric}:{country}")
+    if metric.startswith("AH"):
+        return hegemony_ranking(view, f"{metric}:{country}", trim)
+    return cti_ranking(view, result.oracle, trim)
+
+
+def fresh_result(result: PipelineResult) -> PipelineResult:
+    """The same pipeline products with cold engine caches, so the
+    indexed sweep is timed from scratch (no warm index/suffix cache)."""
+    return PipelineResult(
+        result.world, result.config, result.outcome, result.ribs,
+        result.geodb, result.prefix_geo, result.vp_geo, result.paths,
+        result.oracle, result.inferred,
+    )
+
+
+def pick_countries(result: PipelineResult, want: int) -> list[str]:
+    """Sweep countries: qualifying national views first, topped up with
+    the biggest destination countries."""
+    chosen = result.countries_with_national_view()[:want]
+    if len(chosen) < want:
+        by_addresses = sorted(
+            result.country_addresses().items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        for code, _ in by_addresses:
+            if code not in chosen:
+                chosen.append(code)
+            if len(chosen) >= want:
+                break
+    return chosen[:want]
+
+
+def bench_world(
+    kind: str, seed: int, countries_wanted: int, workers: int
+) -> dict:
+    world = build_world(kind, seed)
+
+    t0 = time.perf_counter()
+    result = run_pipeline(world, PipelineConfig(seed=seed))
+    pipeline_cold_s = time.perf_counter() - t0
+
+    countries = pick_countries(result, countries_wanted)
+    pairs = [(m, c) for m in SWEEP_METRICS for c in countries]
+
+    t0 = time.perf_counter()
+    naive = {
+        (metric, country): naive_ranking(result, metric, country)
+        for metric, country in pairs
+    }
+    sweep_naive_s = time.perf_counter() - t0
+
+    cold = fresh_result(result)
+    t0 = time.perf_counter()
+    indexed = cold.rank_all(SWEEP_METRICS, countries)
+    sweep_indexed_s = time.perf_counter() - t0
+
+    for key, ranking in naive.items():
+        entries = [(e.asn, e.value, e.share) for e in ranking.entries]
+        other = [(e.asn, e.value, e.share) for e in indexed[key].entries]
+        if entries != other:
+            raise AssertionError(f"indexed sweep diverged from naive on {key}")
+
+    t0 = time.perf_counter()
+    run_pipeline(world, PipelineConfig(seed=seed, workers=workers))
+    pipeline_parallel_s = time.perf_counter() - t0
+
+    speedup = sweep_naive_s / sweep_indexed_s if sweep_indexed_s else float("inf")
+    return {
+        "records": len(result.paths),
+        "countries": countries,
+        "metrics": list(SWEEP_METRICS),
+        "pairs": len(pairs),
+        "pipeline_cold_s": round(pipeline_cold_s, 4),
+        "pipeline_parallel_s": round(pipeline_parallel_s, 4),
+        "workers": workers,
+        "sweep_naive_s": round(sweep_naive_s, 4),
+        "sweep_indexed_s": round(sweep_indexed_s, 4),
+        "speedup_indexed_vs_naive": round(speedup, 2),
+        "end_to_end_serial_s": round(pipeline_cold_s + sweep_naive_s, 4),
+        "end_to_end_engine_s": round(pipeline_cold_s + sweep_indexed_s, 4),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--worlds", default="small,medium")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--countries", type=int, default=5)
+    parser.add_argument(
+        "--workers", type=int, default=min(4, os.cpu_count() or 1) + 1,
+        help="fan-out width for the parallel pipeline measurement",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=0.0,
+        help="fail (exit 1) when the *last* world's indexed-vs-naive "
+             "speedup is below this floor (0 disables)",
+    )
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_pipeline.json")
+    )
+    args = parser.parse_args(argv)
+
+    report = {
+        "schema": "bench_pipeline/1",
+        "cpus": os.cpu_count(),
+        "seed": args.seed,
+        "worlds": {},
+    }
+    last_speedup = float("inf")
+    for kind in [w for w in args.worlds.split(",") if w]:
+        print(f"[{kind}] running …", flush=True)
+        entry = bench_world(kind, args.seed, args.countries, args.workers)
+        report["worlds"][kind] = entry
+        last_speedup = entry["speedup_indexed_vs_naive"]
+        print(
+            f"[{kind}] pipeline {entry['pipeline_cold_s']:.2f}s  "
+            f"naive sweep {entry['sweep_naive_s']:.2f}s  "
+            f"indexed sweep {entry['sweep_indexed_s']:.2f}s  "
+            f"speedup {entry['speedup_indexed_vs_naive']:.1f}x "
+            f"({entry['pairs']} pairs)",
+            flush=True,
+        )
+
+    out = Path(args.output)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if args.min_speedup and last_speedup < args.min_speedup:
+        print(
+            f"FAIL: indexed sweep speedup {last_speedup:.2f}x is below the "
+            f"{args.min_speedup:.2f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

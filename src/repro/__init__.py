@@ -28,6 +28,7 @@ from repro.core.pipeline import (
 from repro.core.ranking import RankEntry, Ranking
 from repro.core.ndcg import dcg, ndcg
 from repro.obs import Tracer, stage_report, to_jsonl, to_prometheus
+from repro.perf import PathIndex, SuffixCache, ViewComputation, ViewSlicer
 from repro.topology.generator import GeneratorConfig, generate_world
 from repro.topology.profiles import default_profiles, small_profiles
 from repro.topology.world import World
@@ -39,12 +40,16 @@ __all__ = [
     "COUNTRY_METRICS",
     "GLOBAL_METRICS",
     "GeneratorConfig",
+    "PathIndex",
     "Pipeline",
     "PipelineConfig",
     "PipelineResult",
     "RankEntry",
     "Ranking",
+    "SuffixCache",
     "Tracer",
+    "ViewComputation",
+    "ViewSlicer",
     "World",
     "__version__",
     "dcg",

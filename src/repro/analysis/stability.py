@@ -62,13 +62,21 @@ class StabilityCurve:
         ]
 
 
-def _metric_ranking(result: PipelineResult, metric: str, view: View) -> Ranking:
+def metric_ranking(
+    metric: str, view: View, oracle, trim: float = 0.1
+) -> Ranking:
+    """One CC*/AH* ranking over an arbitrary (possibly downsampled)
+    view — the per-trial work unit, also run inside fan-out workers."""
     metric = metric.upper()
     if metric.startswith("CC"):
-        return cone_ranking(view, result.oracle, metric)
+        return cone_ranking(view, oracle, metric)
     if metric.startswith("AH"):
-        return hegemony_ranking(view, metric, result.config.trim)
+        return hegemony_ranking(view, metric, trim)
     raise ValueError(f"stability analysis supports CC*/AH* metrics, not {metric!r}")
+
+
+def _metric_ranking(result: PipelineResult, metric: str, view: View) -> Ranking:
+    return metric_ranking(metric, view, result.oracle, result.config.trim)
 
 
 def stability_curve(
@@ -79,29 +87,55 @@ def stability_curve(
     trials: int = 10,
     seed: int = 0,
     k: int = 10,
+    workers: int | None = None,
 ) -> StabilityCurve:
     """Downsample a view's VPs and score each sample against the full
-    ranking (the machinery behind Figures 4 and 5)."""
+    ranking (the machinery behind Figures 4 and 5).
+
+    Trial views are :class:`repro.perf.ViewSlicer` index slices — the
+    view's records are bucketed by VP once, then each trial merges the
+    sampled VPs' buckets instead of re-filtering the whole view.
+
+    ``workers`` (default: the pipeline config's ``workers``) fans the
+    NDCG trials out across a process pool. Every VP sample is drawn
+    up front from a single serial RNG stream, so the curve is identical
+    for any worker count; ``workers=1`` computes the trials inline.
+    """
+    from repro.perf.index import ViewSlicer
+    from repro.perf.parallel import stability_trials
+
     if trials < 1:
         raise ValueError("need at least one trial per size")
+    if workers is None:
+        workers = result.config.workers
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    slicer = ViewSlicer(view)
     vps = [vp.ip for vp in view.vps()]
     total = len(vps)
     if sizes is None:
         sizes = sorted({s for s in _default_sizes(total)})
     full = _metric_ranking(result, metric, view)
     rng = random.Random(seed)
+    valid_sizes = [size for size in sizes if 1 <= size <= total]
+    samples: list[list[str]] = [
+        rng.sample(vps, size) for size in valid_sizes for _ in range(trials)
+    ]
+    if workers > 1 and samples:
+        scores = stability_trials(
+            metric, view, result.oracle, result.config.trim,
+            full, k, samples, workers,
+        )
+    else:
+        scores = [
+            ndcg(full, _metric_ranking(result, metric, slicer.restrict(s)), k)
+            for s in samples
+        ]
     points: list[StabilityPoint] = []
-    for size in sizes:
-        if not 1 <= size <= total:
-            continue
-        scores = []
-        for _ in range(trials):
-            sampled = rng.sample(vps, size)
-            sample_view = view.restrict_vps(sampled)
-            sample = _metric_ranking(result, metric, sample_view)
-            scores.append(ndcg(full, sample, k))
-        mean = sum(scores) / len(scores)
-        variance = sum((s - mean) ** 2 for s in scores) / len(scores)
+    for index, size in enumerate(valid_sizes):
+        batch = scores[index * trials:(index + 1) * trials]
+        mean = sum(batch) / len(batch)
+        variance = sum((s - mean) ** 2 for s in batch) / len(batch)
         points.append(StabilityPoint(size, mean, math.sqrt(variance), trials))
     return StabilityCurve(
         metric=metric,
@@ -126,10 +160,11 @@ def national_stability(
     sizes: list[int] | None = None,
     trials: int = 10,
     seed: int = 0,
+    workers: int | None = None,
 ) -> StabilityCurve:
     """Figure 4: stability of a country's national ranking (AHN/CCN)."""
     view = result.view("national", country)
-    return stability_curve(result, metric, view, sizes, trials, seed)
+    return stability_curve(result, metric, view, sizes, trials, seed, workers=workers)
 
 
 def international_stability(
@@ -139,7 +174,8 @@ def international_stability(
     sizes: list[int] | None = None,
     trials: int = 10,
     seed: int = 0,
+    workers: int | None = None,
 ) -> StabilityCurve:
     """Figure 5: stability of a country's international ranking (AHI/CCI)."""
     view = result.view("international", country)
-    return stability_curve(result, metric, view, sizes, trials, seed)
+    return stability_curve(result, metric, view, sizes, trials, seed, workers=workers)

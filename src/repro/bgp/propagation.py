@@ -112,6 +112,7 @@ def propagate_all(
     tiebreak: str = "asn",
     salt: int = 0,
     tracer=NULL_TRACER,
+    workers: int = 1,
 ) -> RoutingOutcome:
     """Propagate every origin and keep routes only at ``keep`` ASes.
 
@@ -120,29 +121,52 @@ def propagate_all(
     ``len(origins) * len(keep)``, so pass the VP ASes when you only
     need collector views).
 
+    ``workers > 1`` chunks the origin sweep across a process pool with
+    a deterministic by-origin merge — the outcome is identical for any
+    worker count, and ``workers=1`` never leaves this process (the
+    byte-identical serial path). Per-level frontier telemetry is only
+    sampled on the serial path; the aggregate span counts are recorded
+    either way.
+
     ``tracer`` wraps the sweep in a ``propagate.plane`` span, counts
     origins and kept routes, and samples per-level BFS frontier sizes
     into the ``propagate.frontier`` histogram.
     """
-    with tracer.span("propagate.plane", tiebreak=tiebreak, salt=salt) as span:
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    with tracer.span(
+        "propagate.plane", tiebreak=tiebreak, salt=salt, workers=workers,
+    ) as span:
         adjacency = _Adjacency(graph)
         if origins is None:
             origins = [asn for asn in graph.asns() if graph.node(asn).prefixes]
         keep_set = set(keep) if keep is not None else None
-        frontier_hist = tracer.metrics.histogram("propagate.frontier")
-        kept_routes = 0
-        all_routes: dict[int, dict[int, Route]] = {}
         origin_list = sorted(set(origins))
         for origin in origin_list:
             if origin not in graph:
                 raise KeyError(f"origin AS{origin} not in graph")
-            routes = _propagate(adjacency, origin, tiebreak, salt, frontier_hist)
-            if keep_set is not None:
-                routes = {
-                    asn: route for asn, route in routes.items() if asn in keep_set
-                }
-            kept_routes += len(routes)
-            all_routes[origin] = routes
+        kept_routes = 0
+        all_routes: dict[int, dict[int, Route]] = {}
+        if workers > 1 and len(origin_list) > 1:
+            from repro.perf.parallel import propagate_origins
+
+            all_routes = propagate_origins(
+                adjacency, origin_list, tiebreak, salt, keep_set, workers
+            )
+            kept_routes = sum(len(routes) for routes in all_routes.values())
+        else:
+            frontier_hist = tracer.metrics.histogram("propagate.frontier")
+            for origin in origin_list:
+                routes = _propagate(
+                    adjacency, origin, tiebreak, salt, frontier_hist
+                )
+                if keep_set is not None:
+                    routes = {
+                        asn: route for asn, route in routes.items()
+                        if asn in keep_set
+                    }
+                kept_routes += len(routes)
+                all_routes[origin] = routes
         span.set(origins=len(origin_list), routes=kept_routes)
         tracer.metrics.counter("propagate.origins").inc(len(origin_list))
         tracer.metrics.counter("propagate.routes").inc(kept_routes)

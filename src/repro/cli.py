@@ -18,7 +18,13 @@ Subcommands mirror the paper's workflow:
   (no world needed: relationships are inferred from the paths);
 * ``trace``       — run the pipeline under the observability layer and
   print the Figure-6-style stage report (``--json`` for JSONL trace
-  events, ``--prom`` for a Prometheus text exposition).
+  events, ``--prom`` for a Prometheus text exposition);
+* ``sweep``       — batch rankings: every requested metric × country in
+  one pass through the shared path index and cross-metric caches
+  (Tables 9–12 style output at scale).
+
+``--workers N`` (global flag) fans route propagation and stability
+trials out across N processes; results are identical for any N.
 
 Worlds: ``small`` (seconds), ``default`` (the generated ~1000-AS world),
 ``paper2021`` / ``paper2023`` (the curated case-study snapshots).
@@ -154,6 +160,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--world", choices=WORLD_CHOICES, default="small")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process fan-out for propagation and stability trials "
+             "(results are identical for any value)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("world", help="print world summary")
@@ -174,6 +185,20 @@ def main(argv: list[str] | None = None) -> int:
     stability.add_argument("country")
     stability.add_argument("metric", nargs="?", default="AHN")
     stability.add_argument("--trials", type=int, default=8)
+
+    sweep = sub.add_parser(
+        "sweep", help="batch rankings: every metric × country in one pass"
+    )
+    sweep.add_argument(
+        "--metrics", default="CCI,CCN,AHI,AHN",
+        help="comma-separated metric list (default: the paper's four)",
+    )
+    sweep.add_argument(
+        "--countries", default=None,
+        help="comma-separated country codes (default: every country "
+             "with a qualifying national view)",
+    )
+    sweep.add_argument("-k", type=int, default=5, help="entries per table")
 
     sub.add_parser("dominance", help="continental AHI dominance table")
 
@@ -253,13 +278,22 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "rank":
         if args.metric in COUNTRY_METRICS and args.country is None:
             return _fail(f"metric {args.metric} requires a country code")
-    if args.command == "concentration":
+    if args.workers < 1:
+        return _fail(f"--workers must be >= 1 (got {args.workers})")
+    if args.command in ("concentration", "sweep") and args.countries is not None:
         codes = [c for c in args.countries.split(",") if c]
         normalized = [_normalize_country(world, code) for code in codes]
         for code, norm in zip(codes, normalized):
             if norm is None:
                 return _fail(_bad_country(world, code))
         args.countries = ",".join(normalized)
+    if args.command == "sweep":
+        metrics = [m for m in args.metrics.split(",") if m]
+        normalized_metrics = [_normalize_metric(m) for m in metrics]
+        for name, norm in zip(metrics, normalized_metrics):
+            if norm is None:
+                return _fail(_bad_metric(name))
+        args.metrics = ",".join(normalized_metrics)
     if args.command == "disconnect" and args.target.isalpha():
         if len(args.target) != 2 or _normalize_country(world, args.target) is None:
             return _fail(_bad_country(world, args.target))
@@ -294,10 +328,23 @@ def main(argv: list[str] | None = None) -> int:
         tracer.close()
         return 0
 
-    result = run_pipeline(world, PipelineConfig(seed=args.seed))
+    result = run_pipeline(
+        world, PipelineConfig(seed=args.seed, workers=args.workers)
+    )
     if args.command == "rank":
         ranking = result.ranking(args.metric, args.country)
         print(ranking.render(args.k, result.as_name))
+    elif args.command == "sweep":
+        metrics = tuple(args.metrics.split(","))
+        countries = (
+            tuple(args.countries.split(",")) if args.countries else None
+        )
+        rankings = result.rank_all(metrics, countries)
+        if not rankings:
+            print("(no qualifying countries — pass --countries)")
+        for ranking in rankings.values():
+            print(ranking.render(args.k, result.as_name))
+            print()
     elif args.command == "filter":
         print(result.paths.report.render())
     elif args.command == "case-study":
@@ -310,7 +357,10 @@ def main(argv: list[str] | None = None) -> int:
         runner = (
             national_stability if metric.endswith("N") else international_stability
         )
-        curve = runner(result, args.country, metric, trials=args.trials)
+        curve = runner(
+            result, args.country, metric, trials=args.trials,
+            workers=args.workers,
+        )
         for size, mean, std in curve.as_rows():
             print(f"{size:>5} VPs  NDCG {mean:.3f} ±{std:.3f}")
         print(f">=0.8 from {curve.min_vps_for(0.8)} VPs, "

@@ -23,7 +23,7 @@ cone, and the reported share divides by the view's total address space
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.core.ranking import Ranking
 from repro.core.sanitize import PathRecord, RelationshipOracle
@@ -31,6 +31,10 @@ from repro.core.views import View
 from repro.net.aspath import ASPath
 from repro.net.prefix import Prefix
 from repro.obs.trace import NULL_TRACER
+
+#: Resolver signature shared with :mod:`repro.perf.cache`: a memoised
+#: stand-in for ``transit_suffix(path, oracle)`` bound to one oracle.
+SuffixResolver = Callable[[ASPath], tuple[int, ...]]
 
 
 def transit_suffix(path: ASPath, oracle: RelationshipOracle) -> tuple[int, ...]:
@@ -50,31 +54,67 @@ def transit_suffix(path: ASPath, oracle: RelationshipOracle) -> tuple[int, ...]:
     return asns[start:]
 
 
-def customer_cones(
-    records: Iterable[PathRecord], oracle: RelationshipOracle
+def cones_from_suffixes(
+    suffixes: Iterable[tuple[int, ...]],
 ) -> dict[int, set[int]]:
-    """AS-level cones: every AS maps to itself plus the ASes observed
-    downstream of it on some path's transit suffix."""
+    """Accumulate AS-level cones from transit suffixes.
+
+    Walks each suffix origin-first, accumulating the downstream set
+    once per suffix instead of allocating a ``suffix[position + 1:]``
+    tuple per position. A repeated suffix contributes nothing new (the
+    updates are idempotent), so callers holding a memoised suffix table
+    may pass each *distinct* suffix once — the batch engine's
+    :class:`repro.perf.cache.ViewComputation` does exactly that.
+    """
     cones: dict[int, set[int]] = {}
-    for record in records:
-        suffix = transit_suffix(record.path, oracle)
-        for position, asn in enumerate(suffix):
-            cone = cones.setdefault(asn, {asn})
-            cone.update(suffix[position + 1 :])
+    setdefault = cones.setdefault
+    for suffix in suffixes:
+        downstream: set[int] = set()
+        for asn in reversed(suffix):
+            cone = setdefault(asn, {asn})
+            cone.update(downstream)
+            downstream.add(asn)
     return cones
 
 
+def customer_cones(
+    records: Iterable[PathRecord],
+    oracle: RelationshipOracle,
+    suffix_of: SuffixResolver | None = None,
+) -> dict[int, set[int]]:
+    """AS-level cones: every AS maps to itself plus the ASes observed
+    downstream of it on some path's transit suffix.
+
+    ``suffix_of`` swaps in a memoised resolver (see
+    :class:`repro.perf.cache.SuffixCache`).
+    """
+    if suffix_of is not None:
+        return cones_from_suffixes(suffix_of(record.path) for record in records)
+    return cones_from_suffixes(
+        transit_suffix(record.path, oracle) for record in records
+    )
+
+
 def prefix_cones(
-    records: Iterable[PathRecord], oracle: RelationshipOracle
+    records: Iterable[PathRecord],
+    oracle: RelationshipOracle,
+    suffix_of: SuffixResolver | None = None,
+    as_cones: dict[int, set[int]] | None = None,
 ) -> dict[int, set[Prefix]]:
     """Prefix-level cones, closure style: every prefix (observed in the
-    records) originated by an AS in the holder's AS-level cone."""
+    records) originated by an AS in the holder's AS-level cone.
+
+    ``as_cones`` short-circuits the AS-level computation with an
+    already-built result for the same records (the cross-metric cache).
+    """
     materialized = list(records)
     origin_prefixes: dict[int, set[Prefix]] = {}
     for record in materialized:
         origin_prefixes.setdefault(record.origin, set()).add(record.prefix)
+    if as_cones is None:
+        as_cones = customer_cones(materialized, oracle, suffix_of)
     cones: dict[int, set[Prefix]] = {}
-    for asn, members in customer_cones(materialized, oracle).items():
+    for asn, members in as_cones.items():
         prefixes: set[Prefix] = set()
         for member in members:
             prefixes.update(origin_prefixes.get(member, ()))
@@ -83,7 +123,10 @@ def prefix_cones(
 
 
 def cone_addresses(
-    records: Iterable[PathRecord], oracle: RelationshipOracle
+    records: Iterable[PathRecord],
+    oracle: RelationshipOracle,
+    suffix_of: SuffixResolver | None = None,
+    as_cones: dict[int, set[int]] | None = None,
 ) -> dict[int, int]:
     """Distinct addresses in each AS's (closure) prefix cone.
 
@@ -97,7 +140,9 @@ def cone_addresses(
     }
     return {
         asn: sum(weights[prefix] for prefix in prefixes)
-        for asn, prefixes in prefix_cones(materialized, oracle).items()
+        for asn, prefixes in prefix_cones(
+            materialized, oracle, suffix_of, as_cones
+        ).items()
     }
 
 
@@ -107,6 +152,7 @@ def cone_ranking(
     metric: str | None = None,
     total_addresses: int | None = None,
     tracer=NULL_TRACER,
+    compute=None,
 ) -> Ranking:
     """Rank ASes by cone address coverage within a view.
 
@@ -114,17 +160,26 @@ def cone_ranking(
     own distinct destination address total, which makes shares read as
     "fraction of this country's address space reachable through the
     AS's customers" for country views.
+
+    ``compute`` is an optional :class:`repro.perf.cache.ViewComputation`
+    for this view: cone addresses and the address total come from (and
+    populate) its cross-metric cache instead of being recomputed.
     """
     if metric is None:
         metric = "CC" if view.country is None else f"CC:{view.country}"
     with tracer.span(
         "cone", metric=metric, input=len(view.records),
     ) as span:
-        addresses = cone_addresses(view.records, oracle)
-        denominator = (
-            total_addresses if total_addresses is not None
-            else view.total_addresses()
+        addresses = (
+            compute.cone_addresses() if compute is not None
+            else cone_addresses(view.records, oracle)
         )
+        if total_addresses is not None:
+            denominator = total_addresses
+        elif compute is not None:
+            denominator = compute.total_addresses()
+        else:
+            denominator = view.total_addresses()
         shares = (
             {asn: count / denominator for asn, count in addresses.items()}
             if denominator

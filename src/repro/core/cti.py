@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping
 
-from repro.core.cone import transit_suffix
+from repro.core.cone import SuffixResolver, transit_suffix
 from repro.core.hegemony import trimmed_mean
 from repro.core.ranking import Ranking
 from repro.core.sanitize import PathRecord, RelationshipOracle
@@ -27,19 +27,31 @@ from repro.core.views import View
 from repro.obs.trace import NULL_TRACER
 
 
-def cti_scores(
+def per_vp_transit(
     records: Iterable[PathRecord],
     oracle: RelationshipOracle,
-    total_addresses: int,
-    trim: float = 0.1,
-) -> dict[int, float]:
-    """CTI per AS over international-view records."""
-    if total_addresses <= 0:
-        return {}
+    suffix_of: SuffixResolver | None = None,
+    suffixes: Iterable[tuple[int, ...]] | None = None,
+) -> tuple[dict[str, dict[int, float]], set[int]]:
+    """Step 1 of CTI: per-VP distance-discounted transit weight.
+
+    ``suffix_of`` swaps in a memoised transit-suffix resolver shared
+    with the cone metrics (see :class:`repro.perf.cache.SuffixCache`);
+    ``suffixes`` goes one step further and supplies each record's
+    transit suffix pre-resolved, aligned with ``records`` (the batch
+    engine resolves a view's suffixes once and feeds every consumer).
+    """
     per_vp: dict[str, dict[int, float]] = {}
     universe: set[int] = set()
-    for record in records:
-        suffix = transit_suffix(record.path, oracle)
+    if suffixes is not None:
+        pairs = zip(records, suffixes)
+    elif suffix_of is not None:
+        pairs = ((record, suffix_of(record.path)) for record in records)
+    else:
+        pairs = (
+            (record, transit_suffix(record.path, oracle)) for record in records
+        )
+    for record, suffix in pairs:
         vp_scores = per_vp.setdefault(record.vp.ip, {})
         weight = float(record.addresses)
         length = len(suffix)
@@ -51,6 +63,20 @@ def cti_scores(
                 continue
             vp_scores[asn] = vp_scores.get(asn, 0.0) + weight / k
             universe.add(asn)
+    return per_vp, universe
+
+
+def cti_scores(
+    records: Iterable[PathRecord],
+    oracle: RelationshipOracle,
+    total_addresses: int,
+    trim: float = 0.1,
+    suffix_of: SuffixResolver | None = None,
+) -> dict[int, float]:
+    """CTI per AS over international-view records."""
+    if total_addresses <= 0:
+        return {}
+    per_vp, universe = per_vp_transit(records, oracle, suffix_of)
     vp_ips = sorted(per_vp)
     scores: dict[int, float] = {}
     for asn in universe:
@@ -66,15 +92,24 @@ def cti_ranking(
     oracle: RelationshipOracle,
     trim: float = 0.1,
     tracer=NULL_TRACER,
+    compute=None,
 ) -> Ranking:
-    """CTI ranking over a country's international view."""
+    """CTI ranking over a country's international view.
+
+    ``compute`` is an optional :class:`repro.perf.cache.ViewComputation`
+    for this view: transit suffixes and the address total are shared
+    with the cone metrics instead of being recomputed.
+    """
     country = view.country
     metric = "CTI" if country is None else f"CTI:{country}"
     with tracer.span(
         "cti", metric=metric, trim=trim, input=len(view.records),
     ) as span:
-        total = view.total_addresses()
-        scores = cti_scores(view.records, oracle, total, trim)
+        if compute is not None:
+            scores = compute.cti(trim)
+        else:
+            total = view.total_addresses()
+            scores = cti_scores(view.records, oracle, total, trim)
         span.set(output=len(scores))
         tracer.metrics.histogram("cti.universe").observe(len(scores))
         shares: Mapping[int, float] = scores

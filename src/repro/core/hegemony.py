@@ -27,7 +27,7 @@ from repro.core.views import View
 from repro.obs.trace import NULL_TRACER
 
 
-def _per_vp_scores(
+def per_vp_scores(
     records: Iterable[PathRecord],
     weighting: str = "addresses",
 ) -> tuple[dict[str, dict[int, float]], set[int]]:
@@ -75,21 +75,87 @@ def trimmed_mean(values: list[float], trim: float) -> float:
     return sum(kept) / len(kept)
 
 
-def hegemony_scores(
-    records: Iterable[PathRecord],
-    trim: float = 0.1,
-    weighting: str = "addresses",
+def trimmed_scores(
+    per_vp: dict[str, dict[int, float]],
+    universe: set[int],
+    trim: float,
 ) -> dict[int, float]:
-    """AS hegemony for every AS observed in the records."""
-    if not 0.0 <= trim < 0.5:
-        raise ValueError(f"trim out of range: {trim}")
-    per_vp, universe = _per_vp_scores(records, weighting)
+    """Step 2 of the estimator: per-AS trimmed mean over the per-VP
+    betweenness table (a 0 for every VP that missed the AS)."""
     vp_ips = sorted(per_vp)
     scores: dict[int, float] = {}
     for asn in universe:
         values = [per_vp[vp_ip].get(asn, 0.0) for vp_ip in vp_ips]
         scores[asn] = trimmed_mean(values, trim)
     return scores
+
+
+def trimmed_scores_sparse(
+    per_vp: dict[str, dict[int, float]],
+    universe: set[int],
+    trim: float,
+) -> dict[int, float]:
+    """Exactly :func:`trimmed_scores`, computed zero-skipping.
+
+    The per-VP table is sparse — a VP stores an entry only for ASes on
+    its paths — while the dense formulation materialises, per AS, a
+    value for *every* VP (mostly zeros) and sorts it. Here the table is
+    inverted once into per-AS nonzero value lists; the trimmed window
+    over the implicit sorted array ``[0.0] * zeros + sorted(nonzero)``
+    is then a slice of the nonzero list. Identical output (the kept
+    values are summed in the same ascending order, and leading zeros
+    do not perturb a float sum of non-negative terms); used on the
+    batch-engine path (:class:`repro.perf.cache.ViewComputation`).
+    """
+    if not 0.0 <= trim < 0.5:
+        raise ValueError(f"trim out of range: {trim}")
+    n = len(per_vp)
+    if n == 0:
+        return {asn: 0.0 for asn in universe}
+    nonzero: dict[int, list[float]] = {}
+    for vp_scores in per_vp.values():
+        for asn, value in vp_scores.items():
+            bucket = nonzero.get(asn)
+            if bucket is None:
+                nonzero[asn] = [value]
+            else:
+                bucket.append(value)
+    k = min(math.ceil(trim * n), (n - 1) // 2)
+    keep = n - 2 * k
+    scores: dict[int, float] = {}
+    empty: list[float] = []
+    for asn in universe:
+        values = nonzero.get(asn, empty)
+        values.sort()
+        zeros = n - len(values)
+        low = k - zeros
+        if low < 0:
+            low = 0
+        high = n - k - zeros
+        if high < 0:
+            high = 0
+        scores[asn] = sum(values[low:high], 0.0) / keep
+    return scores
+
+
+def hegemony_scores(
+    records: Iterable[PathRecord],
+    trim: float = 0.1,
+    weighting: str = "addresses",
+    precomputed: tuple[dict[str, dict[int, float]], set[int]] | None = None,
+) -> dict[int, float]:
+    """AS hegemony for every AS observed in the records.
+
+    ``precomputed`` injects an already-built ``(per_vp, universe)`` pair
+    for the same records/weighting (the cross-metric cache path).
+    """
+    if not 0.0 <= trim < 0.5:
+        raise ValueError(f"trim out of range: {trim}")
+    per_vp, universe = (
+        precomputed if precomputed is not None
+        else per_vp_scores(records, weighting)
+    )
+    return trimmed_scores(per_vp, universe, trim)
 
 
 def local_hegemony(
@@ -113,19 +179,27 @@ def hegemony_ranking(
     trim: float = 0.1,
     weighting: str = "addresses",
     tracer=NULL_TRACER,
+    compute=None,
 ) -> Ranking:
     """Rank ASes by hegemony within a view.
 
     The share column *is* the hegemony value (fraction of observed
     address-weighted paths crossing the AS), matching how the paper's
     case-study tables report AH percentages.
+
+    ``compute`` is an optional :class:`repro.perf.cache.ViewComputation`
+    for this view: the per-VP betweenness table comes from (and
+    populates) its cross-metric cache.
     """
     if metric is None:
         metric = "AH" if view.country is None else f"AH:{view.country}"
     with tracer.span(
         "hegemony", metric=metric, trim=trim, input=len(view.records),
     ) as span:
-        scores = hegemony_scores(view.records, trim, weighting)
+        scores = (
+            compute.hegemony(trim, weighting) if compute is not None
+            else hegemony_scores(view.records, trim, weighting)
+        )
         span.set(output=len(scores))
         tracer.metrics.histogram("hegemony.universe").observe(len(scores))
         shares: Mapping[int, float] = scores

@@ -12,6 +12,7 @@ memoised. This module is the primary public entry point:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.bgp.propagation import RoutingOutcome, propagate_all
 from repro.bgp.rib import RibGenerationConfig, RibSeries, generate_rib_days
@@ -21,13 +22,7 @@ from repro.core.cti import cti_ranking
 from repro.core.hegemony import hegemony_ranking
 from repro.core.ranking import Ranking
 from repro.core.sanitize import PathSet, RelationshipOracle, sanitize
-from repro.core.views import (
-    View,
-    global_view,
-    international_view,
-    national_view,
-    outbound_view,
-)
+from repro.core.views import View
 from repro.geo.database import GeoDatabase
 from repro.geo.prefix_geo import PrefixGeolocation, geolocate_prefixes
 from repro.geo.vp_geo import VPGeolocator
@@ -68,6 +63,11 @@ class PipelineConfig:
     #: (and IHR) treat IPv4 and IPv6 as separate ranking universes
     family: int = 4
     seed: int = 0
+    #: process fan-out for the heavy loops (propagation origins, NDCG
+    #: stability trials). 1 = fully serial, byte-identical to the
+    #: pre-fan-out pipeline; N > 1 chunks work across a process pool
+    #: with a deterministic merge, so results never depend on N.
+    workers: int = 1
     #: collect per-stage telemetry (spans + metrics) into
     #: ``PipelineResult.trace``; ``"memory"`` additionally captures
     #: tracemalloc peaks per stage. ``False`` keeps the no-op tracer on
@@ -81,6 +81,8 @@ class PipelineConfig:
             raise ValueError("family must be 4 or 6")
         if self.trace not in (False, True, "memory"):
             raise ValueError("trace must be False, True, or 'memory'")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
 
 
 class PipelineResult:
@@ -115,6 +117,12 @@ class PipelineResult:
         self._tracer = tracer
         self._views: dict[tuple[str, str | None], View] = {}
         self._rankings: dict[tuple[str, str | None], Ranking] = {}
+        #: batch-engine state (repro.perf), all built lazily: the shared
+        #: path index, the per-(path, oracle) suffix cache, and one
+        #: ViewComputation per view key (the cross-metric cache)
+        self._index = None
+        self._suffixes = None
+        self._computations: dict[tuple[str, str | None], object] = {}
 
     @property
     def trace(self):
@@ -122,27 +130,61 @@ class PipelineResult:
         ``None`` when the run was not traced."""
         return self._tracer if self._tracer.enabled else None
 
-    # -- views ---------------------------------------------------------------
+    # -- views & batch-engine state -----------------------------------------
+
+    def path_index(self):
+        """The shared :class:`repro.perf.PathIndex` over the sanitized
+        records (built on first use, one O(n) pass)."""
+        if self._index is None:
+            from repro.perf.index import PathIndex
+
+            with self._tracer.span("index", input=len(self.paths.records)):
+                self._index = PathIndex.from_paths(self.paths)
+        return self._index
+
+    def suffix_cache(self):
+        """The shared per-(path, oracle) transit-suffix cache."""
+        if self._suffixes is None:
+            from repro.perf.cache import SuffixCache
+
+            self._suffixes = SuffixCache(self.oracle, self._tracer)
+        return self._suffixes
+
+    def computation(self, kind: str, country: str | None = None):
+        """The memoised :class:`repro.perf.ViewComputation` for one of
+        this result's views — the cross-metric intermediate cache the
+        CC*/AH*/CTI rankings share."""
+        key = (kind, country)
+        cached = self._computations.get(key)
+        if cached is None:
+            from repro.perf.cache import ViewComputation
+
+            cached = ViewComputation(
+                self.view(kind, country), self.oracle,
+                self.suffix_cache(), self._tracer,
+            )
+            self._computations[key] = cached
+        return cached
 
     def view(self, kind: str, country: str | None = None) -> View:
         """A memoised view: ``"national"``/``"international"``/
-        ``"outbound"`` (need a country) or ``"global"``."""
+        ``"outbound"`` (need a country) or ``"global"``.
+
+        Views come from :meth:`path_index` bucket lookups — O(selected
+        records) after the index's one-time O(all records) build — and
+        are record-for-record identical to the naive filters in
+        :mod:`repro.core.views`.
+        """
         key = (kind, country)
         if key in self._views:
             return self._views[key]
-        tracer = self._tracer
-        if kind == "global":
-            built = global_view(self.paths, tracer=tracer)
-        elif kind == "national":
-            built = national_view(self.paths, self._need_country(country), tracer=tracer)
-        elif kind == "international":
-            built = international_view(
-                self.paths, self._need_country(country), tracer=tracer
-            )
-        elif kind == "outbound":
-            built = outbound_view(self.paths, self._need_country(country), tracer=tracer)
-        else:
+        if kind not in ("global", "national", "international", "outbound"):
             raise ValueError(f"unknown view kind {kind!r}")
+        if kind != "global":
+            self._need_country(country)
+        built = self.path_index().view(
+            kind, None if kind == "global" else country, tracer=self._tracer,
+        )
         self._views[key] = built
         return built
 
@@ -169,45 +211,100 @@ class PipelineResult:
         trim = self.config.trim
         tracer = self._tracer
         if metric == "CCG":
-            return cone_ranking(self.view("global"), self.oracle, "CCG", tracer=tracer)
+            return cone_ranking(
+                self.view("global"), self.oracle, "CCG", tracer=tracer,
+                compute=self.computation("global"),
+            )
         if metric == "AHG":
-            return hegemony_ranking(self.view("global"), "AHG", trim, tracer=tracer)
+            return hegemony_ranking(
+                self.view("global"), "AHG", trim, tracer=tracer,
+                compute=self.computation("global"),
+            )
         code = self._need_country(country)
         if metric == "CCI":
             return cone_ranking(
                 self.view("international", code), self.oracle, f"CCI:{code}",
-                tracer=tracer,
+                tracer=tracer, compute=self.computation("international", code),
             )
         if metric == "CCN":
             return cone_ranking(
                 self.view("national", code), self.oracle, f"CCN:{code}",
-                tracer=tracer,
+                tracer=tracer, compute=self.computation("national", code),
             )
         if metric == "AHI":
             return hegemony_ranking(
-                self.view("international", code), f"AHI:{code}", trim, tracer=tracer
+                self.view("international", code), f"AHI:{code}", trim,
+                tracer=tracer, compute=self.computation("international", code),
             )
         if metric == "AHN":
             return hegemony_ranking(
-                self.view("national", code), f"AHN:{code}", trim, tracer=tracer
+                self.view("national", code), f"AHN:{code}", trim,
+                tracer=tracer, compute=self.computation("national", code),
             )
         if metric == "AHC":
             origins = self.world.graph.by_registry_country(code)
             return ahc_ranking(self.paths, code, origins, trim, tracer=tracer)
         if metric == "CTI":
             return cti_ranking(
-                self.view("international", code), self.oracle, trim, tracer=tracer
+                self.view("international", code), self.oracle, trim,
+                tracer=tracer, compute=self.computation("international", code),
             )
         if metric == "CCO":
             return cone_ranking(
                 self.view("outbound", code), self.oracle, f"CCO:{code}",
-                tracer=tracer,
+                tracer=tracer, compute=self.computation("outbound", code),
             )
         if metric == "AHO":
             return hegemony_ranking(
-                self.view("outbound", code), f"AHO:{code}", trim, tracer=tracer
+                self.view("outbound", code), f"AHO:{code}", trim,
+                tracer=tracer, compute=self.computation("outbound", code),
             )
         raise ValueError(f"unknown metric {metric!r}")
+
+    def rank_all(
+        self,
+        metrics: Iterable[str] | None = None,
+        countries: Iterable[str] | None = None,
+    ) -> dict[tuple[str, str | None], Ranking]:
+        """Batch API: every requested metric for every requested country.
+
+        ``metrics`` defaults to the paper's four country metrics (CCI,
+        CCN, AHI, AHN); global metrics in the list are computed once
+        under a ``None`` country key. ``countries`` defaults to the
+        countries with a qualifying national view
+        (:meth:`countries_with_national_view`).
+
+        This is the multi-country sweep entry point: the shared path
+        index makes every view a bucket lookup, and the per-view
+        :class:`~repro.perf.cache.ViewComputation` cache means e.g.
+        CCI/AHI/CTI on one country walk its international view's
+        suffixes and address totals once between them. Keys come back
+        in (metric, country) iteration order; values are the same
+        memoised rankings :meth:`ranking` returns.
+        """
+        metric_list = [
+            m.upper() for m in (
+                metrics if metrics is not None else ("CCI", "CCN", "AHI", "AHN")
+            )
+        ]
+        for metric in metric_list:
+            if metric not in ALL_METRICS:
+                raise ValueError(f"unknown metric {metric!r}")
+        country_list = list(
+            countries if countries is not None
+            else self.countries_with_national_view()
+        )
+        rankings: dict[tuple[str, str | None], Ranking] = {}
+        with self._tracer.span(
+            "sweep", metrics=len(metric_list), countries=len(country_list),
+        ):
+            for metric in metric_list:
+                if metric in GLOBAL_METRICS:
+                    rankings[(metric, None)] = self.ranking(metric)
+                    continue
+                for country in country_list:
+                    rankings[(metric, country)] = self.ranking(metric, country)
+        return rankings
 
     # -- conveniences ---------------------------------------------------------------
 
@@ -260,6 +357,7 @@ class Pipeline:
                     propagate_all(
                         world.graph, keep=world.vp_asns(),
                         tiebreak=config.tiebreak, salt=salt, tracer=tracer,
+                        workers=config.workers,
                     )
                     for salt in range(config.path_diversity)
                 ]

@@ -94,6 +94,18 @@ class Ranking:
     def __iter__(self):
         return iter(self.entries)
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Ranking):
+            return NotImplemented
+        return (
+            self.metric == other.metric
+            and self.country == other.country
+            and self.entries == other.entries
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.metric, self.country, tuple(self.entries)))
+
     # -- presentation --------------------------------------------------------------
 
     def render(

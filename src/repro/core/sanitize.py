@@ -31,7 +31,7 @@ from repro.bgp.collectors import VantagePoint
 from repro.geo.prefix_geo import PrefixGeolocation
 from repro.geo.vp_geo import VPGeolocator
 from repro.net.aspath import ASPath
-from repro.net.prefix import Prefix
+from repro.net.prefix import Prefix, parse_address
 from repro.obs.trace import NULL_TRACER
 
 
@@ -143,11 +143,11 @@ class PathSet:
         return iter(self.records)
 
     def vps(self) -> list[VantagePoint]:
-        """Distinct VPs present, ordered by IP."""
+        """Distinct VPs present, ordered by IP (numeric, not lexical)."""
         seen: dict[str, VantagePoint] = {}
         for record in self.records:
             seen.setdefault(record.vp.ip, record.vp)
-        return [seen[ip] for ip in sorted(seen)]
+        return [seen[ip] for ip in sorted(seen, key=parse_address)]
 
     def countries(self) -> list[str]:
         """Destination countries present, sorted."""

@@ -18,7 +18,17 @@ from typing import Iterable
 
 from repro.bgp.collectors import VantagePoint
 from repro.core.sanitize import PathRecord, PathSet
+from repro.net.prefix import parse_address
 from repro.obs.trace import NULL_TRACER
+
+
+def ip_sort_key(ip: str) -> tuple[int, int]:
+    """Numeric ordering for VP IPs: by family, then by address value.
+
+    Lexicographic string order puts "10.0.0.1" before "9.0.0.1"; every
+    "ordered by IP" contract in this package means *this* ordering.
+    """
+    return parse_address(ip)
 
 
 @dataclass(frozen=True)
@@ -40,7 +50,7 @@ class View:
         seen: dict[str, VantagePoint] = {}
         for record in self.records:
             seen.setdefault(record.vp.ip, record.vp)
-        return [seen[ip] for ip in sorted(seen)]
+        return [seen[ip] for ip in sorted(seen, key=ip_sort_key)]
 
     def total_addresses(self) -> int:
         """Distinct destination addresses covered by this view."""

@@ -1,0 +1,33 @@
+"""repro.perf — the batch ranking engine under the pipeline.
+
+Three layers, designed to compose (see DESIGN.md §4):
+
+* :mod:`repro.perf.index` — :class:`PathIndex` buckets sanitized
+  records so views are O(selected) lookups; :class:`ViewSlicer` does
+  the same for VP-downsampled trial views.
+* :mod:`repro.perf.cache` — :class:`SuffixCache` and
+  :class:`ViewComputation` memoise the intermediates the metric
+  families share (transit suffixes, cones, per-VP betweenness, address
+  totals), with hit/miss observability counters.
+* :mod:`repro.perf.parallel` — deterministic process fan-out for
+  propagation origins and stability trials (``workers=1`` stays the
+  byte-identical serial path).
+
+The pipeline (:class:`repro.core.pipeline.PipelineResult`) wires all
+three together; ``rank_all`` / ``repro-rank sweep`` are the batch entry
+points.
+"""
+
+from repro.perf.cache import SuffixCache, ViewComputation
+from repro.perf.index import PathIndex, ViewSlicer
+from repro.perf.parallel import chunked, propagate_origins, stability_trials
+
+__all__ = [
+    "PathIndex",
+    "SuffixCache",
+    "ViewComputation",
+    "ViewSlicer",
+    "chunked",
+    "propagate_origins",
+    "stability_trials",
+]

@@ -1,0 +1,136 @@
+"""Deterministic process fan-out for the pipeline's two heavy loops.
+
+Two fan-out points, both chunked over a ``ProcessPoolExecutor``:
+
+* **route propagation** — ``propagate_all`` origins are independent
+  single-origin BFS sweeps over a shared adjacency snapshot, a textbook
+  embarrassingly-parallel loop;
+* **stability trials** — every NDCG downsampling trial recomputes one
+  metric on one VP-restricted view, independent of every other trial.
+
+Determinism contract: results are merged back in the caller's input
+order (``ProcessPoolExecutor.map`` preserves chunk order, and route
+maps are re-keyed in ascending origin order), so the output is
+identical for any ``workers`` value — ``workers=1`` never touches an
+executor at all and stays the byte-identical serial path. The
+equivalence tests in ``tests/perf/test_parallel.py`` pin this down.
+
+Workers rebuild cheap per-chunk state (a :class:`ViewSlicer`, a suffix
+cache) instead of shipping tracers across process boundaries; parent
+process telemetry still records aggregate counts.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def chunked(items: Sequence[T], chunks: int) -> list[list[T]]:
+    """Split into at most ``chunks`` contiguous, near-equal runs.
+
+    Never returns empty chunks; order is preserved, so concatenating
+    the result reproduces ``items``.
+    """
+    if chunks < 1:
+        raise ValueError("need at least one chunk")
+    total = len(items)
+    chunks = min(chunks, total) or 1
+    base, extra = divmod(total, chunks)
+    out: list[list[T]] = []
+    start = 0
+    for index in range(chunks):
+        size = base + (1 if index < extra else 0)
+        if size:
+            out.append(list(items[start:start + size]))
+        start += size
+    return out
+
+
+# -- route propagation ---------------------------------------------------------
+
+
+def _propagate_chunk(payload):
+    """Worker: best routes for one chunk of origins (top-level for
+    pickling)."""
+    adjacency, origins, tiebreak, salt, keep = payload
+    from repro.bgp.propagation import _propagate
+
+    out = {}
+    for origin in origins:
+        routes = _propagate(adjacency, origin, tiebreak, salt)
+        if keep is not None:
+            routes = {
+                asn: route for asn, route in routes.items() if asn in keep
+            }
+        out[origin] = routes
+    return out
+
+
+def propagate_origins(
+    adjacency,
+    origins: Sequence[int],
+    tiebreak: str,
+    salt: int,
+    keep: frozenset[int] | set[int] | None,
+    workers: int,
+):
+    """Fan ``_propagate`` out over origin chunks; merge by origin.
+
+    Returns ``{origin: {asn: Route}}`` keyed in ``origins`` order
+    regardless of which worker finished first.
+    """
+    keep_frozen = frozenset(keep) if keep is not None else None
+    payloads = [
+        (adjacency, chunk, tiebreak, salt, keep_frozen)
+        for chunk in chunked(origins, workers)
+    ]
+    merged: dict = {}
+    with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
+        for part in pool.map(_propagate_chunk, payloads):
+            merged.update(part)
+    return {origin: merged[origin] for origin in origins}
+
+
+# -- stability trials ---------------------------------------------------------
+
+
+def _stability_chunk(payload):
+    """Worker: NDCG scores for one chunk of downsampling trials."""
+    metric, view, oracle, trim, full, k, samples = payload
+    from repro.analysis.stability import metric_ranking
+    from repro.core.ndcg import ndcg
+    from repro.perf.index import ViewSlicer
+
+    slicer = ViewSlicer(view)
+    scores = []
+    for sample in samples:
+        sample_view = slicer.restrict(sample)
+        ranking = metric_ranking(metric, sample_view, oracle, trim)
+        scores.append(ndcg(full, ranking, k))
+    return scores
+
+
+def stability_trials(
+    metric: str,
+    view,
+    oracle,
+    trim: float,
+    full,
+    k: int,
+    samples: Sequence[Iterable[str]],
+    workers: int,
+) -> list[float]:
+    """Fan NDCG trials out over sample chunks; scores return in
+    ``samples`` order."""
+    payloads = [
+        (metric, view, oracle, trim, full, k, chunk)
+        for chunk in chunked(samples, workers)
+    ]
+    scores: list[float] = []
+    with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
+        for part in pool.map(_stability_chunk, payloads):
+            scores.extend(part)
+    return scores

@@ -161,6 +161,21 @@ class InferredRelationships:
         """Number of labelled AS pairs."""
         return len(self.labels)
 
+    def p2c_edges(self) -> frozenset[tuple[int, int]]:
+        """Every inferred (provider, customer) pair as a flat edge set.
+
+        ``(a, b) in table.p2c_edges()`` is exactly
+        ``table.relationship(a, b) == "p2c"`` — the same bulk oracle
+        form :meth:`repro.topology.model.ASGraph.p2c_edges` provides.
+        """
+        edges: list[tuple[int, int]] = []
+        for (low, high), label in self.labels.items():
+            if label == "p2c":
+                edges.append((low, high))
+            elif label == "c2p":
+                edges.append((high, low))
+        return frozenset(edges)
+
     def set_label(self, left: int, right: int, label: str) -> None:
         """Record a relationship as seen from ``left``."""
         if label not in ("p2c", "c2p", "p2p"):

@@ -246,6 +246,20 @@ class ASGraph:
             return "p2p"
         return None
 
+    def p2c_edges(self) -> frozenset[tuple[int, int]]:
+        """Every (provider, customer) transit pair as a flat edge set.
+
+        ``(a, b) in graph.p2c_edges()`` is exactly
+        ``graph.relationship(a, b) == "p2c"`` — a bulk form of the
+        oracle interface for hot loops that test many links (the
+        transit-suffix walks in :mod:`repro.perf.cache`).
+        """
+        return frozenset(
+            (provider, customer)
+            for provider, customers in self._customers.items()
+            for customer in customers
+        )
+
     def providers_of(self, asn: int) -> frozenset[int]:
         """Transit providers of ``asn``."""
         return frozenset(self._providers[asn])

@@ -70,6 +70,24 @@ class TestPresentation:
         assert changes == [(1, 1, 2), (2, 2, 1), (3, 3, None)]
 
 
+class TestEquality:
+    def test_value_equality_across_instances(self):
+        a = Ranking.from_scores("AHN", {1: 3.0, 2: 2.0}, country="AU")
+        b = Ranking.from_scores("AHN", {1: 3.0, 2: 2.0}, country="AU")
+        assert a is not b
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_metric_country_and_entries_all_matter(self):
+        base = Ranking.from_scores("AHN", {1: 3.0, 2: 2.0}, country="AU")
+        assert base != Ranking.from_scores("CCN", {1: 3.0, 2: 2.0}, country="AU")
+        assert base != Ranking.from_scores("AHN", {1: 3.0, 2: 2.0}, country="US")
+        assert base != Ranking.from_scores("AHN", {1: 3.0, 2: 1.0}, country="AU")
+
+    def test_other_types_unequal(self):
+        assert Ranking.from_scores("AHN", {}) != "AHN"
+
+
 class TestRankEntry:
     def test_share_pct_none(self):
         assert RankEntry(1, 42, 1.0).share_pct() == 0.0

@@ -1,0 +1,1 @@
+"""Tests for the batch ranking engine (path index, caches, fan-out)."""

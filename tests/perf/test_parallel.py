@@ -1,0 +1,122 @@
+"""Fan-out determinism: any worker count yields the serial result.
+
+These run the real ``ProcessPoolExecutor`` path (workers=2) against the
+in-process serial path on a small world and require exact equality —
+same routes, same NDCG scores, same rankings. Also pins down the
+``chunked`` splitting contract the fan-out relies on.
+"""
+
+import pytest
+
+from repro import (
+    GeneratorConfig,
+    PipelineConfig,
+    generate_world,
+    run_pipeline,
+    small_profiles,
+)
+from repro.analysis.stability import stability_curve
+from repro.bgp.propagation import propagate_all
+from repro.perf.parallel import chunked
+
+SMALL = GeneratorConfig(profiles=small_profiles(), clique_homes=("US", "US", "SE", "JP"))
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(SMALL, seed=1, name="small")
+
+
+@pytest.fixture(scope="module")
+def result(world):
+    return run_pipeline(world)
+
+
+class TestChunked:
+    def test_concatenation_reproduces_input(self):
+        items = list(range(17))
+        for chunks in (1, 2, 3, 5, 16, 17, 40):
+            parts = chunked(items, chunks)
+            assert [x for part in parts for x in part] == items
+            assert len(parts) <= chunks
+            assert all(parts)  # no empty chunks
+
+    def test_near_equal_sizes(self):
+        parts = chunked(list(range(10)), 3)
+        sizes = sorted(len(part) for part in parts)
+        assert sizes == [3, 3, 4]
+
+    def test_empty_input(self):
+        assert chunked([], 4) == []
+
+    def test_rejects_zero_chunks(self):
+        with pytest.raises(ValueError):
+            chunked([1], 0)
+
+
+class TestPropagationFanOut:
+    def test_workers_match_serial(self, world):
+        origins = [
+            asn for asn in world.graph.asns() if world.graph.node(asn).prefixes
+        ][:8]
+        serial = propagate_all(world.graph, origins=origins, workers=1)
+        fanned = propagate_all(world.graph, origins=origins, workers=2)
+        assert fanned.routes == serial.routes
+
+    def test_keep_filter_matches_serial(self, world):
+        origins = [
+            asn for asn in world.graph.asns() if world.graph.node(asn).prefixes
+        ][:8]
+        keep = set(list(world.graph.asns())[:5])
+        serial = propagate_all(world.graph, origins=origins, keep=keep, workers=1)
+        fanned = propagate_all(world.graph, origins=origins, keep=keep, workers=2)
+        assert fanned.routes == serial.routes
+
+    def test_rejects_bad_workers(self, world):
+        with pytest.raises(ValueError, match="workers"):
+            propagate_all(world.graph, workers=0)
+
+
+class TestStabilityFanOut:
+    def test_workers_match_serial(self, result):
+        country = result.countries_with_national_view()[0]
+        view = result.view("national", country)
+        serial = stability_curve(
+            result, "CCN", view, sizes=[3, 5], trials=3, seed=9, workers=1
+        )
+        fanned = stability_curve(
+            result, "CCN", view, sizes=[3, 5], trials=3, seed=9, workers=2
+        )
+        assert fanned == serial
+
+    def test_rejects_bad_workers(self, result):
+        country = result.countries_with_national_view()[0]
+        view = result.view("national", country)
+        with pytest.raises(ValueError, match="workers"):
+            stability_curve(result, "CCN", view, sizes=[3], trials=1, workers=0)
+
+
+class TestRankAll:
+    def test_matches_individual_rankings(self, result):
+        countries = result.countries_with_national_view()[:2]
+        sweep = result.rank_all(("CCI", "AHN", "CTI"), countries)
+        assert set(sweep) == {
+            (metric, country)
+            for metric in ("CCI", "AHN", "CTI")
+            for country in countries
+        }
+        for (metric, country), ranking in sweep.items():
+            assert ranking == result.ranking(metric, country)
+
+    def test_global_metric_keyed_once(self, result):
+        sweep = result.rank_all(("CCG",), ["US", "SE"])
+        assert list(sweep) == [("CCG", None)]
+        assert sweep[("CCG", None)] == result.ranking("CCG")
+
+    def test_rejects_unknown_metric(self, result):
+        with pytest.raises(ValueError, match="unknown metric"):
+            result.rank_all(("XXX",))
+
+    def test_config_rejects_bad_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            PipelineConfig(workers=0)

@@ -108,6 +108,31 @@ class TestTraceCommand:
         assert "stage report" in capsys.readouterr().out
 
 
+class TestSweep:
+    def test_default_metrics(self, capsys):
+        assert main(["--world", "small", "sweep", "--countries", "AU", "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        for metric in ("CCI", "CCN", "AHI", "AHN"):
+            assert f"{metric}:AU" in out
+
+    def test_metric_and_country_lists(self, capsys):
+        assert main([
+            "--world", "small", "sweep",
+            "--metrics", "cti,ahi", "--countries", "AU,US", "-k", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        for header in ("CTI:AU", "CTI:US", "AHI:AU", "AHI:US"):
+            assert header in out
+
+    def test_unknown_metric(self, capsys):
+        assert main(["--world", "small", "sweep", "--metrics", "CCI,NOPE"]) == 2
+        assert "unknown metric" in capsys.readouterr().err
+
+    def test_unknown_country(self, capsys):
+        assert main(["--world", "small", "sweep", "--countries", "AU,??"]) == 2
+        assert "unknown country" in capsys.readouterr().err
+
+
 class TestValidation:
     def test_unknown_metric(self, capsys):
         assert main(["--world", "small", "rank", "XXX"]) == 2
