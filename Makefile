@@ -1,10 +1,24 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke
+.PHONY: test lint bench bench-smoke
 
-test:
+## Default verification: static analysis first, then the test suite.
+test: lint
 	$(PYTHON) -m pytest -x -q
+
+## Static analysis gate: the repro-lint AST invariant checker over the
+## whole source + test tree (rules R001-R008, findings vs the checked-in
+## lint-baseline.json, runtime guard of 5s so it stays cheap enough to
+## run always), then mypy when available (lenient globally, strict for
+## repro.perf and repro.core -- see [tool.mypy] in pyproject.toml).
+lint:
+	$(PYTHON) -m repro.lint src tests --stats --max-seconds 5
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy src/repro; \
+	else \
+		echo "mypy not installed -- type check skipped"; \
+	fi
 
 ## Full scaling benchmark (small + medium worlds); writes
 ## BENCH_pipeline.json at the repo root and fails below the 3x

@@ -19,6 +19,9 @@ Subcommands mirror the paper's workflow:
 * ``trace``       — run the pipeline under the observability layer and
   print the Figure-6-style stage report (``--json`` for JSONL trace
   events, ``--prom`` for a Prometheus text exposition);
+* ``lint``        — run the repro-lint static analyzer (determinism /
+  purity / metric-correctness rules R001–R008) against the baseline;
+  ``--trace`` appends the obs stage report with the ``lint.*`` metrics;
 * ``sweep``       — batch rankings: every requested metric × country in
   one pass through the shared path index and cross-metric caches
   (Tables 9–12 style output at scale).
@@ -39,6 +42,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.analysis.case_studies import case_study_table, render_case_study
 from repro.analysis.concentration import country_concentrations, render_concentrations
@@ -57,6 +61,9 @@ from repro.core.pipeline import (
 )
 from repro.io.export import release_dataset
 from repro.io.replay import ReplaySession
+from repro.lint import Baseline, LintConfig, run_lint
+from repro.lint.cli import DEFAULT_BASELINE
+from repro.lint.report import emit_metrics, render_json, render_text
 from repro.obs.export import stage_report, to_jsonl, to_prometheus
 from repro.obs.trace import Tracer
 from repro.topology.generator import GeneratorConfig, generate_world
@@ -247,6 +254,19 @@ def main(argv: list[str] | None = None) -> int:
         help="also capture tracemalloc peak memory per stage",
     )
 
+    lint = sub.add_parser(
+        "lint", help="run the repro-lint static analyzer (rules R001-R008)"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    lint.add_argument("--json", action="store_true", help="JSON report")
+    lint.add_argument(
+        "--trace", action="store_true",
+        help="append the obs stage report with the lint.* metrics",
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "replay":
@@ -255,6 +275,19 @@ def main(argv: list[str] | None = None) -> int:
         session = ReplaySession.from_file(args.paths_file)
         print(session.ranking(args.metric, args.country).render(args.k))
         return 0
+
+    if args.command == "lint":
+        baseline = (
+            Baseline.load(DEFAULT_BASELINE)
+            if Path(DEFAULT_BASELINE).is_file() else None
+        )
+        tracer = Tracer()
+        result = run_lint(args.paths, LintConfig(baseline=baseline), tracer)
+        emit_metrics(result, tracer.metrics)
+        print(render_json(result) if args.json else render_text(result))
+        if args.trace:
+            print(stage_report(tracer, title="lint stage report"))
+        return 0 if result.ok() else 1
 
     world = build_world(args.world, args.seed)
 

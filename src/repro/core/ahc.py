@@ -24,7 +24,7 @@ from typing import Iterable, Mapping
 from repro.core.hegemony import hegemony_scores
 from repro.core.ranking import Ranking
 from repro.core.sanitize import PathRecord, PathSet
-from repro.obs.trace import NULL_TRACER
+from repro.obs.trace import NULL_TRACER, AnyTracer
 
 
 def ahc_scores(
@@ -83,7 +83,7 @@ def ahc_ranking(
     country_origins: Iterable[int],
     trim: float = 0.1,
     weighting: str = "as_count",
-    tracer=NULL_TRACER,
+    tracer: AnyTracer = NULL_TRACER,
 ) -> Ranking:
     """The AHC baseline ranking for one country."""
     origins = sorted(set(country_origins))

@@ -23,14 +23,17 @@ cone, and the reported share divides by the view's total address space
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.core.ranking import Ranking
 from repro.core.sanitize import PathRecord, RelationshipOracle
 from repro.core.views import View
 from repro.net.aspath import ASPath
 from repro.net.prefix import Prefix
-from repro.obs.trace import NULL_TRACER
+from repro.obs.trace import NULL_TRACER, AnyTracer
+
+if TYPE_CHECKING:  # perf imports core at runtime; the cycle is type-only
+    from repro.perf.cache import ViewComputation
 
 #: Resolver signature shared with :mod:`repro.perf.cache`: a memoised
 #: stand-in for ``transit_suffix(path, oracle)`` bound to one oracle.
@@ -151,8 +154,8 @@ def cone_ranking(
     oracle: RelationshipOracle,
     metric: str | None = None,
     total_addresses: int | None = None,
-    tracer=NULL_TRACER,
-    compute=None,
+    tracer: AnyTracer = NULL_TRACER,
+    compute: "ViewComputation | None" = None,
 ) -> Ranking:
     """Rank ASes by cone address coverage within a view.
 

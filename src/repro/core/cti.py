@@ -17,14 +17,17 @@ discounting the origin's own large prefixes (AOLP behaviour).
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.core.cone import SuffixResolver, transit_suffix
 from repro.core.hegemony import trimmed_mean
 from repro.core.ranking import Ranking
 from repro.core.sanitize import PathRecord, RelationshipOracle
 from repro.core.views import View
-from repro.obs.trace import NULL_TRACER
+from repro.obs.trace import NULL_TRACER, AnyTracer
+
+if TYPE_CHECKING:  # perf imports core at runtime; the cycle is type-only
+    from repro.perf.cache import ViewComputation
 
 
 def per_vp_transit(
@@ -91,8 +94,8 @@ def cti_ranking(
     view: View,
     oracle: RelationshipOracle,
     trim: float = 0.1,
-    tracer=NULL_TRACER,
-    compute=None,
+    tracer: AnyTracer = NULL_TRACER,
+    compute: "ViewComputation | None" = None,
 ) -> Ranking:
     """CTI ranking over a country's international view.
 

@@ -19,12 +19,15 @@ pulls down ASes visible from only a few VPs.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.core.ranking import Ranking
 from repro.core.sanitize import PathRecord
 from repro.core.views import View
-from repro.obs.trace import NULL_TRACER
+from repro.obs.trace import NULL_TRACER, AnyTracer
+
+if TYPE_CHECKING:  # perf imports core at runtime; the cycle is type-only
+    from repro.perf.cache import ViewComputation
 
 
 def per_vp_scores(
@@ -178,8 +181,8 @@ def hegemony_ranking(
     metric: str | None = None,
     trim: float = 0.1,
     weighting: str = "addresses",
-    tracer=NULL_TRACER,
-    compute=None,
+    tracer: AnyTracer = NULL_TRACER,
+    compute: "ViewComputation | None" = None,
 ) -> Ranking:
     """Rank ASes by hegemony within a view.
 

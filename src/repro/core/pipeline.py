@@ -12,7 +12,7 @@ memoised. This module is the primary public entry point:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.bgp.propagation import RoutingOutcome, propagate_all
 from repro.bgp.rib import RibGenerationConfig, RibSeries, generate_rib_days
@@ -26,9 +26,13 @@ from repro.core.views import View
 from repro.geo.database import GeoDatabase
 from repro.geo.prefix_geo import PrefixGeolocation, geolocate_prefixes
 from repro.geo.vp_geo import VPGeolocator
-from repro.obs.trace import NULL_TRACER, Tracer
+from repro.obs.trace import NULL_TRACER, AnyTracer, Tracer
 from repro.relationships.inference import InferredRelationships, infer_relationships
 from repro.topology.world import World
+
+if TYPE_CHECKING:  # perf imports core at runtime; the cycle is type-only
+    from repro.perf.cache import SuffixCache, ViewComputation
+    from repro.perf.index import PathIndex
 
 #: Metrics the pipeline can compute. Country metrics need ``country``.
 #: CCO/AHO are the outbound (paths leaving a country) extensions the
@@ -100,7 +104,7 @@ class PipelineResult:
         paths: PathSet,
         oracle: RelationshipOracle,
         inferred: InferredRelationships | None,
-        tracer=NULL_TRACER,
+        tracer: AnyTracer = NULL_TRACER,
     ) -> None:
         self.world = world
         self.config = config
@@ -120,19 +124,19 @@ class PipelineResult:
         #: batch-engine state (repro.perf), all built lazily: the shared
         #: path index, the per-(path, oracle) suffix cache, and one
         #: ViewComputation per view key (the cross-metric cache)
-        self._index = None
-        self._suffixes = None
-        self._computations: dict[tuple[str, str | None], object] = {}
+        self._index: "PathIndex | None" = None
+        self._suffixes: "SuffixCache | None" = None
+        self._computations: dict[tuple[str, str | None], "ViewComputation"] = {}
 
     @property
-    def trace(self):
+    def trace(self) -> AnyTracer | None:
         """The collected telemetry (:class:`repro.obs.Tracer`), or
         ``None`` when the run was not traced."""
         return self._tracer if self._tracer.enabled else None
 
     # -- views & batch-engine state -----------------------------------------
 
-    def path_index(self):
+    def path_index(self) -> "PathIndex":
         """The shared :class:`repro.perf.PathIndex` over the sanitized
         records (built on first use, one O(n) pass)."""
         if self._index is None:
@@ -142,7 +146,7 @@ class PipelineResult:
                 self._index = PathIndex.from_paths(self.paths)
         return self._index
 
-    def suffix_cache(self):
+    def suffix_cache(self) -> "SuffixCache":
         """The shared per-(path, oracle) transit-suffix cache."""
         if self._suffixes is None:
             from repro.perf.cache import SuffixCache
@@ -150,7 +154,9 @@ class PipelineResult:
             self._suffixes = SuffixCache(self.oracle, self._tracer)
         return self._suffixes
 
-    def computation(self, kind: str, country: str | None = None):
+    def computation(
+        self, kind: str, country: str | None = None
+    ) -> "ViewComputation":
         """The memoised :class:`repro.perf.ViewComputation` for one of
         this result's views — the cross-metric intermediate cache the
         CC*/AH*/CTI rankings share."""

@@ -10,7 +10,7 @@ metrics — and is what the case-study tables print.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping
+from typing import Callable, Iterator, Mapping
 
 
 @dataclass(frozen=True, slots=True)
@@ -91,7 +91,7 @@ class Ranking:
     def __len__(self) -> int:
         return len(self.entries)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[RankEntry]:
         return iter(self.entries)
 
     def __eq__(self, other: object) -> bool:

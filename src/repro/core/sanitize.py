@@ -24,7 +24,7 @@ matching the paper's accounting of 248M announcements.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Protocol
+from typing import Callable, Iterable, Iterator, Protocol
 
 from repro.bgp.announcement import RibRecord
 from repro.bgp.collectors import VantagePoint
@@ -32,7 +32,7 @@ from repro.geo.prefix_geo import PrefixGeolocation
 from repro.geo.vp_geo import VPGeolocator
 from repro.net.aspath import ASPath
 from repro.net.prefix import Prefix, parse_address
-from repro.obs.trace import NULL_TRACER
+from repro.obs.trace import NULL_TRACER, AnyTracer
 
 
 class RelationshipOracle(Protocol):
@@ -139,7 +139,7 @@ class PathSet:
     def __len__(self) -> int:
         return len(self.records)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[PathRecord]:
         return iter(self.records)
 
     def vps(self) -> list[VantagePoint]:
@@ -186,7 +186,7 @@ def sanitize(
     route_servers: frozenset[int],
     vp_geo: VPGeolocator,
     prefix_geo: PrefixGeolocation,
-    tracer=NULL_TRACER,
+    tracer: AnyTracer = NULL_TRACER,
 ) -> PathSet:
     """Run the full Table-1 pipeline over deduplicated RIB records.
 

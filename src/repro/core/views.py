@@ -14,12 +14,12 @@ Views are cheap filters; metrics consume ``view.records``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Callable, Iterable, Iterator
 
 from repro.bgp.collectors import VantagePoint
 from repro.core.sanitize import PathRecord, PathSet
 from repro.net.prefix import parse_address
-from repro.obs.trace import NULL_TRACER
+from repro.obs.trace import NULL_TRACER, AnyTracer
 
 
 def ip_sort_key(ip: str) -> tuple[int, int]:
@@ -42,7 +42,7 @@ class View:
     def __len__(self) -> int:
         return len(self.records)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[PathRecord]:
         return iter(self.records)
 
     def vps(self) -> list[VantagePoint]:
@@ -67,7 +67,13 @@ class View:
         )
 
 
-def _build_view(paths: PathSet, kind: str, country: str | None, keep, tracer) -> View:
+def _build_view(
+    paths: PathSet,
+    kind: str,
+    country: str | None,
+    keep: Callable[[PathRecord], bool] | None,
+    tracer: AnyTracer,
+) -> View:
     """Construct a view under a ``views`` span; record its size/VP
     distributions (VP counting only runs when tracing is on — it is
     pure telemetry, never on the disabled path)."""
@@ -87,7 +93,9 @@ def _build_view(paths: PathSet, kind: str, country: str | None, keep, tracer) ->
     return view
 
 
-def national_view(paths: PathSet, country: str, tracer=NULL_TRACER) -> View:
+def national_view(
+    paths: PathSet, country: str, tracer: AnyTracer = NULL_TRACER
+) -> View:
     """Paths from in-country VPs to in-country prefixes (CCN/AHN input)."""
     return _build_view(
         paths, "national", country,
@@ -96,7 +104,9 @@ def national_view(paths: PathSet, country: str, tracer=NULL_TRACER) -> View:
     )
 
 
-def international_view(paths: PathSet, country: str, tracer=NULL_TRACER) -> View:
+def international_view(
+    paths: PathSet, country: str, tracer: AnyTracer = NULL_TRACER
+) -> View:
     """Paths from out-of-country VPs to in-country prefixes (CCI/AHI)."""
     return _build_view(
         paths, "international", country,
@@ -105,12 +115,14 @@ def international_view(paths: PathSet, country: str, tracer=NULL_TRACER) -> View
     )
 
 
-def global_view(paths: PathSet, tracer=NULL_TRACER) -> View:
+def global_view(paths: PathSet, tracer: AnyTracer = NULL_TRACER) -> View:
     """Every sanitized path (CCG/AHG baselines)."""
     return _build_view(paths, "global", None, None, tracer)
 
 
-def outbound_view(paths: PathSet, country: str, tracer=NULL_TRACER) -> View:
+def outbound_view(
+    paths: PathSet, country: str, tracer: AnyTracer = NULL_TRACER
+) -> View:
     """Paths from in-country VPs to out-of-country prefixes.
 
     The paper's §7 names "a metric that characterizes paths *out of* a

@@ -1,0 +1,47 @@
+"""repro.lint — an AST-based invariant checker for the pipeline.
+
+The reproduction guarantees byte-identical rankings for any worker
+count and exact cross-metric caches; those invariants are one unseeded
+``random.Random()``, one hash-ordered iteration, or one float ``==`` on
+a hegemony score away from silently breaking. This package turns them
+into machine-checked rules (R001–R008, see :mod:`repro.lint.rules`)
+that run as ``repro-lint`` / ``repro-rank lint`` / ``make lint``.
+
+Library use::
+
+    from repro.lint import Baseline, LintConfig, run_lint
+
+    result = run_lint(["src", "tests"],
+                      LintConfig(baseline=Baseline.load("lint-baseline.json")))
+    assert result.ok(), result.findings
+"""
+
+from repro.lint.engine import (
+    DEFAULT_EXCLUDES,
+    LintConfig,
+    LintResult,
+    iter_python_files,
+    lint_file,
+    lint_source,
+    module_name,
+    run_lint,
+)
+from repro.lint.rules import ALL_RULE_IDS, RULES, Finding, Rule
+from repro.lint.suppress import Baseline, BaselineEntry
+
+__all__ = [
+    "ALL_RULE_IDS",
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_EXCLUDES",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "iter_python_files",
+    "lint_file",
+    "lint_source",
+    "module_name",
+    "run_lint",
+]

@@ -1,0 +1,173 @@
+"""The ``repro-lint`` command-line interface.
+
+Exit codes: ``0`` clean (against the baseline), ``1`` findings or parse
+errors, ``2`` usage errors, ``3`` runtime-guard breach
+(``--max-seconds``). Typical invocations::
+
+    repro-lint src tests                    # lint, text report
+    repro-lint src --format json            # machine-readable
+    repro-lint src --select R001,R003       # a subset of rules
+    repro-lint src --write-baseline         # grandfather current findings
+    repro-lint --list-rules                 # the rule catalog
+    repro-lint src tests --max-seconds 5    # CI runtime guard
+
+The baseline defaults to ``lint-baseline.json`` in the current
+directory when it exists; ``--baseline`` points elsewhere and
+``--no-baseline`` disables it. The runtime guard reads its elapsed
+time from the run's obs tracer span — the linter itself obeys R002
+(no wall-clock reads outside ``repro.obs``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.engine import DEFAULT_EXCLUDES, LintConfig, run_lint
+from repro.lint.report import (
+    emit_metrics,
+    render_json,
+    render_rules,
+    render_stats,
+    render_text,
+)
+from repro.lint.rules import ALL_RULE_IDS
+from repro.lint.suppress import Baseline
+from repro.obs.trace import Tracer
+
+#: exit statuses (0 = clean)
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+EXIT_TOO_SLOW = 3
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def _parse_rule_list(raw: str) -> frozenset[str]:
+    rules = frozenset(part.strip().upper() for part in raw.split(",") if part.strip())
+    unknown = rules - set(ALL_RULE_IDS)
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))} "
+            f"(valid: {', '.join(ALL_RULE_IDS)})"
+        )
+    return rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant checker for the repro pipeline: "
+            "determinism, purity, and metric-correctness rules"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+    )
+    parser.add_argument(
+        "--select", type=_parse_rule_list, default=None, metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", type=_parse_rule_list, default=frozenset(),
+        metavar="RULES", help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--exclude", action="append", default=None, metavar="NAME",
+        help="directory name to skip during expansion "
+             f"(default: {', '.join(DEFAULT_EXCLUDES)})",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=f"baseline file (default: {DEFAULT_BASELINE} if present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--max-seconds", type=float, default=None, metavar="S",
+        help="fail (exit 3) if the lint run takes longer than S seconds",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="append the per-rule findings breakdown",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point (also exposed as the ``repro-lint`` script)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_rules())
+        return 0
+
+    baseline: Baseline | None = None
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    if not args.no_baseline and not args.write_baseline:
+        if Path(baseline_path).is_file():
+            baseline = Baseline.load(baseline_path)
+        elif args.baseline is not None:
+            print(
+                f"repro-lint: error: baseline {args.baseline!r} not found",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+
+    config = LintConfig(
+        select=args.select,
+        ignore=args.ignore,
+        exclude=tuple(args.exclude) if args.exclude else DEFAULT_EXCLUDES,
+        baseline=baseline,
+    )
+    tracer = Tracer()
+    result = run_lint(args.paths, config, tracer)
+    emit_metrics(result, tracer.metrics)
+
+    if args.write_baseline:
+        Baseline.from_findings(result.findings).save(baseline_path)
+        print(
+            f"wrote {len(result.findings)} finding(s) to {baseline_path} — "
+            "fill in the justification fields"
+        )
+        return 0
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+        if args.stats:
+            print(render_stats(result))
+
+    if args.max_seconds is not None:
+        elapsed = tracer.find("lint")[0].dur_s
+        if elapsed > args.max_seconds:
+            print(
+                f"repro-lint: error: lint took {elapsed:.2f}s, over the "
+                f"--max-seconds {args.max_seconds:g} budget",
+                file=sys.stderr,
+            )
+            return EXIT_TOO_SLOW
+
+    return 0 if result.ok() else EXIT_FINDINGS
+
+
+if __name__ == "__main__":
+    sys.exit(main())

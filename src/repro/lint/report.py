@@ -1,0 +1,98 @@
+"""Reporters: human-readable text, JSON, and obs metrics emission.
+
+The text reporter is what ``make lint`` prints; the JSON reporter is
+for tooling (stable key order, one object per finding); and
+``emit_metrics`` pushes the run's stats into a
+:class:`repro.obs.metrics.MetricsRegistry` under the ``lint.*``
+namespace so a traced run (``repro-rank lint --trace``) reports them
+alongside the pipeline's own instruments:
+
+==========================  =======  ==================================
+name                        kind     meaning
+==========================  =======  ==================================
+lint.files                  counter  files scanned
+lint.findings               counter  unsuppressed findings
+lint.findings.r001 … r008   counter  unsuppressed findings per rule
+lint.suppressed.noqa        counter  findings silenced by inline noqa
+lint.suppressed.baseline    counter  findings grandfathered by baseline
+lint.baseline.stale         gauge    baseline entries matching nothing
+==========================  =======  ==================================
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+from repro.lint.rules import RULES
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """The human-readable report: one line per finding plus a summary."""
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(finding.render())
+        if verbose and finding.code:
+            lines.append(f"    {finding.code}")
+    for path, error in result.parse_errors:
+        lines.append(f"{path}: parse error: {error}")
+    for entry in result.stale_baseline:
+        lines.append(
+            f"warning: stale baseline entry {entry.rule} for {entry.path} "
+            f"({entry.code!r}) — remove it from the baseline"
+        )
+    suppressed = result.suppressed_noqa + result.suppressed_baseline
+    lines.append(
+        f"{len(result.findings)} finding(s) in {result.files_scanned} "
+        f"file(s); {suppressed} suppressed "
+        f"({result.suppressed_noqa} noqa, "
+        f"{result.suppressed_baseline} baseline)"
+    )
+    return "\n".join(lines)
+
+
+def render_stats(result: LintResult) -> str:
+    """The per-rule breakdown appended under ``--stats``."""
+    lines = ["findings by rule:"]
+    for rule_id, count in result.findings_by_rule().items():
+        rule = RULES[rule_id]
+        lines.append(f"  {rule_id} {rule.name:<22} {count}")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """The machine-readable report (stable key order)."""
+    payload = {
+        "findings": [finding.as_dict() for finding in result.findings],
+        "parse_errors": [
+            {"path": path, "error": error}
+            for path, error in result.parse_errors
+        ],
+        "stale_baseline": [
+            entry.as_dict() for entry in result.stale_baseline
+        ],
+        "stats": result.stats(),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rules() -> str:
+    """The ``--list-rules`` catalog: id, name, summary, invariant."""
+    lines: list[str] = []
+    for rule in RULES.values():
+        lines.append(f"{rule.id} {rule.name}: {rule.summary}")
+        lines.append(f"     protects: {rule.invariant}")
+    return "\n".join(lines)
+
+
+def emit_metrics(result: LintResult, metrics) -> None:
+    """Record the run's stats in an obs metrics registry (``lint.*``)."""
+    metrics.counter("lint.files").inc(result.files_scanned)
+    metrics.counter("lint.findings").inc(len(result.findings))
+    for rule_id, count in result.findings_by_rule().items():
+        metrics.counter(f"lint.findings.{rule_id.lower()}").inc(count)
+    metrics.counter("lint.suppressed.noqa").inc(result.suppressed_noqa)
+    metrics.counter("lint.suppressed.baseline").inc(
+        result.suppressed_baseline
+    )
+    metrics.gauge("lint.baseline.stale").set(len(result.stale_baseline))

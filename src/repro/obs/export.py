@@ -13,9 +13,10 @@ Three consumers, three formats:
   ``_count``/``_sum``/``_min``/``_max``).
 * :func:`stage_report` — the human-readable pipeline stage report:
   span tree with wall/CPU time, input/output volumes and drop ratios,
-  followed by the Table-1 drop accounting and the geolocation
-  accounting, both rendered from the metric counters (so they are, by
-  construction, the instrumented truth).
+  followed by the Table-1 drop accounting, the geolocation accounting,
+  and (for ``repro-rank lint --trace`` runs) the ``lint.*`` run stats,
+  all rendered from the metric counters (so they are, by construction,
+  the instrumented truth).
 
 :func:`validate_events` is the schema check used by the smoke tests.
 """
@@ -243,6 +244,17 @@ def stage_report(tracer: Tracer, title: str = "pipeline stage report") -> str:
         lines.append("-- prefix geolocation --")
         for key in geo_keys:
             lines.append(f"  {key:<28}{counters[key]:>10}")
+
+    gauges = tracer.metrics.gauges()
+    lint_counters = [key for key in counters if key.startswith("lint.")]
+    if lint_counters:
+        lines.append("")
+        lines.append("-- lint (repro-lint run stats) --")
+        for key in lint_counters:
+            lines.append(f"  {key:<28}{counters[key]:>10}")
+        for key, value in gauges.items():
+            if key.startswith("lint."):
+                lines.append(f"  {key:<28}{value:>10g}")
 
     histograms = tracer.metrics.histograms()
     if histograms:

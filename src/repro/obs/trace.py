@@ -247,3 +247,8 @@ class NullTracer:
 #: Module-level singletons for disabled-mode instrumentation.
 NULL_SPAN = NullSpan()
 NULL_TRACER = NullTracer()
+
+#: The type every ``tracer=`` parameter accepts: a live :class:`Tracer`
+#: or the disabled :data:`NULL_TRACER`. Instrumented code must work
+#: identically against either.
+AnyTracer = Tracer | NullTracer

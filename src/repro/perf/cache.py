@@ -40,7 +40,7 @@ from repro.core.hegemony import per_vp_scores, trimmed_scores_sparse
 from repro.core.sanitize import PathRecord, RelationshipOracle
 from repro.core.views import View
 from repro.net.aspath import ASPath
-from repro.obs.trace import NULL_TRACER
+from repro.obs.trace import NULL_TRACER, AnyTracer
 
 
 class SuffixCache:
@@ -51,7 +51,9 @@ class SuffixCache:
 
     __slots__ = ("oracle", "table", "_p2c", "_hits", "_misses")
 
-    def __init__(self, oracle: RelationshipOracle, tracer=NULL_TRACER) -> None:
+    def __init__(
+        self, oracle: RelationshipOracle, tracer: AnyTracer = NULL_TRACER
+    ) -> None:
         self.oracle = oracle
         self.table: dict[ASPath, tuple[int, ...]] = {}
         # Oracles exposing their provider→customer pairs as a flat edge
@@ -150,7 +152,7 @@ class ViewComputation:
         view: View,
         oracle: RelationshipOracle,
         suffix_of: SuffixCache | None = None,
-        tracer=NULL_TRACER,
+        tracer: AnyTracer = NULL_TRACER,
     ) -> None:
         self.view = view
         self.oracle = oracle

@@ -31,7 +31,7 @@ from typing import Iterable, Sequence
 from repro.core.sanitize import PathRecord, PathSet
 from repro.core.views import View, ip_sort_key
 from repro.net.prefix import Prefix
-from repro.obs.trace import NULL_TRACER
+from repro.obs.trace import NULL_TRACER, AnyTracer
 
 #: View kinds the index can build, with their (vp_in, prefix_in)
 #: country-membership selectors relative to the target country.
@@ -181,7 +181,10 @@ class PathIndex:
     # -- view construction ------------------------------------------------------
 
     def view(
-        self, kind: str, country: str | None = None, tracer=NULL_TRACER
+        self,
+        kind: str,
+        country: str | None = None,
+        tracer: AnyTracer = NULL_TRACER,
     ) -> View:
         """Build a view from bucket lookups.
 

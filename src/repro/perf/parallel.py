@@ -23,9 +23,28 @@ process telemetry still records aggregate counts.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, Sequence, TypeVar
+from typing import TYPE_CHECKING, Iterable, Sequence, TypeVar
+
+if TYPE_CHECKING:  # worker-side imports stay lazy; these are type-only
+    from repro.bgp.propagation import Route, _Adjacency
+    from repro.core.ranking import Ranking
+    from repro.core.sanitize import RelationshipOracle
+    from repro.core.views import View
 
 T = TypeVar("T")
+
+#: one route-propagation work unit: (adjacency, origins, tiebreak,
+#: salt, keep)
+PropagatePayload = tuple[
+    "_Adjacency", list[int], str, int, "frozenset[int] | None"
+]
+
+#: one stability work unit: (metric, view, oracle, trim, full ranking,
+#: k, VP samples)
+StabilityPayload = tuple[
+    str, "View", "RelationshipOracle", float, "Ranking", int,
+    "list[Iterable[str]]",
+]
 
 
 def chunked(items: Sequence[T], chunks: int) -> list[list[T]]:
@@ -52,13 +71,13 @@ def chunked(items: Sequence[T], chunks: int) -> list[list[T]]:
 # -- route propagation ---------------------------------------------------------
 
 
-def _propagate_chunk(payload):
+def _propagate_chunk(payload: PropagatePayload) -> dict[int, dict[int, "Route"]]:
     """Worker: best routes for one chunk of origins (top-level for
     pickling)."""
     adjacency, origins, tiebreak, salt, keep = payload
     from repro.bgp.propagation import _propagate
 
-    out = {}
+    out: dict[int, dict[int, "Route"]] = {}
     for origin in origins:
         routes = _propagate(adjacency, origin, tiebreak, salt)
         if keep is not None:
@@ -70,24 +89,24 @@ def _propagate_chunk(payload):
 
 
 def propagate_origins(
-    adjacency,
+    adjacency: "_Adjacency",
     origins: Sequence[int],
     tiebreak: str,
     salt: int,
     keep: frozenset[int] | set[int] | None,
     workers: int,
-):
+) -> dict[int, dict[int, "Route"]]:
     """Fan ``_propagate`` out over origin chunks; merge by origin.
 
     Returns ``{origin: {asn: Route}}`` keyed in ``origins`` order
     regardless of which worker finished first.
     """
     keep_frozen = frozenset(keep) if keep is not None else None
-    payloads = [
+    payloads: list[PropagatePayload] = [
         (adjacency, chunk, tiebreak, salt, keep_frozen)
         for chunk in chunked(origins, workers)
     ]
-    merged: dict = {}
+    merged: dict[int, dict[int, "Route"]] = {}
     with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
         for part in pool.map(_propagate_chunk, payloads):
             merged.update(part)
@@ -97,7 +116,7 @@ def propagate_origins(
 # -- stability trials ---------------------------------------------------------
 
 
-def _stability_chunk(payload):
+def _stability_chunk(payload: StabilityPayload) -> list[float]:
     """Worker: NDCG scores for one chunk of downsampling trials."""
     metric, view, oracle, trim, full, k, samples = payload
     from repro.analysis.stability import metric_ranking
@@ -105,7 +124,7 @@ def _stability_chunk(payload):
     from repro.perf.index import ViewSlicer
 
     slicer = ViewSlicer(view)
-    scores = []
+    scores: list[float] = []
     for sample in samples:
         sample_view = slicer.restrict(sample)
         ranking = metric_ranking(metric, sample_view, oracle, trim)
@@ -115,17 +134,17 @@ def _stability_chunk(payload):
 
 def stability_trials(
     metric: str,
-    view,
-    oracle,
+    view: "View",
+    oracle: "RelationshipOracle",
     trim: float,
-    full,
+    full: "Ranking",
     k: int,
     samples: Sequence[Iterable[str]],
     workers: int,
 ) -> list[float]:
     """Fan NDCG trials out over sample chunks; scores return in
     ``samples`` order."""
-    payloads = [
+    payloads: list[StabilityPayload] = [
         (metric, view, oracle, trim, full, k, chunk)
         for chunk in chunked(samples, workers)
     ]

@@ -120,7 +120,7 @@ class TestFromWorld:
                 continue
             shares = db.country_shares(record.prefix)
             foreign = shares.get(record.foreign_country, 0.0)
-            if foreign == 0.0:
+            if not foreign:
                 # A same-space more-specific origination may overwrite the
                 # foreign chunks; skip those collisions.
                 continue

@@ -1,0 +1,13 @@
+"""R001 negative: seeded construction and instance-method draws."""
+import random
+
+
+def shuffled(items, seed):
+    rng = random.Random(seed)
+    values = list(items)
+    rng.shuffle(values)
+    return values
+
+
+def pick(items, rng):
+    return rng.choice(items)

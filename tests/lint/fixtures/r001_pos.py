@@ -1,0 +1,13 @@
+"""R001 positive: unseeded RNG construction and global-RNG calls."""
+import random
+
+
+def shuffled(items):
+    rng = random.Random()
+    values = list(items)
+    rng.shuffle(values)
+    return values
+
+
+def pick(items):
+    return random.choice(items)

@@ -1,0 +1,7 @@
+# repro-lint: module=repro.obs.fixture
+"""R002 negative: the observability layer owns the clocks."""
+import time
+
+
+def elapsed(start):
+    return time.perf_counter() - start

@@ -1,0 +1,11 @@
+"""R002 positive: wall-clock reads outside repro.obs."""
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()
+
+
+def day():
+    return datetime.now().isoformat()

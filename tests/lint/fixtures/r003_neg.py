@@ -1,0 +1,23 @@
+"""R003 negative: sorted wrappers, normalized accumulation, and
+order-insensitive consumers."""
+
+
+def labels(names):
+    unique = set(names)
+    return [name.upper() for name in sorted(unique)]
+
+
+def collect(groups):
+    merged = []
+    for item in {group for group in groups}:
+        merged.append(item)
+    merged.sort()
+    return merged
+
+
+def total(values):
+    return sum(value for value in set(values))
+
+
+def distinct(values):
+    return {value for value in set(values)}

@@ -1,0 +1,13 @@
+"""R003 positive: ordered output built from raw set iteration."""
+
+
+def labels(names):
+    unique = set(names)
+    return [name.upper() for name in unique]
+
+
+def collect(groups):
+    merged = []
+    for item in {group for group in groups}:
+        merged.append(item)
+    return merged

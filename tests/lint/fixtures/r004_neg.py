@@ -1,0 +1,14 @@
+"""R004 negative: isclose, integer accounting, and assert exemption."""
+import math
+
+
+def same_score(score_a, score_b):
+    return math.isclose(score_a, score_b)
+
+
+def same_count(count_a, count_b):
+    return count_a == count_b
+
+
+def check_determinism(score):
+    assert score == 1.0

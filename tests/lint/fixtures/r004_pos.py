@@ -1,0 +1,9 @@
+"""R004 positive: exact float equality on score-like expressions."""
+
+
+def same_score(score_a, score_b):
+    return score_a == score_b
+
+
+def is_quarter(x):
+    return x == 0.25

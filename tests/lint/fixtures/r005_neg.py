@@ -1,0 +1,12 @@
+"""R005 negative: None defaults with inner construction."""
+
+
+def gather(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket
+
+
+def scale(values, factor=1.0):
+    return [value * factor for value in values]

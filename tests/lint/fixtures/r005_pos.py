@@ -1,0 +1,11 @@
+"""R005 positive: mutable default arguments."""
+
+
+def gather(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def tally(key, counts={}):
+    counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -1,0 +1,16 @@
+"""R006 negative: specific exceptions, and broad catch that re-raises."""
+
+
+def load(parse, raw):
+    try:
+        return parse(raw)
+    except ValueError:
+        return None
+
+
+def guarded(fn, log):
+    try:
+        return fn()
+    except Exception as error:
+        log(error)
+        raise

@@ -1,0 +1,15 @@
+"""R006 positive: bare and overbroad except without re-raise."""
+
+
+def load(parse, raw):
+    try:
+        return parse(raw)
+    except:
+        return None
+
+
+def absorb(fn):
+    try:
+        return fn()
+    except Exception:
+        return 0

@@ -1,0 +1,13 @@
+# repro-lint: module=repro.perf.fixture
+"""R007 negative: reading shared inputs and rebinding locals."""
+
+
+class View:
+    """Stand-in carrying the protected type name."""
+
+
+def derive(view: View, extra):
+    records = list(view.records)
+    records.append(extra)
+    view = None
+    return records

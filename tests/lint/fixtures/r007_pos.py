@@ -1,0 +1,12 @@
+# repro-lint: module=repro.perf.fixture
+"""R007 positive: mutating a shared View parameter in the batch engine."""
+
+
+class View:
+    """Stand-in carrying the protected type name."""
+
+
+def poison(view: View, extra):
+    view.country = None
+    view.records.append(extra)
+    return view

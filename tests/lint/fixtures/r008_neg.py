@@ -1,0 +1,8 @@
+# repro-lint: module=repro.fixture
+"""R008 negative: conventional names; dynamic names are skipped."""
+
+
+def instrument(metrics, category):
+    metrics.counter("lint.files").inc()
+    metrics.histogram("views.size").observe(3)
+    metrics.counter(f"sanitize.dropped.{category}").inc()

@@ -1,0 +1,8 @@
+# repro-lint: module=repro.fixture
+"""R008 positive: metric names off the stage.metric_name convention."""
+
+
+def instrument(metrics):
+    metrics.counter("Totals").inc()
+    metrics.gauge("lint").set(1)
+    metrics.histogram("lint.Sizes").observe(2)

@@ -1,0 +1,113 @@
+"""Both command-line faces of the linter: the standalone ``repro-lint``
+entry point and the ``repro-rank lint`` subcommand (which shares the
+library engine and emits ``lint.*`` metrics through the obs layer)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as repro_rank
+from repro.lint.cli import main as repro_lint
+
+REPO = Path(__file__).parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def dirty_file(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("def f(score):\n    return score == 0.5\n")
+    return target
+
+
+class TestReproLint:
+    def test_list_rules(self, capsys):
+        assert repro_lint(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R001", "R008"):
+            assert rule_id in out
+        assert "protects:" in out
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "ok.py"
+        target.write_text("def f():\n    return 1\n")
+        assert repro_lint([str(target), "--no-baseline"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, dirty_file, capsys):
+        assert repro_lint([str(dirty_file), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "R004" in out and "1 finding(s)" in out
+
+    def test_json_format(self, dirty_file, capsys):
+        assert repro_lint([str(dirty_file), "--no-baseline", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["findings"] == 1
+        assert payload["findings"][0]["rule"] == "R004"
+
+    def test_select_subset(self, dirty_file):
+        assert repro_lint(
+            [str(dirty_file), "--no-baseline", "--select", "R001"]
+        ) == 0
+
+    def test_unknown_rule_is_usage_error(self, dirty_file):
+        with pytest.raises(SystemExit) as excinfo:
+            repro_lint([str(dirty_file), "--select", "R999"])
+        assert excinfo.value.code == 2
+
+    def test_missing_explicit_baseline_is_usage_error(self, dirty_file):
+        assert repro_lint(
+            [str(dirty_file), "--baseline", str(dirty_file.parent / "nope.json")]
+        ) == 2
+
+    def test_write_baseline_then_clean(self, dirty_file, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert repro_lint(
+            [str(dirty_file), "--baseline", str(baseline), "--write-baseline"]
+        ) == 0
+        assert baseline.is_file()
+        capsys.readouterr()
+        assert repro_lint([str(dirty_file), "--baseline", str(baseline)]) == 0
+        assert "1 baseline" in capsys.readouterr().out
+
+    def test_max_seconds_guard_trips(self, dirty_file, capsys):
+        code = repro_lint(
+            [str(dirty_file), "--no-baseline", "--max-seconds", "0.0"]
+        )
+        assert code == 3
+        assert "--max-seconds" in capsys.readouterr().err
+
+    def test_max_seconds_guard_passes_when_generous(self, tmp_path):
+        target = tmp_path / "ok.py"
+        target.write_text("x = 1\n")
+        assert repro_lint(
+            [str(target), "--no-baseline", "--max-seconds", "60"]
+        ) == 0
+
+    def test_stats_breakdown(self, dirty_file, capsys):
+        repro_lint([str(dirty_file), "--no-baseline", "--stats"])
+        out = capsys.readouterr().out
+        assert "findings by rule:" in out
+        assert "float-equality" in out
+
+
+class TestReproRankLint:
+    def test_subcommand_on_fixture(self, capsys):
+        fixture = FIXTURES / "r006_pos.py"
+        assert repro_rank(["lint", str(fixture)]) == 1
+        assert "R006" in capsys.readouterr().out
+
+    def test_subcommand_json(self, capsys):
+        fixture = FIXTURES / "r006_pos.py"
+        assert repro_rank(["lint", str(fixture), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["findings"] == 2
+
+    def test_subcommand_trace_reports_lint_metrics(self, tmp_path, capsys):
+        target = tmp_path / "ok.py"
+        target.write_text("def f():\n    return 1\n")
+        assert repro_rank(["lint", str(target), "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "lint stage report" in out
+        assert "lint.files" in out

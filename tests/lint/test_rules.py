@@ -1,0 +1,46 @@
+"""The fixture corpus: every rule fires on its positive snippet and
+stays quiet on its negative one — and on every *other* rule's snippets,
+so the corpus doubles as a cross-rule false-positive check."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import ALL_RULE_IDS, lint_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.mark.parametrize("rule_id", ALL_RULE_IDS)
+class TestFixtureCorpus:
+    def test_positive_fires(self, rule_id):
+        findings = lint_file(FIXTURES / f"{rule_id.lower()}_pos.py")
+        assert findings, f"{rule_id} positive fixture produced no findings"
+        assert {f.rule_id for f in findings} == {rule_id}, (
+            f"{rule_id} positive fixture leaked other rules: {findings}"
+        )
+
+    def test_negative_is_quiet(self, rule_id):
+        findings = lint_file(FIXTURES / f"{rule_id.lower()}_neg.py")
+        assert findings == [], (
+            f"{rule_id} negative fixture fired: {findings}"
+        )
+
+
+def test_corpus_is_complete():
+    """One pos and one neg fixture per catalog rule, nothing extra."""
+    stems = {path.stem for path in FIXTURES.glob("*.py")}
+    expected = {
+        f"{rule_id.lower()}_{kind}"
+        for rule_id in ALL_RULE_IDS
+        for kind in ("pos", "neg")
+    }
+    assert stems == expected
+
+
+def test_positive_findings_carry_location_and_code():
+    findings = lint_file(FIXTURES / "r005_pos.py")
+    for finding in findings:
+        assert finding.line > 0 and finding.col > 0
+        assert finding.code
+        assert finding.render().startswith(finding.path)
