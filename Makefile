@@ -1,11 +1,20 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke
+.PHONY: test lint faults bench bench-smoke
 
-## Default verification: static analysis first, then the test suite.
+## Default verification: static analysis first, then the test suite
+## (which includes the fault-injection suite), then the fault suite
+## once more on its own so a recovery regression is named explicitly.
 test: lint
 	$(PYTHON) -m pytest -x -q
+	$(MAKE) faults
+
+## Fault-injection suite: deterministic worker kills, hung chunks,
+## mid-sweep crashes, and corrupted dump lines, each required to
+## recover to byte-identical output (DESIGN.md section 6).
+faults:
+	$(PYTHON) -m pytest tests/resilience -q
 
 ## Static analysis gate: the repro-lint AST invariant checker over the
 ## whole source + test tree (rules R001-R008, findings vs the checked-in

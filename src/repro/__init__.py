@@ -29,6 +29,13 @@ from repro.core.ranking import RankEntry, Ranking
 from repro.core.ndcg import dcg, ndcg
 from repro.obs import Tracer, stage_report, to_jsonl, to_prometheus
 from repro.perf import PathIndex, SuffixCache, ViewComputation, ViewSlicer
+from repro.resilience import (
+    Checkpoint,
+    FaultPlan,
+    Quarantine,
+    RetryPolicy,
+    resilient_map,
+)
 from repro.topology.generator import GeneratorConfig, generate_world
 from repro.topology.profiles import default_profiles, small_profiles
 from repro.topology.world import World
@@ -38,14 +45,18 @@ __version__ = "1.0.0"
 __all__ = [
     "ALL_METRICS",
     "COUNTRY_METRICS",
+    "Checkpoint",
+    "FaultPlan",
     "GLOBAL_METRICS",
     "GeneratorConfig",
     "PathIndex",
     "Pipeline",
     "PipelineConfig",
     "PipelineResult",
+    "Quarantine",
     "RankEntry",
     "Ranking",
+    "RetryPolicy",
     "SuffixCache",
     "Tracer",
     "ViewComputation",
@@ -56,6 +67,7 @@ __all__ = [
     "default_profiles",
     "generate_world",
     "ndcg",
+    "resilient_map",
     "run_pipeline",
     "small_profiles",
     "stage_report",

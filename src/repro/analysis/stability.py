@@ -14,6 +14,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.cone import cone_ranking
 from repro.core.hegemony import hegemony_ranking
@@ -21,6 +22,9 @@ from repro.core.ndcg import ndcg
 from repro.core.pipeline import PipelineResult
 from repro.core.ranking import Ranking
 from repro.core.views import View
+
+if TYPE_CHECKING:  # resume support is imported lazily at runtime
+    from repro.resilience.checkpoint import Checkpoint
 
 
 @dataclass(frozen=True, slots=True)
@@ -88,6 +92,7 @@ def stability_curve(
     seed: int = 0,
     k: int = 10,
     workers: int | None = None,
+    checkpoint: "Checkpoint | None" = None,
 ) -> StabilityCurve:
     """Downsample a view's VPs and score each sample against the full
     ranking (the machinery behind Figures 4 and 5).
@@ -100,6 +105,11 @@ def stability_curve(
     NDCG trials out across a process pool. Every VP sample is drawn
     up front from a single serial RNG stream, so the curve is identical
     for any worker count; ``workers=1`` computes the trials inline.
+    The config's retry policy and fault plan apply to the fan-out.
+
+    ``checkpoint`` persists each trial's NDCG score as it completes;
+    a resumed run recomputes only the missing trials and yields the
+    identical curve (scores are serialized value-exactly).
     """
     from repro.perf.index import ViewSlicer
     from repro.perf.parallel import stability_trials
@@ -121,16 +131,31 @@ def stability_curve(
     samples: list[list[str]] = [
         rng.sample(vps, size) for size in valid_sizes for _ in range(trials)
     ]
-    if workers > 1 and samples:
-        scores = stability_trials(
+    done: dict[int, float] = {}
+    if checkpoint is not None:
+        for index in range(len(samples)):
+            banked = checkpoint.get(f"trial:{index}")
+            if isinstance(banked, float):
+                done[index] = banked
+    todo = [index for index in range(len(samples)) if index not in done]
+    todo_samples = [samples[index] for index in todo]
+    if workers > 1 and todo_samples:
+        fresh = stability_trials(
             metric, view, result.oracle, result.config.trim,
-            full, k, samples, workers,
+            full, k, todo_samples, workers,
+            tracer=result._tracer, policy=result.config.retry,
+            faults=result.config.faults,
         )
     else:
-        scores = [
+        fresh = [
             ndcg(full, _metric_ranking(result, metric, slicer.restrict(s)), k)
-            for s in samples
+            for s in todo_samples
         ]
+    for index, score in zip(todo, fresh):
+        done[index] = score
+        if checkpoint is not None:
+            checkpoint.put(f"trial:{index}", score)
+    scores = [done[index] for index in range(len(samples))]
     points: list[StabilityPoint] = []
     for index, size in enumerate(valid_sizes):
         batch = scores[index * trials:(index + 1) * trials]

@@ -26,12 +26,16 @@ to a collector — the raw material of the whole reproduction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 
 from repro.bgp.policy import Route, RouteClass
 from repro.obs.metrics import NULL_HISTOGRAM
 from repro.obs.trace import NULL_TRACER
 from repro.topology.model import ASGraph
+
+if TYPE_CHECKING:  # the fan-out wrapper is imported lazily at runtime
+    from repro.resilience.faults import FaultPlan
+    from repro.resilience.retry import RetryPolicy
 
 
 @dataclass(frozen=True, slots=True)
@@ -113,6 +117,8 @@ def propagate_all(
     salt: int = 0,
     tracer=NULL_TRACER,
     workers: int = 1,
+    policy: "RetryPolicy | None" = None,
+    faults: "FaultPlan | None" = None,
 ) -> RoutingOutcome:
     """Propagate every origin and keep routes only at ``keep`` ASes.
 
@@ -127,6 +133,11 @@ def propagate_all(
     byte-identical serial path). Per-level frontier telemetry is only
     sampled on the serial path; the aggregate span counts are recorded
     either way.
+
+    ``policy`` (retry/timeout bounds) and ``faults`` (an injection
+    plan) shape the fan-out's failure behavior, never its output: a
+    killed or hung chunk is replayed until the merged result matches
+    the fault-free run (see :mod:`repro.resilience`).
 
     ``tracer`` wraps the sweep in a ``propagate.plane`` span, counts
     origins and kept routes, and samples per-level BFS frontier sizes
@@ -151,7 +162,8 @@ def propagate_all(
             from repro.perf.parallel import propagate_origins
 
             all_routes = propagate_origins(
-                adjacency, origin_list, tiebreak, salt, keep_set, workers
+                adjacency, origin_list, tiebreak, salt, keep_set, workers,
+                tracer=tracer, policy=policy, faults=faults,
             )
             kept_routes = sum(len(routes) for routes in all_routes.values())
         else:

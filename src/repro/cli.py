@@ -206,6 +206,15 @@ def main(argv: list[str] | None = None) -> int:
              "with a qualifying national view)",
     )
     sweep.add_argument("-k", type=int, default=5, help="entries per table")
+    sweep.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="persist each completed ranking to PATH as it finishes",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="skip rankings already banked in --checkpoint "
+             "(the resumed output is identical to an uninterrupted run)",
+    )
 
     sub.add_parser("dominance", help="continental AHI dominance table")
 
@@ -270,10 +279,26 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "replay":
-        if _normalize_metric(args.metric) is None:
+        metric = _normalize_metric(args.metric)
+        if metric is None:
             return _fail(_bad_metric(args.metric))
+        if metric in ("AHC", "CTI"):
+            return _fail(
+                f"metric {metric} cannot be replayed from released paths"
+            )
         session = ReplaySession.from_file(args.paths_file)
-        print(session.ranking(args.metric, args.country).render(args.k))
+        country = args.country
+        if country is not None:
+            country = country.upper()
+            known = session.paths.countries()
+            if country not in known:
+                return _fail(
+                    f"unknown country {args.country!r} in "
+                    f"{args.paths_file} (valid: {', '.join(known)})"
+                )
+        if metric in COUNTRY_METRICS and country is None:
+            return _fail(f"metric {metric} requires a country code")
+        print(session.ranking(metric, country).render(args.k))
         return 0
 
     if args.command == "lint":
@@ -313,8 +338,13 @@ def main(argv: list[str] | None = None) -> int:
             return _fail(f"metric {args.metric} requires a country code")
     if args.workers < 1:
         return _fail(f"--workers must be >= 1 (got {args.workers})")
-    if args.command in ("concentration", "sweep") and args.countries is not None:
+    if (
+        args.command in ("concentration", "sweep", "release")
+        and args.countries is not None
+    ):
         codes = [c for c in args.countries.split(",") if c]
+        if not codes:
+            return _fail("--countries needs at least one country code")
         normalized = [_normalize_country(world, code) for code in codes]
         for code, norm in zip(codes, normalized):
             if norm is None:
@@ -322,11 +352,15 @@ def main(argv: list[str] | None = None) -> int:
         args.countries = ",".join(normalized)
     if args.command == "sweep":
         metrics = [m for m in args.metrics.split(",") if m]
+        if not metrics:
+            return _fail("--metrics needs at least one metric name")
         normalized_metrics = [_normalize_metric(m) for m in metrics]
         for name, norm in zip(metrics, normalized_metrics):
             if norm is None:
                 return _fail(_bad_metric(name))
         args.metrics = ",".join(normalized_metrics)
+        if args.resume and args.checkpoint is None:
+            return _fail("--resume requires --checkpoint")
     if args.command == "disconnect" and args.target.isalpha():
         if len(args.target) != 2 or _normalize_country(world, args.target) is None:
             return _fail(_bad_country(world, args.target))
@@ -372,7 +406,20 @@ def main(argv: list[str] | None = None) -> int:
         countries = (
             tuple(args.countries.split(",")) if args.countries else None
         )
-        rankings = result.rank_all(metrics, countries)
+        checkpoint = None
+        if args.checkpoint is not None:
+            from repro.resilience.checkpoint import Checkpoint, sweep_key
+
+            checkpoint = Checkpoint.open(
+                args.checkpoint,
+                sweep_key(world.name, result.config, metrics, countries),
+                resume=args.resume,
+            )
+        try:
+            rankings = result.rank_all(metrics, countries, checkpoint=checkpoint)
+        finally:
+            if checkpoint is not None:
+                checkpoint.close()
         if not rankings:
             print("(no qualifying countries — pass --countries)")
         for ranking in rankings.values():

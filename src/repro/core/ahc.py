@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping
 
-from repro.core.hegemony import hegemony_scores
+from repro.core.hegemony import hegemony_scores, validate_trim
 from repro.core.ranking import Ranking
 from repro.core.sanitize import PathRecord, PathSet
 from repro.obs.trace import NULL_TRACER, AnyTracer
@@ -46,6 +46,7 @@ def ahc_scores(
     """
     if weighting not in ("as_count", "addresses"):
         raise ValueError(f"unknown AHC weighting {weighting!r}")
+    validate_trim(trim)
     origins = sorted(set(country_origins))
     by_origin: dict[int, list[PathRecord]] = {origin: [] for origin in origins}
     for record in records:
@@ -86,6 +87,7 @@ def ahc_ranking(
     tracer: AnyTracer = NULL_TRACER,
 ) -> Ranking:
     """The AHC baseline ranking for one country."""
+    validate_trim(trim)
     origins = sorted(set(country_origins))
     with tracer.span(
         "ahc", country=country, origins=len(origins),

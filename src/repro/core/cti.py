@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.core.cone import SuffixResolver, transit_suffix
-from repro.core.hegemony import trimmed_mean
+from repro.core.hegemony import trimmed_mean, validate_trim
 from repro.core.ranking import Ranking
 from repro.core.sanitize import PathRecord, RelationshipOracle
 from repro.core.views import View
@@ -77,6 +77,7 @@ def cti_scores(
     suffix_of: SuffixResolver | None = None,
 ) -> dict[int, float]:
     """CTI per AS over international-view records."""
+    validate_trim(trim)
     if total_addresses <= 0:
         return {}
     per_vp, universe = per_vp_transit(records, oracle, suffix_of)
@@ -103,6 +104,7 @@ def cti_ranking(
     for this view: transit suffixes and the address total are shared
     with the cone metrics instead of being recomputed.
     """
+    validate_trim(trim)
     country = view.country
     metric = "CTI" if country is None else f"CTI:{country}"
     with tracer.span(

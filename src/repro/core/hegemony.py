@@ -63,6 +63,19 @@ def per_vp_scores(
     return scores, universe
 
 
+def validate_trim(trim: float) -> float:
+    """Reject trims outside ``[0.0, 0.5)`` with a uniform message.
+
+    Every ranking entry point — dense or sparse, cached or not — funnels
+    through this check, so an invalid trim fails the same way on every
+    code path instead of being silently capped by the dense
+    :func:`trimmed_mean` while the sparse step raises.
+    """
+    if not 0.0 <= trim < 0.5:
+        raise ValueError(f"trim out of range: {trim}")
+    return trim
+
+
 def trimmed_mean(values: list[float], trim: float) -> float:
     """Mean after dropping ``ceil(trim·n)`` values from each end.
 
@@ -85,6 +98,7 @@ def trimmed_scores(
 ) -> dict[int, float]:
     """Step 2 of the estimator: per-AS trimmed mean over the per-VP
     betweenness table (a 0 for every VP that missed the AS)."""
+    validate_trim(trim)
     vp_ips = sorted(per_vp)
     scores: dict[int, float] = {}
     for asn in universe:
@@ -110,8 +124,7 @@ def trimmed_scores_sparse(
     do not perturb a float sum of non-negative terms); used on the
     batch-engine path (:class:`repro.perf.cache.ViewComputation`).
     """
-    if not 0.0 <= trim < 0.5:
-        raise ValueError(f"trim out of range: {trim}")
+    validate_trim(trim)
     n = len(per_vp)
     if n == 0:
         return {asn: 0.0 for asn in universe}
@@ -152,8 +165,7 @@ def hegemony_scores(
     ``precomputed`` injects an already-built ``(per_vp, universe)`` pair
     for the same records/weighting (the cross-metric cache path).
     """
-    if not 0.0 <= trim < 0.5:
-        raise ValueError(f"trim out of range: {trim}")
+    validate_trim(trim)
     per_vp, universe = (
         precomputed if precomputed is not None
         else per_vp_scores(records, weighting)
@@ -194,6 +206,7 @@ def hegemony_ranking(
     for this view: the per-VP betweenness table comes from (and
     populates) its cross-metric cache.
     """
+    validate_trim(trim)
     if metric is None:
         metric = "AH" if view.country is None else f"AH:{view.country}"
     with tracer.span(

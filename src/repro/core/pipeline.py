@@ -33,6 +33,9 @@ from repro.topology.world import World
 if TYPE_CHECKING:  # perf imports core at runtime; the cycle is type-only
     from repro.perf.cache import SuffixCache, ViewComputation
     from repro.perf.index import PathIndex
+    from repro.resilience.checkpoint import Checkpoint
+    from repro.resilience.faults import FaultPlan
+    from repro.resilience.retry import RetryPolicy
 
 #: Metrics the pipeline can compute. Country metrics need ``country``.
 #: CCO/AHO are the outbound (paths leaving a country) extensions the
@@ -40,6 +43,11 @@ if TYPE_CHECKING:  # perf imports core at runtime; the cycle is type-only
 COUNTRY_METRICS = ("CCI", "CCN", "AHI", "AHN", "AHC", "CTI", "CCO", "AHO")
 GLOBAL_METRICS = ("CCG", "AHG")
 ALL_METRICS = COUNTRY_METRICS + GLOBAL_METRICS
+
+
+def _unit_key(metric: str, country: str | None) -> str:
+    """The checkpoint unit key for one sweep ranking."""
+    return f"ranking:{metric}:{country if country is not None else '<global>'}"
 
 
 @dataclass(frozen=True, slots=True)
@@ -77,6 +85,13 @@ class PipelineConfig:
     #: tracemalloc peaks per stage. ``False`` keeps the no-op tracer on
     #: every hook (near-zero overhead).
     trace: bool | str = False
+    #: retry/timeout bounds for the process fan-out (None = the
+    #: resilience layer's defaults: 3 attempts, no timeout, serial
+    #: fallback on) — shapes failure behavior, never output values
+    retry: "RetryPolicy | None" = None
+    #: deterministic fault-injection plan (tests and ``make faults``
+    #: exercise failure paths with it; None injects nothing)
+    faults: "FaultPlan | None" = None
 
     def __post_init__(self) -> None:
         if self.path_diversity < 1:
@@ -87,6 +102,10 @@ class PipelineConfig:
             raise ValueError("trace must be False, True, or 'memory'")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        # the dense and sparse trimmed-mean paths must reject the same
+        # inputs (dense used to clamp trim >= 0.5 while sparse raised)
+        if not 0.0 <= self.trim < 0.5:
+            raise ValueError(f"trim out of range: {self.trim}")
 
 
 class PipelineResult:
@@ -271,6 +290,7 @@ class PipelineResult:
         self,
         metrics: Iterable[str] | None = None,
         countries: Iterable[str] | None = None,
+        checkpoint: "Checkpoint | None" = None,
     ) -> dict[tuple[str, str | None], Ranking]:
         """Batch API: every requested metric for every requested country.
 
@@ -287,6 +307,14 @@ class PipelineResult:
         suffixes and address totals once between them. Keys come back
         in (metric, country) iteration order; values are the same
         memoised rankings :meth:`ranking` returns.
+
+        ``checkpoint`` (a :class:`repro.resilience.Checkpoint`) makes
+        the sweep resumable: every completed unit is persisted as it
+        finishes, units already on disk are loaded instead of
+        recomputed, and a resumed sweep's output is value-identical to
+        an uninterrupted one (the serialization is value-exact). The
+        config's fault plan may inject a mid-sweep crash
+        (``crash_after_units``) to exercise exactly that recovery.
         """
         metric_list = [
             m.upper() for m in (
@@ -300,17 +328,56 @@ class PipelineResult:
             countries if countries is not None
             else self.countries_with_national_view()
         )
+        units: list[tuple[str, str | None]] = []
+        for metric in metric_list:
+            if metric in GLOBAL_METRICS:
+                units.append((metric, None))
+            else:
+                units.extend((metric, country) for country in country_list)
         rankings: dict[tuple[str, str | None], Ranking] = {}
+        faults = self.config.faults
+        computed = 0
         with self._tracer.span(
             "sweep", metrics=len(metric_list), countries=len(country_list),
+            resumed=checkpoint.loaded if checkpoint is not None else 0,
         ):
-            for metric in metric_list:
-                if metric in GLOBAL_METRICS:
-                    rankings[(metric, None)] = self.ranking(metric)
-                    continue
-                for country in country_list:
-                    rankings[(metric, country)] = self.ranking(metric, country)
+            for metric, country in units:
+                if checkpoint is not None:
+                    ranking = self._resume_unit(checkpoint, metric, country)
+                    if ranking is not None:
+                        rankings[(metric, country)] = ranking
+                        continue
+                ranking = self.ranking(metric, country)
+                rankings[(metric, country)] = ranking
+                computed += 1
+                if checkpoint is not None:
+                    from repro.resilience.checkpoint import ranking_to_payload
+
+                    checkpoint.put(
+                        _unit_key(metric, country), ranking_to_payload(ranking)
+                    )
+                if faults is not None and faults.crashes_after(computed):
+                    from repro.resilience.faults import InjectedCrash
+
+                    raise InjectedCrash(
+                        f"injected sweep crash after {computed} units"
+                    )
         return rankings
+
+    def _resume_unit(
+        self, checkpoint: "Checkpoint", metric: str, country: str | None
+    ) -> Ranking | None:
+        """A previously-checkpointed ranking, also seeded into the
+        memo table so later :meth:`ranking` calls agree with it."""
+        payload = checkpoint.get(_unit_key(metric, country))
+        if payload is None:
+            return None
+        from repro.resilience.checkpoint import ranking_from_payload
+
+        ranking = ranking_from_payload(payload)  # type: ignore[arg-type]
+        self._tracer.metrics.counter("resilience.checkpoint_hit").inc()
+        self._rankings.setdefault((metric, country), ranking)
+        return self._rankings[(metric, country)]
 
     # -- conveniences ---------------------------------------------------------------
 
@@ -363,7 +430,8 @@ class Pipeline:
                     propagate_all(
                         world.graph, keep=world.vp_asns(),
                         tiebreak=config.tiebreak, salt=salt, tracer=tracer,
-                        workers=config.workers,
+                        workers=config.workers, policy=config.retry,
+                        faults=config.faults,
                     )
                     for salt in range(config.path_diversity)
                 ]

@@ -14,6 +14,15 @@ The format is intentionally self-describing and versioned:
      "day": 0, "collector_count": 3}
     {"type": "rib", "peer_ip": "…", "peer_asn": 13, "collector": "…",
      "prefix": "10.0.0.0/16", "path": [13, 10, 1]}
+
+Failure behavior: every malformed-input condition — a truncated or
+corrupt gzip stream, an invalid JSON line, a rib entry with missing or
+mistyped fields — surfaces as :class:`MrtFormatError` carrying the
+file path and line number (never a raw ``EOFError`` or
+``json.JSONDecodeError``). With ``strict=False``, malformed *lines*
+are diverted to a :class:`repro.resilience.Quarantine` sink and
+ingestion continues; only damage that makes the rest of the file
+untrustworthy (bad header, corrupt stream) still aborts.
 """
 
 from __future__ import annotations
@@ -22,15 +31,25 @@ import gzip
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.bgp.announcement import Announcement
 from repro.bgp.collectors import VantagePoint
 from repro.net.aspath import ASPath
 from repro.net.prefix import Prefix
+from repro.resilience.quarantine import Quarantine
+
+if TYPE_CHECKING:  # corruption injection is optional, type-only here
+    from repro.resilience.faults import FaultPlan
 
 FORMAT_NAME = "repro-mrt"
 FORMAT_VERSION = 1
+
+#: exceptions that mean "this line is not a well-formed rib entry"
+_ENTRY_ERRORS = (KeyError, TypeError, ValueError, AttributeError)
+
+#: exceptions a corrupt/truncated gzip stream surfaces while reading
+_STREAM_ERRORS = (EOFError, OSError, UnicodeDecodeError)
 
 
 class MrtFormatError(ValueError):
@@ -76,47 +95,139 @@ def dump_rib(
 
 def read_header(path: str | Path) -> MrtHeader:
     """Read and validate only the dump header."""
-    with gzip.open(path, "rt", encoding="utf-8") as handle:
-        first = json.loads(handle.readline())
-    _validate_header(first)
+    try:
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            line = handle.readline()
+            if not line:
+                raise MrtFormatError(f"{path}:1: empty dump")
+            first = json.loads(line)
+    except _STREAM_ERRORS as error:
+        raise MrtFormatError(f"{path}:1: corrupt gzip stream: {error}") from error
+    except json.JSONDecodeError as error:
+        raise MrtFormatError(f"{path}:1: invalid header JSON: {error.msg}") from error
+    _validate_header(first, path)
     return MrtHeader(day=first["day"])
 
 
-def load_rib(path: str | Path) -> Iterator[Announcement]:
-    """Stream announcements back out of a dump, verifying the trailer."""
+def _parse_rib_entry(entry: dict) -> Announcement:
+    """One rib line's announcement (raises on missing/mistyped fields)."""
+    return Announcement(
+        vp=VantagePoint(
+            ip=entry["peer_ip"],
+            asn=int(entry["peer_asn"]),
+            collector=entry.get("collector", "unknown"),
+        ),
+        prefix=Prefix.parse(entry["prefix"]),
+        path=ASPath(tuple(int(asn) for asn in entry["path"])),
+    )
+
+
+def load_rib(
+    path: str | Path,
+    strict: bool = True,
+    quarantine: Quarantine | None = None,
+    faults: "FaultPlan | None" = None,
+) -> Iterator[Announcement]:
+    """Stream announcements back out of a dump, verifying the trailer.
+
+    ``strict=True`` (default) fails fast: any malformed input raises
+    :class:`MrtFormatError` with the file path and line number.
+    ``strict=False`` diverts malformed lines into ``quarantine`` (a
+    fresh sink is used when none is passed) and keeps going; the
+    trailer count is then reconciled against parsed + quarantined
+    lines, so deterministic corruption yields deterministic counts.
+
+    ``faults`` (a :class:`repro.resilience.FaultPlan` with a
+    ``corrupt_rate``) deterministically mangles lines after the read —
+    the hook the fault-injection suite uses to exercise this path.
+    """
+    path = Path(path)
+    sink = quarantine if quarantine is not None else Quarantine()
+    source = str(path)
     count = 0
+    skipped = 0
+    line_no = 0
     saw_trailer = False
     with gzip.open(path, "rt", encoding="utf-8") as handle:
-        header_line = handle.readline()
-        if not header_line:
-            raise MrtFormatError(f"empty dump: {path}")
-        _validate_header(json.loads(header_line))
-        for line in handle:
-            entry = json.loads(line)
-            kind = entry.get("type")
+        while True:
+            line_no += 1
+            try:
+                line = handle.readline()
+            except _STREAM_ERRORS as error:
+                if strict:
+                    raise MrtFormatError(
+                        f"{path}:{line_no}: corrupt gzip stream: {error}"
+                    ) from error
+                sink.add(source, line_no, "corrupt-stream", str(error))
+                return
+            if not line:
+                break
+            if faults is not None and faults.corrupts_line(line_no):
+                line = faults.corrupt(line)
+            if line_no == 1:
+                try:
+                    header = json.loads(line)
+                except json.JSONDecodeError as error:
+                    # a broken header means nothing else in the file
+                    # can be trusted: fatal even when lenient
+                    raise MrtFormatError(
+                        f"{path}:1: invalid header JSON: {error.msg}"
+                    ) from error
+                _validate_header(header, path)
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as error:
+                if strict:
+                    raise MrtFormatError(
+                        f"{path}:{line_no}: invalid JSON: {error.msg}"
+                    ) from error
+                sink.add(source, line_no, "invalid-json", error.msg, line)
+                skipped += 1
+                continue
+            kind = entry.get("type") if isinstance(entry, dict) else None
             if kind == "trailer":
                 saw_trailer = True
-                if entry.get("entries") != count:
-                    raise MrtFormatError(
-                        f"trailer count {entry.get('entries')} != {count} entries"
+                declared = entry.get("entries")
+                expected = count if strict else count + skipped
+                if declared != expected:
+                    if strict:
+                        raise MrtFormatError(
+                            f"{path}:{line_no}: trailer count {declared} != "
+                            f"{count} entries"
+                        )
+                    sink.add(
+                        source, line_no, "trailer-mismatch",
+                        f"declared {declared}, parsed {count}, "
+                        f"quarantined {skipped}", line,
                     )
                 continue
-            if kind != "rib":
-                raise MrtFormatError(f"unexpected entry type {kind!r}")
-            if saw_trailer:
-                raise MrtFormatError("rib entry after trailer")
+            if kind != "rib" or saw_trailer:
+                reason = (
+                    "rib entry after trailer" if saw_trailer
+                    else f"unexpected entry type {kind!r}"
+                )
+                if strict:
+                    raise MrtFormatError(f"{path}:{line_no}: {reason}")
+                sink.add(source, line_no, "bad-entry", reason, line)
+                skipped += 1
+                continue
+            try:
+                announcement = _parse_rib_entry(entry)
+            except _ENTRY_ERRORS as error:
+                if strict:
+                    raise MrtFormatError(
+                        f"{path}:{line_no}: malformed rib entry: {error!r}"
+                    ) from error
+                sink.add(source, line_no, "bad-entry", repr(error), line)
+                skipped += 1
+                continue
             count += 1
-            yield Announcement(
-                vp=VantagePoint(
-                    ip=entry["peer_ip"],
-                    asn=int(entry["peer_asn"]),
-                    collector=entry.get("collector", "unknown"),
-                ),
-                prefix=Prefix.parse(entry["prefix"]),
-                path=ASPath(tuple(int(asn) for asn in entry["path"])),
-            )
+            yield announcement
     if not saw_trailer:
-        raise MrtFormatError(f"truncated dump (no trailer): {path}")
+        if strict:
+            raise MrtFormatError(f"{path}:{line_no}: truncated dump (no trailer)")
+        sink.add(source, line_no, "missing-trailer", f"{count} entries read")
 
 
 def dump_series(series, directory: str | Path, stem: str = "rib") -> list[Path]:
@@ -132,10 +243,12 @@ def dump_series(series, directory: str | Path, stem: str = "rib") -> list[Path]:
     return written
 
 
-def _validate_header(header: dict) -> None:
+def _validate_header(header: object, path: str | Path) -> None:
+    if not isinstance(header, dict):
+        raise MrtFormatError(f"{path}:1: not a {FORMAT_NAME} dump: {header!r}")
     if header.get("type") != "header" or header.get("format") != FORMAT_NAME:
-        raise MrtFormatError(f"not a {FORMAT_NAME} dump: {header}")
+        raise MrtFormatError(f"{path}:1: not a {FORMAT_NAME} dump: {header}")
     if header.get("version") != FORMAT_VERSION:
         raise MrtFormatError(
-            f"unsupported {FORMAT_NAME} version {header.get('version')}"
+            f"{path}:1: unsupported {FORMAT_NAME} version {header.get('version')}"
         )

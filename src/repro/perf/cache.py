@@ -35,8 +35,12 @@ from repro.core.cone import (
     cones_from_suffixes,
     transit_suffix,
 )
-from repro.core.cti import cti_scores, per_vp_transit
-from repro.core.hegemony import per_vp_scores, trimmed_scores_sparse
+from repro.core.cti import per_vp_transit
+from repro.core.hegemony import (
+    per_vp_scores,
+    trimmed_scores_sparse,
+    validate_trim,
+)
 from repro.core.sanitize import PathRecord, RelationshipOracle
 from repro.core.views import View
 from repro.net.aspath import ASPath
@@ -305,19 +309,16 @@ class ViewComputation:
         Identical to :func:`repro.core.cti.cti_scores`: the per-VP
         weights are scaled by the address total entry-by-entry (the same
         division the dense path performs), then trimmed exactly as the
-        sparse hegemony step. An out-of-range trim falls back to the
-        dense path, which clamps instead of raising.
+        sparse hegemony step. An out-of-range trim is rejected up front
+        (``validate_trim``), exactly as on the uncached path.
         """
+        validate_trim(trim)
         cached = self._cti.get(trim)
         if cached is None:
             self._misses.inc()
             total = self.total_addresses()
             if total <= 0:
                 cached = {}
-            elif not 0.0 <= trim < 0.5:
-                cached = cti_scores(
-                    self.view.records, self.oracle, total, trim, self.suffix_of
-                )
             else:
                 per_vp, universe = per_vp_transit(
                     self.view.records, self.oracle,

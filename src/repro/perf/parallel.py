@@ -18,12 +18,22 @@ equivalence tests in ``tests/perf/test_parallel.py`` pin this down.
 Workers rebuild cheap per-chunk state (a :class:`ViewSlicer`, a suffix
 cache) instead of shipping tracers across process boundaries; parent
 process telemetry still records aggregate counts.
+
+Both fan-outs run through :func:`repro.resilience.resilient_map`: a
+killed worker respawns the pool and replays only the chunks without
+results, a hung chunk hits the policy's per-chunk timeout, and an
+exhausted chunk falls back to an in-process run — none of which can
+change the output, because chunks are pure functions of their payload
+merged by index (see DESIGN.md §6).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Iterable, Sequence, TypeVar
+
+from repro.obs.trace import NULL_TRACER, AnyTracer
+from repro.resilience.faults import FaultPlan
+from repro.resilience.retry import RetryPolicy, resilient_map
 
 if TYPE_CHECKING:  # worker-side imports stay lazy; these are type-only
     from repro.bgp.propagation import Route, _Adjacency
@@ -95,11 +105,16 @@ def propagate_origins(
     salt: int,
     keep: frozenset[int] | set[int] | None,
     workers: int,
+    tracer: AnyTracer = NULL_TRACER,
+    policy: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
 ) -> dict[int, dict[int, "Route"]]:
     """Fan ``_propagate`` out over origin chunks; merge by origin.
 
     Returns ``{origin: {asn: Route}}`` keyed in ``origins`` order
-    regardless of which worker finished first.
+    regardless of which worker finished first — or was retried, timed
+    out, or replayed after a pool respawn (``policy``/``faults`` feed
+    the :func:`repro.resilience.resilient_map` wrapper).
     """
     keep_frozen = frozenset(keep) if keep is not None else None
     payloads: list[PropagatePayload] = [
@@ -107,9 +122,11 @@ def propagate_origins(
         for chunk in chunked(origins, workers)
     ]
     merged: dict[int, dict[int, "Route"]] = {}
-    with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
-        for part in pool.map(_propagate_chunk, payloads):
-            merged.update(part)
+    for part in resilient_map(
+        "propagate", _propagate_chunk, payloads, workers,
+        policy=policy, tracer=tracer, faults=faults,
+    ):
+        merged.update(part)
     return {origin: merged[origin] for origin in origins}
 
 
@@ -141,15 +158,21 @@ def stability_trials(
     k: int,
     samples: Sequence[Iterable[str]],
     workers: int,
+    tracer: AnyTracer = NULL_TRACER,
+    policy: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
 ) -> list[float]:
     """Fan NDCG trials out over sample chunks; scores return in
-    ``samples`` order."""
+    ``samples`` order (chunk results are merged by index, so retries
+    and pool respawns never reorder them)."""
     payloads: list[StabilityPayload] = [
         (metric, view, oracle, trim, full, k, chunk)
         for chunk in chunked(samples, workers)
     ]
     scores: list[float] = []
-    with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
-        for part in pool.map(_stability_chunk, payloads):
-            scores.extend(part)
+    for part in resilient_map(
+        "stability", _stability_chunk, payloads, workers,
+        policy=policy, tracer=tracer, faults=faults,
+    ):
+        scores.extend(part)
     return scores

@@ -1,0 +1,204 @@
+"""Content-keyed checkpoints for resumable sweeps.
+
+A :class:`Checkpoint` is an append-only JSONL file recording completed
+work units under a *content key* — a fingerprint of everything that
+determines the output (world, semantic config knobs, request). Resume
+only replays units recorded under the *same* key; a stale file from a
+different world/config/request is discarded wholesale, so a resumed
+run can never mix incompatible results.
+
+Equivalence guarantee: units are serialized value-exactly (floats
+round-trip through JSON via ``repr``, which Python guarantees is
+lossless), and the consumer recomputes anything not found — so a run
+resumed from any prefix of a crashed run produces byte-identical
+output to an uninterrupted run. ``tests/resilience/test_checkpoint.py``
+pins this down.
+
+File format (one JSON object per line)::
+
+    {"type": "header", "format": "repro-checkpoint", "version": 1,
+     "key": "..."}
+    {"type": "unit", "unit": "ranking:AHN:AU", "payload": {...}}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Mapping
+
+from repro.core.ranking import RankEntry, Ranking
+
+FORMAT_NAME = "repro-checkpoint"
+FORMAT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """Raised for an unreadable or incompatible checkpoint file."""
+
+
+class Checkpoint:
+    """An append-only store of completed work units.
+
+    Open with :meth:`open`; read units back with :meth:`get`; record
+    new ones with :meth:`put` (appended and flushed immediately, so a
+    crash loses at most the unit in flight).
+    """
+
+    def __init__(self, path: str | Path, key: str) -> None:
+        self.path = Path(path)
+        self.key = key
+        self._done: dict[str, object] = {}
+        self._handle: IO[str] | None = None
+
+    @classmethod
+    def open(cls, path: str | Path, key: str, resume: bool = True) -> "Checkpoint":
+        """Open a checkpoint for ``key``.
+
+        ``resume=True`` loads every unit previously recorded under the
+        same key; a missing file, a foreign key, or a corrupt file
+        starts fresh (the file is truncated on the first ``put``).
+        ``resume=False`` always starts fresh.
+        """
+        checkpoint = cls(path, key)
+        if resume:
+            checkpoint._load()
+        return checkpoint
+
+    @property
+    def loaded(self) -> int:
+        """How many units resume recovered from disk."""
+        return len(self._done)
+
+    def get(self, unit: str) -> object | None:
+        """The recorded payload for a unit, or ``None``."""
+        return self._done.get(unit)
+
+    def put(self, unit: str, payload: object) -> None:
+        """Record one completed unit (appended and flushed)."""
+        handle = self._ensure_handle()
+        handle.write(json.dumps({
+            "type": "unit", "unit": unit, "payload": payload,
+        }, sort_keys=True) + "\n")
+        handle.flush()
+        self._done[unit] = payload
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "Checkpoint":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+    # -- internals ------------------------------------------------------------
+
+    def _load(self) -> None:
+        if not self.path.is_file():
+            return
+        try:
+            with open(self.path, "rt", encoding="utf-8") as handle:
+                header = json.loads(handle.readline())
+                if (
+                    not isinstance(header, dict)
+                    or header.get("format") != FORMAT_NAME
+                    or header.get("version") != FORMAT_VERSION
+                    or header.get("key") != self.key
+                ):
+                    return  # foreign or stale checkpoint: start fresh
+                for line in handle:
+                    entry = json.loads(line)
+                    if entry.get("type") == "unit":
+                        self._done[entry["unit"]] = entry["payload"]
+        except (OSError, ValueError, KeyError):
+            # unreadable or torn file (e.g. a crash mid-write): the
+            # recoverable prefix was already banked line-by-line above,
+            # and anything unparsed is simply recomputed
+            return
+
+    def _ensure_handle(self) -> IO[str]:
+        if self._handle is None:
+            fresh = not self._done
+            self._handle = open(
+                self.path, "wt" if fresh else "at", encoding="utf-8"
+            )
+            if fresh:
+                self._handle.write(json.dumps({
+                    "type": "header", "format": FORMAT_NAME,
+                    "version": FORMAT_VERSION, "key": self.key,
+                }, sort_keys=True) + "\n")
+                self._handle.flush()
+        return self._handle
+
+
+# -- content keys -------------------------------------------------------------
+
+
+def sweep_key(
+    world_name: str,
+    config: object,
+    metrics: tuple[str, ...] | list[str],
+    countries: tuple[str, ...] | list[str] | None,
+) -> str:
+    """The content key for a ``rank_all`` sweep: world + every config
+    knob that shapes ranking values + the request itself. Telemetry,
+    worker-count, and resilience knobs are deliberately excluded — they
+    never change outputs."""
+    semantic = (
+        "rib", "geo_noise_rate", "geo_miss_rate", "geo_threshold", "trim",
+        "use_inferred_relationships", "tiebreak", "path_diversity",
+        "family", "seed",
+    )
+    knobs = ";".join(
+        f"{name}={getattr(config, name)!r}"
+        for name in semantic if hasattr(config, name)
+    )
+    wanted = ",".join(metrics)
+    where = ",".join(countries) if countries is not None else "<auto>"
+    return f"sweep/world={world_name}/{knobs}/metrics={wanted}/countries={where}"
+
+
+def trials_key(
+    world_name: str,
+    config: object,
+    metric: str,
+    country: str | None,
+    sizes: list[int],
+    trials: int,
+    seed: int,
+    k: int,
+) -> str:
+    """The content key for a stability-trial sweep."""
+    base = sweep_key(world_name, config, [metric], [country or "<global>"])
+    grid = ",".join(str(size) for size in sizes)
+    return f"trials/{base}/sizes={grid}/trials={trials}/rng={seed}/k={k}"
+
+
+# -- ranking (de)serialization ------------------------------------------------
+
+
+def ranking_to_payload(ranking: Ranking) -> dict:
+    """A JSON-safe, value-exact encoding of one ranking."""
+    return {
+        "metric": ranking.metric,
+        "country": ranking.country,
+        "entries": [
+            [entry.rank, entry.asn, entry.value, entry.share]
+            for entry in ranking.entries
+        ],
+    }
+
+
+def ranking_from_payload(payload: Mapping) -> Ranking:
+    """Rebuild a ranking recorded by :func:`ranking_to_payload`."""
+    try:
+        entries = [
+            RankEntry(rank=rank, asn=asn, value=value, share=share)
+            for rank, asn, value, share in payload["entries"]
+        ]
+        return Ranking(payload["metric"], entries, payload["country"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise CheckpointError(f"malformed ranking payload: {error}") from error

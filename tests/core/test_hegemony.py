@@ -7,7 +7,11 @@ from repro.core.hegemony import (
     hegemony_ranking,
     hegemony_scores,
     local_hegemony,
+    per_vp_scores,
     trimmed_mean,
+    trimmed_scores,
+    trimmed_scores_sparse,
+    validate_trim,
 )
 from repro.core.sanitize import PathRecord
 from repro.core.views import View
@@ -114,6 +118,56 @@ class TestHegemonyScores:
         records = [record("10.0.0.1", "9 8", "10.8.0.0/24")]
         with pytest.raises(ValueError):
             hegemony_scores(records, weighting="users")
+
+
+class TestTrimEquivalence:
+    """Dense and sparse trimming must agree — values and rejections."""
+
+    def build_table(self):
+        records = [
+            record(f"10.0.{j}.{i}", f"{20 + i} {4 + (i + j) % 3} 8",
+                   f"10.{j}.{i}.0/24", addresses=128 * (1 + (i * j) % 5))
+            for j in range(3) for i in range(1, 8)
+        ]
+        return per_vp_scores(records)
+
+    def test_dense_equals_sparse_across_trims(self):
+        per_vp, universe = self.build_table()
+        for trim in (0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.49):
+            dense = trimmed_scores(per_vp, universe, trim)
+            sparse = trimmed_scores_sparse(per_vp, universe, trim)
+            assert dense == sparse  # exact, not approx
+
+    @pytest.mark.parametrize("trim", [-0.01, 0.5, 0.6, 1.0])
+    def test_both_paths_reject_identically(self, trim):
+        per_vp, universe = self.build_table()
+        with pytest.raises(ValueError, match="trim out of range") as dense:
+            trimmed_scores(per_vp, universe, trim)
+        with pytest.raises(ValueError, match="trim out of range") as sparse:
+            trimmed_scores_sparse(per_vp, universe, trim)
+        assert str(dense.value) == str(sparse.value)
+
+    def test_validate_trim_accepts_valid_range(self):
+        assert validate_trim(0.0) == 0.0
+        assert validate_trim(0.49) == 0.49
+
+    def test_ranking_entry_points_reject(self):
+        records = (record("10.0.0.1", "9 5 8", "10.8.0.0/24"),)
+        view = View("t", "AU", records)
+        with pytest.raises(ValueError, match="trim out of range"):
+            hegemony_ranking(view, trim=0.5)
+
+    def test_cti_and_ahc_entry_points_reject(self):
+        from repro.core.ahc import ahc_scores
+        from repro.core.cti import cti_scores
+        from repro.relationships.inference import infer_relationships
+
+        records = [record("10.0.0.1", "9 5 8", "10.8.0.0/24")]
+        oracle = infer_relationships(r.path for r in records)
+        with pytest.raises(ValueError, match="trim out of range"):
+            cti_scores(records, oracle, 256, trim=0.5)
+        with pytest.raises(ValueError, match="trim out of range"):
+            ahc_scores(records, [8], trim=-0.1)
 
 
 class TestLocalHegemony:

@@ -71,6 +71,12 @@ class TestViewsAndRankings:
         with pytest.raises(ValueError):
             result.view("sideways", "AU")
 
+    def test_config_rejects_out_of_range_trim(self):
+        with pytest.raises(ValueError, match="trim out of range"):
+            PipelineConfig(trim=0.5)
+        with pytest.raises(ValueError, match="trim out of range"):
+            PipelineConfig(trim=-0.1)
+
     def test_all_metrics_compute(self, result):
         for metric in ("CCI", "CCN", "AHI", "AHN", "AHC", "CTI"):
             assert len(result.ranking(metric, "AU")) > 0

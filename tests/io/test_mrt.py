@@ -99,3 +99,60 @@ class TestValidation:
             handle.write("")
         with pytest.raises(MrtFormatError):
             list(load_rib(path))
+
+
+class TestCorruptInputWrapped:
+    """Malformed input never escapes as a raw EOFError /
+    JSONDecodeError — always MrtFormatError with ``path:line``."""
+
+    def test_truncated_gzip_stream(self, tmp_path):
+        whole = dump_rib(sample_announcements(20), tmp_path / "rib.jsonl.gz")
+        cut = tmp_path / "cut.jsonl.gz"
+        cut.write_bytes(whole.read_bytes()[:-20])  # drop the gzip tail
+        with pytest.raises(MrtFormatError) as excinfo:
+            list(load_rib(cut))
+        assert str(cut) in str(excinfo.value)
+
+    def test_not_gzip_at_all(self, tmp_path):
+        path = tmp_path / "plain.jsonl.gz"
+        path.write_text('{"type": "header"}\n')
+        with pytest.raises(MrtFormatError) as excinfo:
+            list(load_rib(path))
+        assert str(path) in str(excinfo.value)
+        with pytest.raises(MrtFormatError):
+            read_header(path)
+
+    def test_invalid_json_line_carries_line_number(self, tmp_path):
+        path = dump_rib(sample_announcements(3), tmp_path / "rib.jsonl.gz")
+        text = gzip.decompress(path.read_bytes()).decode()
+        lines = text.splitlines()
+        lines[2] = '{"type": "rib", "peer_ip":'  # mangle line 3
+        path.write_bytes(gzip.compress(("\n".join(lines) + "\n").encode()))
+        with pytest.raises(MrtFormatError) as excinfo:
+            list(load_rib(path))
+        assert f"{path}:3" in str(excinfo.value)
+
+    def test_malformed_entry_carries_line_number(self, tmp_path):
+        path = dump_rib(sample_announcements(3), tmp_path / "rib.jsonl.gz")
+        text = gzip.decompress(path.read_bytes()).decode()
+        lines = text.splitlines()
+        lines[1] = json.dumps({"type": "rib", "peer_ip": "10.0.0.1"})
+        path.write_bytes(gzip.compress(("\n".join(lines) + "\n").encode()))
+        with pytest.raises(MrtFormatError) as excinfo:
+            list(load_rib(path))
+        assert f"{path}:2" in str(excinfo.value)
+
+    def test_corrupt_header_fatal_even_lenient(self, tmp_path):
+        path = tmp_path / "rib.jsonl.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write('{"type": "header", "for\n')
+        with pytest.raises(MrtFormatError):
+            list(load_rib(path, strict=False))
+
+    def test_header_errors_name_line_one(self, tmp_path):
+        path = tmp_path / "rib.jsonl.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("not json\n")
+        with pytest.raises(MrtFormatError) as excinfo:
+            read_header(path)
+        assert f"{path}:1" in str(excinfo.value)

@@ -1,0 +1,147 @@
+"""Tests for content-keyed checkpoints and the resume equivalence."""
+
+import json
+
+from repro.core.pipeline import PipelineConfig
+from repro.core.ranking import RankEntry, Ranking
+from repro.resilience import (
+    Checkpoint,
+    ranking_from_payload,
+    ranking_to_payload,
+    sweep_key,
+    trials_key,
+)
+
+
+def make_ranking():
+    entries = [
+        RankEntry(rank=1, asn=100, value=0.1 + 0.2, share=1 / 3),
+        RankEntry(rank=2, asn=200, value=2e-17, share=0.25),
+    ]
+    return Ranking("AHN:AU", entries, "AU")
+
+
+class TestCheckpoint:
+    def test_put_get_roundtrip(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        with Checkpoint.open(path, "key-a") as ck:
+            ck.put("unit:1", {"x": 1})
+            assert ck.get("unit:1") == {"x": 1}
+            assert ck.get("unit:2") is None
+
+    def test_resume_recovers_units(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        with Checkpoint.open(path, "key-a") as ck:
+            ck.put("unit:1", [1, 2])
+            ck.put("unit:2", "done")
+        resumed = Checkpoint.open(path, "key-a")
+        assert resumed.loaded == 2
+        assert resumed.get("unit:1") == [1, 2]
+        assert resumed.get("unit:2") == "done"
+
+    def test_foreign_key_starts_fresh(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        with Checkpoint.open(path, "key-a") as ck:
+            ck.put("unit:1", 1)
+        resumed = Checkpoint.open(path, "key-B")
+        assert resumed.loaded == 0
+        assert resumed.get("unit:1") is None
+
+    def test_resume_false_ignores_file(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        with Checkpoint.open(path, "key-a") as ck:
+            ck.put("unit:1", 1)
+        fresh = Checkpoint.open(path, "key-a", resume=False)
+        assert fresh.loaded == 0
+
+    def test_torn_tail_keeps_prefix(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        with Checkpoint.open(path, "key-a") as ck:
+            ck.put("unit:1", 1)
+            ck.put("unit:2", 2)
+        with open(path, "at", encoding="utf-8") as handle:
+            handle.write('{"type": "unit", "unit": "unit:3", "payl')
+        resumed = Checkpoint.open(path, "key-a")
+        assert resumed.loaded == 2
+        assert resumed.get("unit:3") is None
+
+    def test_missing_file_is_empty(self, tmp_path):
+        ck = Checkpoint.open(tmp_path / "absent.jsonl", "key-a")
+        assert ck.loaded == 0
+
+    def test_fresh_open_truncates_on_first_put(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        with Checkpoint.open(path, "key-a") as ck:
+            ck.put("unit:1", 1)
+        with Checkpoint.open(path, "key-B") as ck:
+            ck.put("other", 2)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["key"] == "key-B"
+        assert all("unit:1" not in line for line in lines)
+
+    def test_float_payloads_roundtrip_exactly(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        values = [0.1 + 0.2, 2e-17, 1 / 3, 1e300]
+        with Checkpoint.open(path, "key-a") as ck:
+            for index, value in enumerate(values):
+                ck.put(f"trial:{index}", value)
+        resumed = Checkpoint.open(path, "key-a")
+        for index, value in enumerate(values):
+            assert resumed.get(f"trial:{index}") == value  # exact, not approx
+
+
+class TestContentKeys:
+    def test_sweep_key_tracks_semantic_knobs(self):
+        base = PipelineConfig(seed=0)
+        other = PipelineConfig(seed=0, trim=0.2)
+        metrics = ("AHN", "CCI")
+        assert sweep_key("small", base, metrics, None) != sweep_key(
+            "small", other, metrics, None
+        )
+        assert sweep_key("small", base, metrics, None) == sweep_key(
+            "small", PipelineConfig(seed=0), metrics, None
+        )
+
+    def test_sweep_key_ignores_resilience_knobs(self):
+        from repro.resilience import RetryPolicy
+
+        base = PipelineConfig(seed=0)
+        tweaked = PipelineConfig(
+            seed=0, workers=8, retry=RetryPolicy(max_attempts=5)
+        )
+        metrics = ("AHN",)
+        assert sweep_key("small", base, metrics, None) == sweep_key(
+            "small", tweaked, metrics, None
+        )
+
+    def test_sweep_key_tracks_request(self):
+        config = PipelineConfig(seed=0)
+        assert sweep_key("small", config, ("AHN",), ("AU",)) != sweep_key(
+            "small", config, ("AHN",), ("JP",)
+        )
+        assert sweep_key("small", config, ("AHN",), None) != sweep_key(
+            "small", config, ("CCI",), None
+        )
+
+    def test_trials_key_tracks_grid(self):
+        config = PipelineConfig(seed=0)
+        a = trials_key("small", config, "AHN", "AU", [1, 2], 8, 0, 10)
+        b = trials_key("small", config, "AHN", "AU", [1, 2, 4], 8, 0, 10)
+        assert a != b
+
+
+class TestRankingPayload:
+    def test_roundtrip_is_value_exact(self):
+        ranking = make_ranking()
+        payload = json.loads(json.dumps(ranking_to_payload(ranking)))
+        rebuilt = ranking_from_payload(payload)
+        assert rebuilt == ranking
+
+    def test_malformed_payload_rejected(self):
+        import pytest
+
+        from repro.resilience import CheckpointError
+
+        with pytest.raises(CheckpointError):
+            ranking_from_payload({"metric": "AHN", "entries": [[1]]})

@@ -1,0 +1,113 @@
+"""Tests for the deterministic fault-injection plan."""
+
+import pytest
+
+from repro.resilience import FaultPlan, InjectedFault
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(kind="segfault")
+
+    def test_fail_rate_range(self):
+        with pytest.raises(ValueError):
+            FaultPlan(fail_rate=1.5)
+
+    def test_corrupt_rate_range(self):
+        with pytest.raises(ValueError):
+            FaultPlan(corrupt_rate=-0.1)
+
+    def test_attempts_positive(self):
+        with pytest.raises(ValueError):
+            FaultPlan(attempts=0)
+
+    def test_crash_after_units_positive(self):
+        with pytest.raises(ValueError):
+            FaultPlan(crash_after_units=0)
+
+
+class TestDeterminism:
+    def test_default_plan_injects_nothing(self):
+        plan = FaultPlan()
+        assert not any(plan.chosen("propagate", i) for i in range(100))
+        assert not any(plan.corrupts_line(i) for i in range(100))
+
+    def test_same_seed_same_choices(self):
+        a = FaultPlan(seed=7, fail_rate=0.3)
+        b = FaultPlan(seed=7, fail_rate=0.3)
+        picks = [(s, i) for s in ("propagate", "stability") for i in range(50)]
+        assert [a.chosen(*p) for p in picks] == [b.chosen(*p) for p in picks]
+
+    def test_different_seeds_differ(self):
+        picks = [("propagate", i) for i in range(200)]
+        a = [FaultPlan(seed=1, fail_rate=0.5).chosen(*p) for p in picks]
+        b = [FaultPlan(seed=2, fail_rate=0.5).chosen(*p) for p in picks]
+        assert a != b
+
+    def test_rate_roughly_respected(self):
+        plan = FaultPlan(seed=3, fail_rate=0.25)
+        hits = sum(plan.chosen("propagate", i) for i in range(1000))
+        assert 150 < hits < 350
+
+    def test_corruption_is_deterministic(self):
+        a = FaultPlan(seed=11, corrupt_rate=0.2)
+        b = FaultPlan(seed=11, corrupt_rate=0.2)
+        lines = list(range(1, 500))
+        assert [a.corrupts_line(n) for n in lines] == [
+            b.corrupts_line(n) for n in lines
+        ]
+        assert any(a.corrupts_line(n) for n in lines)
+
+
+class TestBehavior:
+    def test_explicit_chunks_always_fail(self):
+        plan = FaultPlan(fail_chunks=frozenset({("propagate", 2)}))
+        assert plan.fails("propagate", 2, attempt=0)
+        assert not plan.fails("propagate", 1, attempt=0)
+        assert not plan.fails("stability", 2, attempt=0)
+
+    def test_failures_stop_after_attempts(self):
+        plan = FaultPlan(fail_chunks=frozenset({("s", 0)}), attempts=2)
+        assert plan.fails("s", 0, attempt=0)
+        assert plan.fails("s", 0, attempt=1)
+        assert not plan.fails("s", 0, attempt=2)
+
+    def test_stage_restriction(self):
+        plan = FaultPlan(
+            fail_chunks=frozenset({("propagate", 0), ("stability", 0)}),
+            stages=("stability",),
+        )
+        assert not plan.fails("propagate", 0, attempt=0)
+        assert plan.fails("stability", 0, attempt=0)
+
+    def test_stall_only_on_first_attempt(self):
+        plan = FaultPlan(
+            delay_chunks=frozenset({("s", 1)}), delay_s=5.0
+        )
+        assert plan.stall_s("s", 1, attempt=0) == 5.0
+        assert plan.stall_s("s", 1, attempt=1) == 0.0
+        assert plan.stall_s("s", 0, attempt=0) == 0.0
+
+    def test_apply_raises_injected_fault(self):
+        plan = FaultPlan(fail_chunks=frozenset({("s", 0)}), kind="raise")
+        with pytest.raises(InjectedFault):
+            plan.apply("s", 0, attempt=0)
+        plan.apply("s", 0, attempt=1)  # no-op past the fault window
+
+    def test_corrupt_breaks_json(self):
+        import json
+
+        plan = FaultPlan(corrupt_rate=1.0)
+        line = '{"type": "rib", "peer_ip": "10.0.0.1", "path": [1, 2]}'
+        mangled = plan.corrupt(line)
+        assert mangled != line
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(mangled)
+
+    def test_crashes_after(self):
+        plan = FaultPlan(crash_after_units=3)
+        assert not plan.crashes_after(2)
+        assert plan.crashes_after(3)
+        assert plan.crashes_after(4)
+        assert not FaultPlan().crashes_after(1000)

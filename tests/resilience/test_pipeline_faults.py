@@ -1,0 +1,141 @@
+"""Failure-path integration: the three recovery scenarios end to end.
+
+1. a killed fan-out worker → pool respawn → byte-identical pipeline
+   output;
+2. a hung chunk → per-chunk timeout → retry → identical output;
+3. a mid-sweep crash → checkpoint resume → output identical to an
+   uninterrupted sweep (and a resumed stability curve likewise).
+"""
+
+import pytest
+
+from repro import (
+    GeneratorConfig,
+    PipelineConfig,
+    generate_world,
+    run_pipeline,
+    small_profiles,
+)
+from repro.analysis.stability import stability_curve
+from repro.resilience import (
+    Checkpoint,
+    FaultPlan,
+    InjectedCrash,
+    RetryPolicy,
+    sweep_key,
+    trials_key,
+)
+
+SMALL = GeneratorConfig(
+    profiles=small_profiles(), clique_homes=("US", "US", "SE", "JP")
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(SMALL, seed=1, name="small")
+
+
+@pytest.fixture(scope="module")
+def clean(world):
+    return run_pipeline(world, PipelineConfig(workers=2))
+
+
+class TestWorkerKillRecovery:
+    def test_killed_worker_yields_identical_routes(self, world, clean):
+        faults = FaultPlan(
+            fail_chunks=frozenset({("propagate", 0)}), kind="exit"
+        )
+        faulty = run_pipeline(
+            world, PipelineConfig(workers=2, faults=faults)
+        )
+        assert faulty.outcome.routes == clean.outcome.routes
+
+    def test_soft_faults_yield_identical_routes(self, world, clean):
+        faults = FaultPlan(seed=3, fail_rate=1.0, kind="raise", attempts=1)
+        faulty = run_pipeline(
+            world, PipelineConfig(workers=2, faults=faults)
+        )
+        assert faulty.outcome.routes == clean.outcome.routes
+
+
+class TestTimeoutRecovery:
+    def test_hung_chunk_times_out_and_matches(self, world, clean):
+        faults = FaultPlan(
+            delay_chunks=frozenset({("propagate", 1)}), delay_s=60.0
+        )
+        policy = RetryPolicy(timeout_s=2.0)
+        faulty = run_pipeline(
+            world, PipelineConfig(workers=2, retry=policy, faults=faults)
+        )
+        assert faulty.outcome.routes == clean.outcome.routes
+
+
+class TestSweepCheckpointResume:
+    METRICS = ("CCI", "AHN")
+
+    def test_resumed_sweep_matches_uninterrupted(self, world, clean, tmp_path):
+        countries = tuple(clean.countries_with_national_view()[:2])
+        uninterrupted = clean.rank_all(self.METRICS, countries)
+        path = tmp_path / "sweep.ck"
+        key = sweep_key(world.name, clean.config, self.METRICS, countries)
+
+        crashing = run_pipeline(
+            world,
+            PipelineConfig(workers=2, faults=FaultPlan(crash_after_units=2)),
+        )
+        with Checkpoint.open(path, key) as checkpoint:
+            with pytest.raises(InjectedCrash):
+                crashing.rank_all(self.METRICS, countries, checkpoint=checkpoint)
+
+        resumed_result = run_pipeline(world, PipelineConfig(workers=2))
+        with Checkpoint.open(path, key) as checkpoint:
+            assert checkpoint.loaded == 2  # the units banked before the crash
+            resumed = resumed_result.rank_all(
+                self.METRICS, countries, checkpoint=checkpoint
+            )
+        assert resumed == uninterrupted
+
+    def test_full_checkpoint_skips_all_recomputation(self, world, clean, tmp_path):
+        countries = tuple(clean.countries_with_national_view()[:1])
+        path = tmp_path / "sweep.ck"
+        key = sweep_key(world.name, clean.config, self.METRICS, countries)
+        with Checkpoint.open(path, key) as checkpoint:
+            full = clean.rank_all(self.METRICS, countries, checkpoint=checkpoint)
+        fresh = run_pipeline(world, PipelineConfig(workers=2))
+        with Checkpoint.open(path, key) as checkpoint:
+            assert checkpoint.loaded == len(full)
+            assert fresh.rank_all(
+                self.METRICS, countries, checkpoint=checkpoint
+            ) == full
+
+
+class TestStabilityCheckpointResume:
+    def test_resumed_curve_matches_uninterrupted(self, world, clean, tmp_path):
+        country = clean.countries_with_national_view()[0]
+        view = clean.view("national", country)
+        sizes, trials, seed, k = [3, 5], 3, 9, 10
+        uninterrupted = stability_curve(
+            clean, "CCN", view, sizes=sizes, trials=trials, seed=seed, workers=1
+        )
+        path = tmp_path / "trials.ck"
+        key = trials_key(
+            world.name, clean.config, "CCN", country, sizes, trials, seed, k
+        )
+        # bank a strict prefix of the trials, as a crashed run would
+        with Checkpoint.open(path, key) as checkpoint:
+            partial = stability_curve(
+                clean, "CCN", view, sizes=sizes, trials=trials, seed=seed,
+                workers=1, checkpoint=checkpoint,
+            )
+            assert partial == uninterrupted
+        truncated = path.read_text().splitlines()[: 1 + 3]  # header + 3 units
+        path.write_text("\n".join(truncated) + "\n")
+
+        with Checkpoint.open(path, key) as checkpoint:
+            assert checkpoint.loaded == 3
+            resumed = stability_curve(
+                clean, "CCN", view, sizes=sizes, trials=trials, seed=seed,
+                workers=2, checkpoint=checkpoint,
+            )
+        assert resumed == uninterrupted

@@ -1,0 +1,118 @@
+"""Tests for the quarantine sink and the lenient ingestion path."""
+
+import gzip
+import json
+
+from repro.io.mrt import dump_rib, load_rib
+from repro.resilience import FaultPlan, Quarantine
+from tests.io.test_mrt import sample_announcements
+
+
+def write_lines(path, lines):
+    with gzip.open(path, "wt", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+
+
+HEADER = json.dumps(
+    {"type": "header", "format": "repro-mrt", "version": 1, "day": 0}
+)
+
+
+class TestSink:
+    def test_counts_by_reason(self):
+        sink = Quarantine()
+        sink.add("f", 2, "invalid-json", "boom")
+        sink.add("f", 3, "invalid-json", "boom")
+        sink.add("f", 5, "bad-entry", "missing field")
+        assert len(sink) == 3
+        assert sink.by_reason() == {"bad-entry": 1, "invalid-json": 2}
+
+    def test_raw_snippet_truncated(self):
+        sink = Quarantine()
+        sink.add("f", 1, "invalid-json", "boom", raw="x" * 1000)
+        assert len(sink.lines[0].raw) == 160
+
+    def test_render_and_jsonl(self, tmp_path):
+        sink = Quarantine()
+        assert sink.render() == "quarantine: empty"
+        sink.add("f", 9, "bad-entry", "oops", raw="{}")
+        assert "1 line(s)" in sink.render()
+        out = sink.write_jsonl(tmp_path / "q.jsonl")
+        row = json.loads(out.read_text().splitlines()[0])
+        assert row == {
+            "source": "f", "line_no": 9, "reason": "bad-entry",
+            "detail": "oops", "raw": "{}",
+        }
+
+
+class TestLenientIngestion:
+    def test_bad_lines_diverted_not_fatal(self, tmp_path):
+        path = tmp_path / "rib.jsonl.gz"
+        good = json.dumps({
+            "type": "rib", "peer_ip": "10.0.0.1", "peer_asn": 1,
+            "prefix": "10.0.0.0/16", "path": [1, 2],
+        })
+        bad_json = '{"type": "rib", "peer_ip":'
+        bad_entry = json.dumps({"type": "rib", "peer_ip": "10.0.0.2"})
+        trailer = json.dumps({"type": "trailer", "entries": 3})
+        write_lines(path, [HEADER, good, bad_json, bad_entry, trailer])
+        sink = Quarantine()
+        loaded = list(load_rib(path, strict=False, quarantine=sink))
+        assert len(loaded) == 1
+        assert sink.by_reason() == {"bad-entry": 1, "invalid-json": 1}
+        lines = {q.line_no: q.reason for q in sink.lines}
+        assert lines == {3: "invalid-json", 4: "bad-entry"}
+
+    def test_trailer_reconciles_with_quarantined(self, tmp_path):
+        # declared count covers good + quarantined lines: no mismatch
+        path = tmp_path / "rib.jsonl.gz"
+        good = json.dumps({
+            "type": "rib", "peer_ip": "10.0.0.1", "peer_asn": 1,
+            "prefix": "10.0.0.0/16", "path": [1, 2],
+        })
+        trailer = json.dumps({"type": "trailer", "entries": 2})
+        write_lines(path, [HEADER, good, "not json", trailer])
+        sink = Quarantine()
+        assert len(list(load_rib(path, strict=False, quarantine=sink))) == 1
+        assert "trailer-mismatch" not in sink.by_reason()
+
+    def test_missing_trailer_quarantined(self, tmp_path):
+        path = tmp_path / "rib.jsonl.gz"
+        write_lines(path, [HEADER])
+        sink = Quarantine()
+        assert list(load_rib(path, strict=False, quarantine=sink)) == []
+        assert sink.by_reason() == {"missing-trailer": 1}
+
+    def test_deterministic_fault_corruption(self, tmp_path):
+        path = dump_rib(sample_announcements(50), tmp_path / "rib.jsonl.gz")
+        faults = FaultPlan(seed=9, corrupt_rate=0.2)
+
+        def run():
+            sink = Quarantine()
+            loaded = list(
+                load_rib(path, strict=False, quarantine=sink, faults=faults)
+            )
+            return len(loaded), sink.by_reason(), [
+                (q.line_no, q.reason) for q in sink.lines
+            ]
+
+        first = run()
+        second = run()
+        assert first == second  # same plan, same quarantine report
+        count, by_reason, _ = first
+        assert by_reason.get("invalid-json", 0) > 0
+        assert count + sum(
+            n for reason, n in by_reason.items()
+            if reason in ("invalid-json", "bad-entry")
+        ) >= 50
+
+    def test_strict_still_fails_fast(self, tmp_path):
+        import pytest
+
+        from repro.io.mrt import MrtFormatError
+
+        path = tmp_path / "rib.jsonl.gz"
+        write_lines(path, [HEADER, "not json"])
+        with pytest.raises(MrtFormatError):
+            list(load_rib(path))

@@ -1,0 +1,128 @@
+"""Tests for the retry/timeout/recovery fan-out wrapper.
+
+The contract under test: whatever faults a plan injects — raised
+exceptions, killed workers, hung chunks — ``resilient_map`` returns
+exactly what the fault-free run returns, in payload order.
+"""
+
+import pytest
+
+from repro.obs.trace import Tracer
+from repro.resilience import (
+    ChunkFailedError,
+    FaultPlan,
+    RetryPolicy,
+    resilient_map,
+)
+
+
+def double(value):
+    """Top-level worker (picklable)."""
+    return value * 2
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base_s=-1.0)
+
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_cap_s=0.3)
+        assert policy.backoff_s(0) == 0.0
+        assert policy.backoff_s(1) == pytest.approx(0.1)
+        assert policy.backoff_s(2) == pytest.approx(0.2)
+        assert policy.backoff_s(5) == pytest.approx(0.3)  # capped
+
+    def test_no_backoff_by_default(self):
+        assert RetryPolicy().backoff_s(2) == 0.0
+
+
+class TestFaultFree:
+    def test_plain_map(self):
+        assert resilient_map("s", double, [1, 2, 3], workers=2) == [2, 4, 6]
+
+    def test_single_worker(self):
+        assert resilient_map("s", double, [5], workers=1) == [10]
+
+    def test_empty_payloads(self):
+        assert resilient_map("s", double, [], workers=2) == []
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            resilient_map("s", double, [1], workers=0)
+
+
+class TestRecovery:
+    def test_soft_fault_retried(self):
+        tracer = Tracer()
+        faults = FaultPlan(fail_chunks=frozenset({("s", 1)}), kind="raise")
+        out = resilient_map(
+            "s", double, [1, 2, 3], workers=2, tracer=tracer, faults=faults
+        )
+        assert out == [2, 4, 6]
+        counters = tracer.metrics.counters()
+        assert counters["resilience.injected_fault"] == 1
+        assert counters["resilience.retry"] == 1
+
+    def test_killed_worker_respawns_pool(self):
+        tracer = Tracer()
+        faults = FaultPlan(fail_chunks=frozenset({("s", 0)}), kind="exit")
+        out = resilient_map(
+            "s", double, [1, 2, 3, 4], workers=2, tracer=tracer, faults=faults
+        )
+        assert out == [2, 4, 6, 8]
+        counters = tracer.metrics.counters()
+        assert counters["resilience.pool_respawn"] >= 1
+
+    def test_timeout_recovers_quickly(self):
+        tracer = Tracer()
+        faults = FaultPlan(
+            delay_chunks=frozenset({("s", 1)}), delay_s=30.0
+        )
+        policy = RetryPolicy(timeout_s=0.5)
+        out = resilient_map(
+            "s", double, [1, 2, 3], workers=2,
+            policy=policy, tracer=tracer, faults=faults,
+        )
+        assert out == [2, 4, 6]
+        counters = tracer.metrics.counters()
+        assert counters["resilience.timeout"] == 1
+        assert counters["resilience.pool_respawn"] >= 1
+
+    def test_serial_fallback_after_exhaustion(self):
+        tracer = Tracer()
+        # the chunk fails on every pool attempt the policy allows
+        faults = FaultPlan(
+            fail_chunks=frozenset({("s", 0)}), kind="raise", attempts=10
+        )
+        policy = RetryPolicy(max_attempts=2)
+        out = resilient_map(
+            "s", double, [7, 8], workers=2,
+            policy=policy, tracer=tracer, faults=faults,
+        )
+        assert out == [14, 16]
+        assert tracer.metrics.counters()["resilience.serial_fallback"] == 1
+
+    def test_no_fallback_raises(self):
+        faults = FaultPlan(
+            fail_chunks=frozenset({("s", 0)}), kind="raise", attempts=10
+        )
+        policy = RetryPolicy(max_attempts=2, serial_fallback=False)
+        with pytest.raises(ChunkFailedError):
+            resilient_map(
+                "s", double, [1, 2], workers=2,
+                policy=policy, faults=faults,
+            )
+
+    def test_output_matches_fault_free_run(self):
+        payloads = list(range(8))
+        clean = resilient_map("s", double, payloads, workers=3)
+        faults = FaultPlan(seed=5, fail_rate=0.5, attempts=1)
+        faulty = resilient_map(
+            "s", double, payloads, workers=3, faults=faults
+        )
+        assert faulty == clean

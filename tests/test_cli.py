@@ -133,6 +133,25 @@ class TestSweep:
         assert "unknown country" in capsys.readouterr().err
 
 
+class TestSweepCheckpoint:
+    ARGS = [
+        "--world", "small", "sweep",
+        "--metrics", "AHN", "--countries", "AU", "-k", "2",
+    ]
+
+    def test_checkpoint_then_resume(self, capsys, tmp_path):
+        path = tmp_path / "sweep.ck"
+        assert main(self.ARGS + ["--checkpoint", str(path)]) == 0
+        first = capsys.readouterr().out
+        assert path.is_file()
+        assert main(self.ARGS + ["--checkpoint", str(path), "--resume"]) == 0
+        assert capsys.readouterr().out == first  # byte-identical resume
+
+    def test_resume_requires_checkpoint(self, capsys):
+        assert main(self.ARGS + ["--resume"]) == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+
 class TestValidation:
     def test_unknown_metric(self, capsys):
         assert main(["--world", "small", "rank", "XXX"]) == 2
@@ -179,3 +198,47 @@ class TestValidation:
     def test_replay_unknown_metric(self, capsys):
         assert main(["replay", "nonexistent.jsonl", "NOPE"]) == 2
         assert "unknown metric" in capsys.readouterr().err
+
+    def test_sweep_empty_metrics(self, capsys):
+        assert main(["--world", "small", "sweep", "--metrics", ""]) == 2
+        assert "--metrics needs at least one" in capsys.readouterr().err
+
+    def test_sweep_empty_countries(self, capsys):
+        assert main(["--world", "small", "sweep", "--countries", ","]) == 2
+        assert "--countries needs at least one" in capsys.readouterr().err
+
+    def test_release_unknown_country(self, capsys, tmp_path):
+        target = tmp_path / "bundle"
+        assert main([
+            "--world", "small", "release", str(target), "--countries", "AU,ZZ",
+        ]) == 2
+        assert "unknown country 'ZZ'" in capsys.readouterr().err
+        assert not target.exists()  # nothing written before the failure
+
+    def test_replay_unplayable_metric(self, capsys):
+        assert main(["replay", "nonexistent.jsonl", "AHC"]) == 2
+        assert "cannot be replayed" in capsys.readouterr().err
+
+    def test_replay_country_metric_without_country(self, capsys, tmp_path):
+        paths_file = self._release_paths(tmp_path)
+        assert main(["replay", paths_file, "AHN"]) == 2
+        assert "requires a country" in capsys.readouterr().err
+
+    def test_replay_unknown_country(self, capsys, tmp_path):
+        paths_file = self._release_paths(tmp_path)
+        assert main(["replay", paths_file, "AHN", "ZZ"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown country 'ZZ'" in err
+
+    def test_replay_known_country_accepted(self, capsys, tmp_path):
+        paths_file = self._release_paths(tmp_path)
+        assert main(["replay", paths_file, "AHN", "au", "-k", "2"]) == 0
+        assert "AHN:AU" in capsys.readouterr().out
+
+    @staticmethod
+    def _release_paths(tmp_path):
+        target = tmp_path / "bundle"
+        assert main([
+            "--world", "small", "release", str(target), "--countries", "AU",
+        ]) == 0
+        return str(target / "paths.jsonl")
