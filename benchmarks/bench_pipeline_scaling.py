@@ -42,7 +42,12 @@ from repro import (
 from repro.core.cone import cone_ranking
 from repro.core.cti import cti_ranking
 from repro.core.hegemony import hegemony_ranking
-from repro.core.views import international_view, national_view, outbound_view
+from repro.core.registry import get_spec
+from repro.core.views import (
+    international_view,
+    national_view,
+    outbound_view,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -50,14 +55,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: composition of the Tables 9–12 sweeps.
 SWEEP_METRICS = ("CCI", "CCN", "AHI", "AHN", "CTI")
 
-_NAIVE_VIEWS = {
-    "CCI": international_view,
-    "CCN": national_view,
-    "AHI": international_view,
-    "AHN": national_view,
-    "CTI": international_view,
-    "CCO": outbound_view,
-    "AHO": outbound_view,
+#: naive (full-scan) view builders, keyed by the registry's view kind
+_NAIVE_VIEW_BUILDERS = {
+    "international": international_view,
+    "national": national_view,
+    "outbound": outbound_view,
 }
 
 
@@ -75,11 +77,12 @@ def build_world(kind: str, seed: int):
 def naive_ranking(result: PipelineResult, metric: str, country: str):
     """One (metric, country) ranking the pre-engine way: rebuild the
     view by a full-record scan, recompute every intermediate."""
-    view = _NAIVE_VIEWS[metric](result.paths, country)
+    spec = get_spec(metric)
+    view = _NAIVE_VIEW_BUILDERS[spec.view_kind](result.paths, country)
     trim = result.config.trim
-    if metric.startswith("CC"):
+    if spec.family == "cone":
         return cone_ranking(view, result.oracle, f"{metric}:{country}")
-    if metric.startswith("AH"):
+    if spec.family == "hegemony":
         return hegemony_ranking(view, f"{metric}:{country}", trim)
     return cti_ranking(view, result.oracle, trim)
 

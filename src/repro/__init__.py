@@ -26,6 +26,14 @@ from repro.core.pipeline import (
     run_pipeline,
 )
 from repro.core.ranking import RankEntry, Ranking
+from repro.core.registry import (
+    METRICS,
+    MetricSpec,
+    get_spec,
+    metric_names,
+    normalize_country,
+    paper_metrics,
+)
 from repro.core.ndcg import dcg, ndcg
 from repro.obs import Tracer, stage_report, to_jsonl, to_prometheus
 from repro.perf import PathIndex, SuffixCache, ViewComputation, ViewSlicer
@@ -49,6 +57,8 @@ __all__ = [
     "FaultPlan",
     "GLOBAL_METRICS",
     "GeneratorConfig",
+    "METRICS",
+    "MetricSpec",
     "PathIndex",
     "Pipeline",
     "PipelineConfig",
@@ -66,7 +76,11 @@ __all__ = [
     "dcg",
     "default_profiles",
     "generate_world",
+    "get_spec",
+    "metric_names",
     "ndcg",
+    "normalize_country",
+    "paper_metrics",
     "resilient_map",
     "run_pipeline",
     "small_profiles",

@@ -12,9 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.pipeline import PipelineResult
+from repro.core.registry import paper_metrics
 
-#: Column order of the paper's case-study tables.
-CASE_METRICS = ("CCI", "AHI", "CCN", "AHN")
+#: Column order of the paper's case-study tables (the international
+#: pair, then the national pair), derived from the metric registry.
+CASE_METRICS = tuple(
+    name for kind in ("international", "national") for name in paper_metrics(kind)
+)
 
 
 @dataclass(frozen=True, slots=True)

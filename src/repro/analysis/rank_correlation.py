@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.core.pipeline import PipelineResult
 from repro.core.ranking import Ranking
+from repro.core.registry import paper_metrics
 
 
 @dataclass(frozen=True, slots=True)
@@ -124,10 +125,13 @@ def agreement(
 def metric_matrix(
     result: PipelineResult,
     country: str,
-    metrics: tuple[str, ...] = ("CCI", "CCN", "AHI", "AHN"),
+    metrics: tuple[str, ...] | None = None,
     k: int = 20,
 ) -> dict[tuple[str, str], RankAgreement]:
-    """Pairwise agreement between a country's metric rankings."""
+    """Pairwise agreement between a country's metric rankings
+    (default: the registry's four paper metrics)."""
+    if metrics is None:
+        metrics = paper_metrics()
     rankings = {metric: result.ranking(metric, country) for metric in metrics}
     out: dict[tuple[str, str], RankAgreement] = {}
     for i, left in enumerate(metrics):

@@ -11,14 +11,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.case_studies import case_study_table
+from repro.analysis.case_studies import CASE_METRICS, case_study_table
 from repro.analysis.concentration import concentration
 from repro.analysis.sovereignty import DependencyMatrix, dependency_matrix
 from repro.analysis.vp_distribution import vp_census
 from repro.core.pipeline import PipelineResult
+from repro.core.registry import get_spec, metric_names, paper_metrics
 
-#: Metrics shown in the per-metric leader board, in order.
-REPORT_METRICS = ("CCI", "AHI", "CCN", "AHN", "AHC", "CTI")
+#: Metrics shown in the per-metric leader board, in order: the paper's
+#: case-study columns, then the per-country baselines — all derived
+#: from the metric registry.
+REPORT_METRICS = CASE_METRICS + metric_names(tag="baseline", needs_country=True)
 
 
 @dataclass(frozen=True)
@@ -65,7 +68,7 @@ def country_report(
     lines += ["## Rankings", "",
               "| metric | # | AS | share |", "|---|---|---|---|"]
     for metric in REPORT_METRICS:
-        if metric in ("CCN", "AHN") and not national_ok:
+        if get_spec(metric).view_kind == "national" and not national_ok:
             continue
         ranking = result.ranking(metric, country)
         for entry in ranking.top(k):
@@ -77,10 +80,13 @@ def country_report(
 
     lines += ["## Cross-metric view (top 2 per metric)", ""]
     rows = case_study_table(result, country)
-    lines += ["| AS | reg | CCI | AHI | CCN | AHN | CCG |", "|---|---|---|---|---|---|---|"]
+    lines += [
+        "| AS | reg | " + " | ".join(CASE_METRICS) + " | CCG |",
+        "|---|---|" + "---|" * (len(CASE_METRICS) + 1),
+    ]
     for row in rows:
         cells = []
-        for metric in ("CCI", "AHI", "CCN", "AHN"):
+        for metric in CASE_METRICS:
             rank, share = row.cells[metric]
             cells.append(f"{rank or '–'} ({100 * share:.0f}%)")
         lines.append(
@@ -98,7 +104,8 @@ def country_report(
     lines.append("")
 
     lines += ["## Market concentration", ""]
-    for metric in ("AHN", "CCN") if national_ok else ("AHI", "CCI"):
+    concentration_view = "national" if national_ok else "international"
+    for metric in reversed(paper_metrics(concentration_view)):
         report = concentration(result.ranking(metric, country))
         lines.append(
             f"- {metric}: HHI {report.hhi:.0f} ({report.band()}), "

@@ -21,6 +21,7 @@ from repro.core.hegemony import hegemony_ranking
 from repro.core.ndcg import ndcg
 from repro.core.pipeline import PipelineResult
 from repro.core.ranking import Ranking
+from repro.core.registry import maybe_spec
 from repro.core.views import View
 
 if TYPE_CHECKING:  # resume support is imported lazily at runtime
@@ -70,13 +71,23 @@ def metric_ranking(
     metric: str, view: View, oracle, trim: float = 0.1
 ) -> Ranking:
     """One CC*/AH* ranking over an arbitrary (possibly downsampled)
-    view — the per-trial work unit, also run inside fan-out workers."""
-    metric = metric.upper()
-    if metric.startswith("CC"):
-        return cone_ranking(view, oracle, metric)
-    if metric.startswith("AH"):
-        return hegemony_ranking(view, metric, trim)
-    raise ValueError(f"stability analysis supports CC*/AH* metrics, not {metric!r}")
+    view — the per-trial work unit, also run inside fan-out workers.
+
+    Dispatch comes from the metric registry: cone-family specs rank by
+    customer cone, hegemony-family specs by AS hegemony (honouring a
+    variant's ``weighting``); other families (AHC, CTI) are not
+    view-restrictable per trial and are rejected.
+    """
+    spec = maybe_spec(metric)
+    if spec is None or spec.family not in ("cone", "hegemony"):
+        raise ValueError(
+            f"stability analysis supports CC*/AH* metrics, not {metric!r}"
+        )
+    if spec.family == "cone":
+        return cone_ranking(view, oracle, spec.name)
+    return hegemony_ranking(
+        view, spec.name, trim, weighting=spec.weighting or "addresses"
+    )
 
 
 def _metric_ranking(result: PipelineResult, metric: str, view: View) -> Ranking:

@@ -32,10 +32,10 @@ trials out across N processes; results are identical for any N.
 Worlds: ``small`` (seconds), ``default`` (the generated ~1000-AS world),
 ``paper2021`` / ``paper2023`` (the curated case-study snapshots).
 
-Unknown metrics and country codes are validated up front against
-``ALL_METRICS`` and the selected world's country registry; the CLI
-prints a one-line error to stderr and exits with status 2 instead of
-surfacing a traceback or empty output.
+Unknown metrics and country codes are validated up front against the
+metric registry (:mod:`repro.core.registry`) and the selected world's
+country registry; the CLI prints a one-line error to stderr and exits
+with status 2 instead of surfacing a traceback or empty output.
 """
 
 from __future__ import annotations
@@ -52,12 +52,12 @@ from repro.analysis.resilience import ases_registered_in, disconnection_impact
 from repro.analysis.sovereignty import dependency_matrix, render_dependencies
 from repro.analysis.stability import international_stability, national_stability
 from repro.analysis.vp_distribution import render_census, vp_census
-from repro.core.pipeline import (
-    ALL_METRICS,
-    COUNTRY_METRICS,
-    PipelineConfig,
-    PipelineResult,
-    run_pipeline,
+from repro.core.pipeline import PipelineConfig, PipelineResult, run_pipeline
+from repro.core.registry import (
+    get_spec,
+    maybe_spec,
+    metric_names,
+    normalize_country,
 )
 from repro.io.export import release_dataset
 from repro.io.replay import ReplaySession
@@ -105,7 +105,7 @@ def _fail(message: str) -> int:
 
 def _bad_metric(metric: str) -> str:
     return (
-        f"unknown metric {metric!r} (valid: {', '.join(ALL_METRICS)})"
+        f"unknown metric {metric!r} (valid: {', '.join(metric_names())})"
     )
 
 
@@ -115,14 +115,14 @@ def _bad_country(world: World, code: str) -> str:
 
 
 def _normalize_metric(metric: str) -> str | None:
-    """The canonical metric name, or ``None`` when unknown."""
-    upper = metric.upper()
-    return upper if upper in ALL_METRICS else None
+    """The canonical registered metric name, or ``None`` when unknown."""
+    spec = maybe_spec(metric)
+    return spec.name if spec is not None else None
 
 
 def _normalize_country(world: World, code: str) -> str | None:
     """The canonical country code, or ``None`` when not in the world."""
-    upper = code.upper()
+    upper = normalize_country(code)
     return upper if upper in world.countries else None
 
 
@@ -177,7 +177,7 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("world", help="print world summary")
 
     rank = sub.add_parser("rank", help="print a ranking")
-    rank.add_argument("metric", help="CCI/CCN/AHI/AHN/AHC/CTI/CCG/AHG")
+    rank.add_argument("metric", help="/".join(metric_names()))
     rank.add_argument("country", nargs="?", help="two-letter code")
     rank.add_argument("-k", type=int, default=10)
 
@@ -279,26 +279,25 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "replay":
-        metric = _normalize_metric(args.metric)
-        if metric is None:
+        spec = maybe_spec(args.metric)
+        if spec is None:
             return _fail(_bad_metric(args.metric))
-        if metric in ("AHC", "CTI"):
+        if not spec.replayable:
             return _fail(
-                f"metric {metric} cannot be replayed from released paths"
+                f"metric {spec.name} cannot be replayed from released paths"
             )
         session = ReplaySession.from_file(args.paths_file)
-        country = args.country
+        country = normalize_country(args.country)
         if country is not None:
-            country = country.upper()
             known = session.paths.countries()
             if country not in known:
                 return _fail(
                     f"unknown country {args.country!r} in "
                     f"{args.paths_file} (valid: {', '.join(known)})"
                 )
-        if metric in COUNTRY_METRICS and country is None:
-            return _fail(f"metric {metric} requires a country code")
-        print(session.ranking(metric, country).render(args.k))
+        if spec.needs_country and country is None:
+            return _fail(f"metric {spec.name} requires a country code")
+        print(session.ranking(spec.name, country).render(args.k))
         return 0
 
     if args.command == "lint":
@@ -323,6 +322,14 @@ def main(argv: list[str] | None = None) -> int:
         if metric is None:
             return _fail(_bad_metric(metric_arg))
         args.metric = metric
+        if (
+            args.command == "stability"
+            and get_spec(metric).family not in ("cone", "hegemony")
+        ):
+            return _fail(
+                f"metric {metric} is not supported by stability analysis "
+                "(needs a cone or hegemony metric)"
+            )
     country_arg = getattr(args, "country", None)
     if args.command in (
         "case-study", "stability", "sovereignty", "report",
@@ -334,7 +341,7 @@ def main(argv: list[str] | None = None) -> int:
             return _fail(_bad_country(world, country_arg))
         args.country = country
     if args.command == "rank":
-        if args.metric in COUNTRY_METRICS and args.country is None:
+        if get_spec(args.metric).needs_country and args.country is None:
             return _fail(f"metric {args.metric} requires a country code")
     if args.workers < 1:
         return _fail(f"--workers must be >= 1 (got {args.workers})")
@@ -433,9 +440,11 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "census":
         print(render_census(vp_census(result)))
     elif args.command == "stability":
-        metric = args.metric.upper()
+        metric = args.metric  # already canonical (validated above)
         runner = (
-            national_stability if metric.endswith("N") else international_stability
+            national_stability
+            if get_spec(metric).view_kind == "national"
+            else international_stability
         )
         curve = runner(
             result, args.country, metric, trials=args.trials,
@@ -454,7 +463,7 @@ def main(argv: list[str] | None = None) -> int:
         print(country_report(result, args.country).markdown)
     elif args.command == "disconnect":
         if args.target.isalpha() and len(args.target) == 2:
-            removal = ases_registered_in(result.world, args.target.upper())
+            removal = ases_registered_in(result.world, normalize_country(args.target))
         else:
             removal = frozenset(int(a) for a in args.target.split(","))
         impact = disconnection_impact(result.world, removal)

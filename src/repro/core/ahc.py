@@ -19,44 +19,43 @@ exactly so the Table 9 comparison is meaningful:
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
 from repro.core.hegemony import hegemony_scores, validate_trim
 from repro.core.ranking import Ranking
 from repro.core.sanitize import PathRecord, PathSet
+from repro.core.views import View
 from repro.obs.trace import NULL_TRACER, AnyTracer
 
+if TYPE_CHECKING:  # perf imports core at runtime; the cycle is type-only
+    from repro.perf.cache import ViewComputation
 
-def ahc_scores(
-    records: Iterable[PathRecord],
-    country_origins: Iterable[int],
-    trim: float = 0.1,
-    weighting: str = "as_count",
+AHC_WEIGHTINGS = ("as_count", "addresses")
+
+
+def _check_weighting(weighting: str) -> str:
+    if weighting not in AHC_WEIGHTINGS:
+        raise ValueError(f"unknown AHC weighting {weighting!r}")
+    return weighting
+
+
+def _weighted_origin_average(
+    origins: Sequence[int],
+    bucket_of: Callable[[int], Sequence[PathRecord]],
+    hegemony_of: Callable[[int, Sequence[PathRecord]], dict[int, float]],
+    weighting: str,
 ) -> dict[int, float]:
-    """Weighted average of per-origin local hegemony.
+    """The AHC step 2 shared by the naive and cached paths: a weighted
+    average of per-origin hegemony tables, accumulated in sorted-origin
+    order (so both paths produce bit-identical floats).
 
-    ``country_origins`` are the ASNs registered in the target country.
     Origins with no observed paths contribute nothing (and do not
     dilute the average), mirroring IHR's per-AS daily computation.
-
-    ``weighting`` selects IHR's two published schemes (§1.2.1):
-    ``"as_count"`` weights every origin AS equally (what the paper
-    uses); ``"addresses"`` weights each origin by its observed address
-    footprint — our stand-in for IHR's APNIC user-population weights.
     """
-    if weighting not in ("as_count", "addresses"):
-        raise ValueError(f"unknown AHC weighting {weighting!r}")
-    validate_trim(trim)
-    origins = sorted(set(country_origins))
-    by_origin: dict[int, list[PathRecord]] = {origin: [] for origin in origins}
-    for record in records:
-        bucket = by_origin.get(record.origin)
-        if bucket is not None:
-            bucket.append(record)
     totals: dict[int, float] = {}
     weight_sum = 0.0
     for origin in origins:
-        bucket = by_origin[origin]
+        bucket = bucket_of(origin)
         if not bucket:
             continue
         if weighting == "addresses":
@@ -71,30 +70,108 @@ def ahc_scores(
         else:
             weight = 1.0
         weight_sum += weight
-        for asn, value in hegemony_scores(bucket, trim).items():
+        for asn, value in hegemony_of(origin, bucket).items():
             totals[asn] = totals.get(asn, 0.0) + weight * value
     if weight_sum == 0.0:
         return {}
     return {asn: value / weight_sum for asn, value in totals.items()}
 
 
+def ahc_scores(
+    records: Iterable[PathRecord],
+    country_origins: Iterable[int],
+    trim: float = 0.1,
+    weighting: str = "as_count",
+) -> dict[int, float]:
+    """Weighted average of per-origin local hegemony.
+
+    ``country_origins`` are the ASNs registered in the target country.
+
+    ``weighting`` selects IHR's two published schemes (§1.2.1):
+    ``"as_count"`` weights every origin AS equally (what the paper
+    uses); ``"addresses"`` weights each origin by its observed address
+    footprint — our stand-in for IHR's APNIC user-population weights.
+    """
+    _check_weighting(weighting)
+    validate_trim(trim)
+    origins = sorted(set(country_origins))
+    by_origin: dict[int, list[PathRecord]] = {origin: [] for origin in origins}
+    for record in records:
+        bucket = by_origin.get(record.origin)
+        if bucket is not None:
+            bucket.append(record)
+    return _weighted_origin_average(
+        origins,
+        by_origin.__getitem__,
+        lambda origin, bucket: hegemony_scores(bucket, trim),
+        weighting,
+    )
+
+
+def ahc_scores_cached(
+    compute: "ViewComputation",
+    country_origins: Iterable[int],
+    trim: float = 0.1,
+    weighting: str = "as_count",
+) -> dict[int, float]:
+    """:func:`ahc_scores` through the batch-engine cache.
+
+    The per-origin record buckets and per-origin hegemony tables come
+    from (and populate) the view's
+    :class:`~repro.perf.cache.ViewComputation`, so a multi-country
+    sweep buckets the global view's records once — instead of one full
+    scan per country — and every repeated (origin, trim) hegemony is a
+    ``perf.view.hit``. Values are bit-identical to the naive path: the
+    averaging loop is shared and the cached buckets preserve record
+    order.
+    """
+    _check_weighting(weighting)
+    validate_trim(trim)
+    origins = sorted(set(country_origins))
+    buckets = compute.origin_records()
+    empty: tuple[PathRecord, ...] = ()
+    return _weighted_origin_average(
+        origins,
+        lambda origin: buckets.get(origin, empty),
+        lambda origin, bucket: compute.local_hegemony(origin, trim),
+        weighting,
+    )
+
+
 def ahc_ranking(
-    paths: PathSet,
+    paths: PathSet | View,
     country: str,
     country_origins: Iterable[int],
     trim: float = 0.1,
     weighting: str = "as_count",
     tracer: AnyTracer = NULL_TRACER,
+    compute: "ViewComputation | None" = None,
+    metric: str | None = None,
 ) -> Ranking:
-    """The AHC baseline ranking for one country."""
+    """The AHC baseline ranking for one country.
+
+    ``paths`` is any record holder (the sanitized :class:`PathSet` or
+    the equivalent global :class:`~repro.core.views.View`). ``compute``
+    is an optional :class:`~repro.perf.cache.ViewComputation` for that
+    view: per-origin buckets and hegemony tables come from its
+    cross-metric cache (see :func:`ahc_scores_cached`). ``metric``
+    overrides the ranking label (variants like ``AHC-A`` pass theirs).
+    """
     validate_trim(trim)
     origins = sorted(set(country_origins))
     with tracer.span(
         "ahc", country=country, origins=len(origins),
         input=len(paths.records),
     ) as span:
-        scores = ahc_scores(paths.records, origins, trim, weighting)
+        scores = (
+            ahc_scores_cached(compute, origins, trim, weighting)
+            if compute is not None
+            else ahc_scores(paths.records, origins, trim, weighting)
+        )
         span.set(output=len(scores))
         tracer.metrics.histogram("ahc.origins").observe(len(origins))
         shares: Mapping[int, float] = scores
-        return Ranking.from_scores(f"AHC:{country}", scores, shares, country)
+        return Ranking.from_scores(
+            metric if metric is not None else f"AHC:{country}",
+            scores, shares, country,
+        )

@@ -16,11 +16,16 @@ from typing import TYPE_CHECKING, Iterable
 
 from repro.bgp.propagation import RoutingOutcome, propagate_all
 from repro.bgp.rib import RibGenerationConfig, RibSeries, generate_rib_days
-from repro.core.ahc import ahc_ranking
-from repro.core.cone import cone_ranking
-from repro.core.cti import cti_ranking
-from repro.core.hegemony import hegemony_ranking
 from repro.core.ranking import Ranking
+from repro.core.registry import (
+    VIEW_KINDS,
+    MetricContext,
+    MetricSpec,
+    get_spec,
+    metric_names,
+    normalize_country,
+    paper_metrics,
+)
 from repro.core.sanitize import PathSet, RelationshipOracle, sanitize
 from repro.core.views import View
 from repro.geo.database import GeoDatabase
@@ -37,17 +42,14 @@ if TYPE_CHECKING:  # perf imports core at runtime; the cycle is type-only
     from repro.resilience.faults import FaultPlan
     from repro.resilience.retry import RetryPolicy
 
-#: Metrics the pipeline can compute. Country metrics need ``country``.
-#: CCO/AHO are the outbound (paths leaving a country) extensions the
-#: paper's §7 proposes as future work.
-COUNTRY_METRICS = ("CCI", "CCN", "AHI", "AHN", "AHC", "CTI", "CCO", "AHO")
-GLOBAL_METRICS = ("CCG", "AHG")
-ALL_METRICS = COUNTRY_METRICS + GLOBAL_METRICS
-
-
-def _unit_key(metric: str, country: str | None) -> str:
-    """The checkpoint unit key for one sweep ranking."""
-    return f"ranking:{metric}:{country if country is not None else '<global>'}"
+#: Metrics the pipeline can compute, derived from the registry
+#: (:mod:`repro.core.registry` is the single source of truth — adding a
+#: metric there extends these automatically). Country metrics need
+#: ``country``; CCO/AHO are the outbound (paths leaving a country)
+#: extensions the paper's §7 proposes as future work.
+COUNTRY_METRICS = metric_names(needs_country=True)
+GLOBAL_METRICS = metric_names(needs_country=False)
+ALL_METRICS = metric_names()
 
 
 @dataclass(frozen=True, slots=True)
@@ -200,10 +202,11 @@ class PipelineResult:
         are record-for-record identical to the naive filters in
         :mod:`repro.core.views`.
         """
+        country = normalize_country(country)
         key = (kind, country)
         if key in self._views:
             return self._views[key]
-        if kind not in ("global", "national", "international", "outbound"):
+        if kind not in VIEW_KINDS:
             raise ValueError(f"unknown view kind {kind!r}")
         if kind != "global":
             self._need_country(country)
@@ -216,75 +219,44 @@ class PipelineResult:
     # -- rankings ---------------------------------------------------------------
 
     def ranking(self, metric: str, country: str | None = None) -> Ranking:
-        """A memoised ranking for one metric (and country, if needed)."""
-        metric = metric.upper()
-        if metric in GLOBAL_METRICS:
-            country = None
-        key = (metric, country)
+        """A memoised ranking for one metric (and country, if needed).
+
+        ``metric`` is any registered name (see
+        :mod:`repro.core.registry`); the spec decides whether
+        ``country`` is required, which view the metric consumes, and
+        how it is computed.
+        """
+        spec = get_spec(metric)
+        country = normalize_country(country) if spec.needs_country else None
+        key = (spec.name, country)
         if key in self._rankings:
             return self._rankings[key]
         tracer = self._tracer
-        with tracer.span("ranking", metric=metric, country=country) as span:
-            built = self._compute_ranking(metric, country)
+        with tracer.span("ranking", metric=spec.name, country=country) as span:
+            built = self._compute_ranking(spec, country)
             span.set(output=len(built.entries))
             tracer.metrics.histogram("ranking.size").observe(len(built.entries))
             tracer.metrics.counter("ranking.computed").inc()
         self._rankings[key] = built
         return built
 
-    def _compute_ranking(self, metric: str, country: str | None) -> Ranking:
-        trim = self.config.trim
-        tracer = self._tracer
-        if metric == "CCG":
-            return cone_ranking(
-                self.view("global"), self.oracle, "CCG", tracer=tracer,
-                compute=self.computation("global"),
-            )
-        if metric == "AHG":
-            return hegemony_ranking(
-                self.view("global"), "AHG", trim, tracer=tracer,
-                compute=self.computation("global"),
-            )
-        code = self._need_country(country)
-        if metric == "CCI":
-            return cone_ranking(
-                self.view("international", code), self.oracle, f"CCI:{code}",
-                tracer=tracer, compute=self.computation("international", code),
-            )
-        if metric == "CCN":
-            return cone_ranking(
-                self.view("national", code), self.oracle, f"CCN:{code}",
-                tracer=tracer, compute=self.computation("national", code),
-            )
-        if metric == "AHI":
-            return hegemony_ranking(
-                self.view("international", code), f"AHI:{code}", trim,
-                tracer=tracer, compute=self.computation("international", code),
-            )
-        if metric == "AHN":
-            return hegemony_ranking(
-                self.view("national", code), f"AHN:{code}", trim,
-                tracer=tracer, compute=self.computation("national", code),
-            )
-        if metric == "AHC":
-            origins = self.world.graph.by_registry_country(code)
-            return ahc_ranking(self.paths, code, origins, trim, tracer=tracer)
-        if metric == "CTI":
-            return cti_ranking(
-                self.view("international", code), self.oracle, trim,
-                tracer=tracer, compute=self.computation("international", code),
-            )
-        if metric == "CCO":
-            return cone_ranking(
-                self.view("outbound", code), self.oracle, f"CCO:{code}",
-                tracer=tracer, compute=self.computation("outbound", code),
-            )
-        if metric == "AHO":
-            return hegemony_ranking(
-                self.view("outbound", code), f"AHO:{code}", trim,
-                tracer=tracer, compute=self.computation("outbound", code),
-            )
-        raise ValueError(f"unknown metric {metric!r}")
+    def _compute_ranking(self, spec: MetricSpec, country: str | None) -> Ranking:
+        """Assemble the spec's :class:`MetricContext` and delegate —
+        the spec (not this method) knows how the metric is computed."""
+        code = self._need_country(country) if spec.needs_country else None
+        view_country = None if spec.view_kind == "global" else code
+        origins: tuple[int, ...] = ()
+        if spec.needs_origins and code is not None:
+            origins = tuple(self.world.graph.by_registry_country(code))
+        return spec.build(MetricContext(
+            view=self.view(spec.view_kind, view_country),
+            oracle=self.oracle,
+            trim=self.config.trim,
+            country=code,
+            compute=self.computation(spec.view_kind, view_country),
+            origins=origins,
+            tracer=self._tracer,
+        ))
 
     def rank_all(
         self,
@@ -315,46 +287,49 @@ class PipelineResult:
         an uninterrupted one (the serialization is value-exact). The
         config's fault plan may inject a mid-sweep crash
         (``crash_after_units``) to exercise exactly that recovery.
+
+        Duplicate ``(metric, country)`` units are computed (and
+        checkpointed) once: repeats in ``metrics``/``countries`` do not
+        inflate the ``computed`` counter — which would skew
+        ``FaultPlan.crashes_after`` — or double-write checkpoint units.
         """
-        metric_list = [
-            m.upper() for m in (
-                metrics if metrics is not None else ("CCI", "CCN", "AHI", "AHN")
-            )
-        ]
-        for metric in metric_list:
-            if metric not in ALL_METRICS:
-                raise ValueError(f"unknown metric {metric!r}")
-        country_list = list(
+        spec_list = [get_spec(m) for m in (
+            metrics if metrics is not None else paper_metrics()
+        )]
+        country_list = [normalize_country(c) for c in (
             countries if countries is not None
             else self.countries_with_national_view()
-        )
-        units: list[tuple[str, str | None]] = []
-        for metric in metric_list:
-            if metric in GLOBAL_METRICS:
-                units.append((metric, None))
-            else:
-                units.extend((metric, country) for country in country_list)
+        )]
+        units: list[tuple[MetricSpec, str | None]] = []
+        seen: set[tuple[str, str | None]] = set()
+        for spec in spec_list:
+            for country in (country_list if spec.needs_country else [None]):
+                unit = (spec.name, country)
+                if unit in seen:
+                    continue
+                seen.add(unit)
+                units.append((spec, country))
         rankings: dict[tuple[str, str | None], Ranking] = {}
         faults = self.config.faults
         computed = 0
         with self._tracer.span(
-            "sweep", metrics=len(metric_list), countries=len(country_list),
+            "sweep", metrics=len(spec_list), countries=len(country_list),
             resumed=checkpoint.loaded if checkpoint is not None else 0,
         ):
-            for metric, country in units:
+            for spec, country in units:
                 if checkpoint is not None:
-                    ranking = self._resume_unit(checkpoint, metric, country)
+                    ranking = self._resume_unit(checkpoint, spec, country)
                     if ranking is not None:
-                        rankings[(metric, country)] = ranking
+                        rankings[(spec.name, country)] = ranking
                         continue
-                ranking = self.ranking(metric, country)
-                rankings[(metric, country)] = ranking
+                ranking = self.ranking(spec.name, country)
+                rankings[(spec.name, country)] = ranking
                 computed += 1
                 if checkpoint is not None:
                     from repro.resilience.checkpoint import ranking_to_payload
 
                     checkpoint.put(
-                        _unit_key(metric, country), ranking_to_payload(ranking)
+                        spec.unit_key(country), ranking_to_payload(ranking)
                     )
                 if faults is not None and faults.crashes_after(computed):
                     from repro.resilience.faults import InjectedCrash
@@ -365,19 +340,19 @@ class PipelineResult:
         return rankings
 
     def _resume_unit(
-        self, checkpoint: "Checkpoint", metric: str, country: str | None
+        self, checkpoint: "Checkpoint", spec: MetricSpec, country: str | None
     ) -> Ranking | None:
         """A previously-checkpointed ranking, also seeded into the
         memo table so later :meth:`ranking` calls agree with it."""
-        payload = checkpoint.get(_unit_key(metric, country))
+        payload = checkpoint.get(spec.unit_key(country))
         if payload is None:
             return None
         from repro.resilience.checkpoint import ranking_from_payload
 
         ranking = ranking_from_payload(payload)  # type: ignore[arg-type]
         self._tracer.metrics.counter("resilience.checkpoint_hit").inc()
-        self._rankings.setdefault((metric, country), ranking)
-        return self._rankings[(metric, country)]
+        self._rankings.setdefault((spec.name, country), ranking)
+        return self._rankings[(spec.name, country)]
 
     # -- conveniences ---------------------------------------------------------------
 

@@ -17,6 +17,7 @@ from typing import Iterable
 
 from repro.core.pipeline import PipelineResult
 from repro.core.ranking import Ranking
+from repro.core.registry import metric_names, paper_metrics
 from repro.core.sanitize import FilterReport, PathSet
 
 
@@ -127,15 +128,20 @@ def release_dataset(
 ) -> dict[str, Path]:
     """Write the full reproducibility bundle to a directory.
 
-    Includes global rankings, the four country metrics for each
-    requested country, the sanitized path set, VP geolocations, and the
-    filtering report, plus a manifest.
+    Includes the global baselines, the paper's four country metrics
+    plus the per-country baselines for each requested country (all
+    derived from the metric registry), the sanitized path set, VP
+    geolocations, and the filtering report, plus a manifest.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    rankings = [result.ranking("CCG"), result.ranking("AHG")]
+    global_metrics = metric_names(tag="baseline", needs_country=False)
+    country_metrics = paper_metrics() + metric_names(
+        tag="baseline", needs_country=True
+    )
+    rankings = [result.ranking(metric) for metric in global_metrics]
     for country in countries:
-        for metric in ("CCI", "CCN", "AHI", "AHN", "AHC", "CTI"):
+        for metric in country_metrics:
             rankings.append(result.ranking(metric, country))
     written = {
         "rankings": export_rankings_csv(rankings, directory / "rankings.csv", k),

@@ -16,10 +16,8 @@ import json
 from pathlib import Path
 
 from repro.bgp.collectors import VantagePoint
-from repro.core.ahc import ahc_ranking
-from repro.core.cone import cone_ranking
-from repro.core.hegemony import hegemony_ranking
 from repro.core.ranking import Ranking
+from repro.core.registry import MetricContext, get_spec, normalize_country
 from repro.core.sanitize import FilterReport, PathRecord, PathSet, RelationshipOracle
 from repro.core.views import (
     View,
@@ -109,58 +107,56 @@ class ReplaySession:
 
     def view(self, kind: str, country: str | None = None) -> View:
         """Same view vocabulary as the pipeline."""
+        country = normalize_country(country)
         key = (kind, country)
         if key not in self._views:
             if kind == "global":
                 built = global_view(self.paths)
             elif kind == "national":
-                built = national_view(self.paths, _need(country))
+                built = national_view(self.paths, self._need_country(country))
             elif kind == "international":
-                built = international_view(self.paths, _need(country))
+                built = international_view(self.paths, self._need_country(country))
             elif kind == "outbound":
-                built = outbound_view(self.paths, _need(country))
+                built = outbound_view(self.paths, self._need_country(country))
             else:
                 raise ValueError(f"unknown view kind {kind!r}")
             self._views[key] = built
         return self._views[key]
 
+    @staticmethod
+    def _need_country(country: str | None) -> str:
+        if country is None:
+            raise ValueError("this metric requires a country code")
+        return country
+
     def ranking(self, metric: str, country: str | None = None) -> Ranking:
         """Recompute one metric from the released paths.
 
-        AH metrics are exact (they need only the paths); CC metrics use
-        inferred relationships unless an oracle was supplied. AHC is
-        unavailable: the release does not carry AS registration
-        countries.
+        Which metrics replay, which view each consumes, and how it is
+        computed all come from the registry
+        (:mod:`repro.core.registry`): ``spec.replayable`` gates the
+        request (AHC needs registration countries the release does not
+        carry; CTI is pinned non-replayable), and specs with
+        ``needs_oracle=False`` (the AH family) never trigger
+        relationship inference — they are exact from the paths alone.
+        CC metrics use inferred relationships unless an oracle was
+        supplied.
         """
-        metric = metric.upper()
-        if metric in ("CCG", "AHG"):
-            country = None
-        key = (metric, country)
+        spec = get_spec(metric)
+        if not spec.replayable:
+            raise ValueError(
+                f"metric {spec.name!r} cannot be replayed from released paths"
+            )
+        country = normalize_country(country) if spec.needs_country else None
+        key = (spec.name, country)
         if key in self._rankings:
             return self._rankings[key]
-        if metric == "AHG":
-            built = hegemony_ranking(self.view("global"), "AHG", self.trim)
-        elif metric == "CCG":
-            built = cone_ranking(self.view("global"), self.oracle, "CCG")
-        elif metric in ("AHI", "AHN", "AHO"):
-            kind = {"AHI": "international", "AHN": "national", "AHO": "outbound"}[metric]
-            built = hegemony_ranking(
-                self.view(kind, _need(country)), f"{metric}:{country}", self.trim
-            )
-        elif metric in ("CCI", "CCN", "CCO"):
-            kind = {"CCI": "international", "CCN": "national", "CCO": "outbound"}[metric]
-            built = cone_ranking(
-                self.view(kind, _need(country)), self.oracle, f"{metric}:{country}"
-            )
-        else:
-            raise ValueError(
-                f"metric {metric!r} cannot be replayed from released paths"
-            )
+        code = spec.require_country(country)
+        built = spec.build(MetricContext(
+            view=self.view(spec.view_kind, code),
+            oracle=self.oracle if spec.needs_oracle else None,
+            trim=self.trim,
+            country=code,
+        ))
         self._rankings[key] = built
         return built
-
-
-def _need(country: str | None) -> str:
-    if country is None:
-        raise ValueError("this metric requires a country code")
-    return country

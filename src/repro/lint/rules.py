@@ -83,9 +83,11 @@ RULES: dict[str, Rule] = {
             "R008",
             "metric-name",
             "metric name violating the stage.metric_name dotted-"
-            "lowercase convention",
+            "lowercase convention, or a ranking metric missing from "
+            "the repro.core.registry catalog",
             "the repro.obs namespace is documented and machine-"
-            "consumed (Prometheus export); names must stay parseable",
+            "consumed (Prometheus export) and ranking metrics have one "
+            "source of truth (the registry); names must stay resolvable",
         ),
     )
 }

@@ -819,16 +819,36 @@ _METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
 _INSTRUMENT_FACTORIES = frozenset(("counter", "gauge", "histogram"))
 
 
-class MetricNameChecker(BaseChecker):
-    """R008 — instrument names follow ``stage.metric_name``.
+def _registered_metric(name: str) -> bool:
+    """Whether ``name`` is in the metric registry (any case).
 
-    Every string literal passed to ``.counter(...)`` / ``.gauge(...)``
-    / ``.histogram(...)`` must be dotted lowercase with at least two
-    segments (``lint.files``, ``sanitize.dropped.loop``). Dynamic names
-    (f-strings, variables) are skipped — the registry namespace doc and
-    the Prometheus exporter cover those at runtime. The rule guards the
-    *production* namespace: it applies to ``repro.*`` modules only, so
-    registry unit tests may use toy names.
+    Imported lazily so the linter keeps working on trees where
+    ``repro.core`` itself fails to import — the rule then degrades to
+    checking only the instrument-name convention.
+    """
+    try:
+        from repro.core.registry import maybe_spec
+    except Exception:  # repro: noqa[R006] — degrade, don't crash the lint run
+        return True
+    return maybe_spec(name) is not None
+
+
+class MetricNameChecker(BaseChecker):
+    """R008 — metric names come from the metric registry, instrument
+    names follow ``stage.metric_name``.
+
+    Two shapes are checked. Every string literal passed to
+    ``.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)`` must be
+    dotted lowercase with at least two segments (``lint.files``,
+    ``sanitize.dropped.loop``). And every string literal passed as the
+    first argument of a ``.ranking(...)`` method call must name a
+    metric registered in :mod:`repro.core.registry` — so a newly
+    registered metric is lint-covered automatically, and a typo'd or
+    unregistered name is caught statically. Dynamic names (f-strings,
+    variables) are skipped — the registry lookup and the Prometheus
+    exporter cover those at runtime. The rule guards the *production*
+    namespace: it applies to ``repro.*`` modules only, so unit tests
+    may use toy names.
     """
 
     rule_id = "R008"
@@ -852,6 +872,20 @@ class MetricNameChecker(BaseChecker):
                         f"metric name {first.value!r} violates the "
                         "stage.metric_name convention (dotted lowercase, "
                         "at least two segments)",
+                    )
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "ranking"
+            and node.args
+        ):
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                if not _registered_metric(first.value):
+                    self.report(
+                        first,
+                        f"metric {first.value!r} is not registered in "
+                        "repro.core.registry (register the spec, or fix "
+                        "the name)",
                     )
         self.generic_visit(node)
 

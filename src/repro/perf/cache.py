@@ -37,6 +37,7 @@ from repro.core.cone import (
 )
 from repro.core.cti import per_vp_transit
 from repro.core.hegemony import (
+    hegemony_scores,
     per_vp_scores,
     trimmed_scores_sparse,
     validate_trim,
@@ -149,6 +150,7 @@ class ViewComputation:
         "view", "oracle", "suffix_of", "_hits", "_misses",
         "_total_addresses", "_cones", "_cone_addresses", "_per_vp",
         "_hegemony", "_cti", "_profile", "_suffix_list",
+        "_origin_records", "_local_hegemony",
     )
 
     def __init__(
@@ -176,6 +178,8 @@ class ViewComputation:
         self._cti: dict[float, dict[int, float]] = {}
         self._profile: tuple[dict[int, int], int, bool] | None = None
         self._suffix_list: list[tuple[int, ...]] | None = None
+        self._origin_records: dict[int, tuple[PathRecord, ...]] | None = None
+        self._local_hegemony: dict[tuple[int, float], dict[int, float]] = {}
 
     def _prefix_profile(self) -> tuple[dict[int, int], int, bool]:
         """One walk over the records shared by the address total and the
@@ -287,6 +291,43 @@ class ViewComputation:
                     count for origin, count in origin_items if origin in members
                 )
         return totals
+
+    def origin_records(self) -> dict[int, tuple[PathRecord, ...]]:
+        """The view's records bucketed by origin AS (memoised).
+
+        One walk over the records, shared by every AHC country in a
+        sweep — the naive path re-scans all records per country.
+        Buckets preserve record order, so any per-origin consumer sees
+        exactly the records the naive filter would have produced.
+        """
+        if self._origin_records is None:
+            self._misses.inc()
+            buckets: dict[int, list[PathRecord]] = {}
+            for record in self.view.records:
+                buckets.setdefault(record.origin, []).append(record)
+            self._origin_records = {
+                origin: tuple(records) for origin, records in buckets.items()
+            }
+        else:
+            self._hits.inc()
+        return self._origin_records
+
+    def local_hegemony(self, origin: int, trim: float) -> dict[int, float]:
+        """IHR's per-origin network dependency (AHC's step 1): hegemony
+        over the paths toward one origin AS, memoised per
+        ``(origin, trim)`` — the table every AHC weighting variant and
+        repeated sweep shares."""
+        validate_trim(trim)
+        key = (origin, trim)
+        cached = self._local_hegemony.get(key)
+        if cached is None:
+            self._misses.inc()
+            bucket = self.origin_records().get(origin, ())
+            cached = hegemony_scores(bucket, trim) if bucket else {}
+            self._local_hegemony[key] = cached
+        else:
+            self._hits.inc()
+        return cached
 
     def per_vp_hegemony(
         self, weighting: str = "addresses"

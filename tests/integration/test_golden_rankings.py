@@ -1,0 +1,61 @@
+"""Golden pin: all 10 metrics on the medium world, value-exact.
+
+``tests/golden/medium_rankings.json`` was generated *before* the metric
+registry refactor (same generator seed, same config) and is the
+behaviour-preservation contract for it: any refactor of metric dispatch
+— the registry, the AHC cache routing, the view plumbing — must keep
+every ranking bit-identical to these payloads. Regenerate only for an
+intentional value change, never to make a refactor pass.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig, run_pipeline
+from repro.resilience.checkpoint import ranking_to_payload
+from repro.topology.generator import generate_world
+
+GOLDEN = Path(__file__).parent.parent / "golden" / "medium_rankings.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN.read_text())
+
+
+@pytest.fixture(scope="module")
+def result(golden):
+    world = generate_world(
+        seed=golden["world"]["generator_seed"], name=golden["world"]["name"],
+    )
+    return run_pipeline(world, PipelineConfig(seed=golden["config"]["seed"]))
+
+
+def _units(golden):
+    for key in sorted(golden["rankings"]):
+        metric, _, country = key.partition(":")
+        yield metric, None if country == "<global>" else country
+
+
+def test_golden_covers_all_ten_metrics(golden):
+    metrics = {key.partition(":")[0] for key in golden["rankings"]}
+    assert metrics == {
+        "CCI", "CCN", "AHI", "AHN", "AHC", "CTI", "CCO", "AHO", "CCG", "AHG",
+    }
+
+
+@pytest.mark.parametrize(
+    "metric,country",
+    [
+        ("CCI", "US"), ("CCN", "US"), ("AHI", "US"), ("AHN", "US"),
+        ("AHC", "US"), ("CTI", "US"), ("CCO", "US"), ("AHO", "US"),
+        ("CCG", None), ("AHG", None),
+    ],
+)
+def test_ranking_matches_golden(golden, result, metric, country):
+    key = f"{metric}:{country if country is not None else '<global>'}"
+    expected = golden["rankings"][key]
+    actual = ranking_to_payload(result.ranking(metric, country))
+    assert actual == expected

@@ -6,6 +6,8 @@ import pytest
 
 from repro import run_pipeline
 from repro.core.ndcg import ndcg
+from repro.core.registry import get_spec
+from repro.core.registry import specs as registry_specs
 from repro.io.export import export_pathset_jsonl
 from repro.io.replay import ReplayError, ReplaySession, load_pathset_jsonl
 from repro.topology.paper_world import build_paper_world
@@ -89,3 +91,41 @@ class TestReplayRankings:
     def test_rankings_memoised(self, released):
         session = ReplaySession.from_file(released)
         assert session.ranking("AHG") is session.ranking("AHG")
+
+    def test_country_codes_normalised(self, result, released):
+        session = ReplaySession.from_file(released)
+        assert session.ranking("ahn", "au") is session.ranking("AHN", "AU")
+        assert session.ranking("AHN", " AU ").metric == "AHN:AU"
+
+
+class TestRegistryReplayParity:
+    """Every ``replayable`` spec replays value-exactly.
+
+    Registry-driven: a newly registered replayable metric is covered
+    here automatically. The session gets the pipeline's oracle (the
+    released bundle carries no relationship labels), so cone metrics
+    are exact too — the suite pins value identity, not approximation.
+    """
+
+    @pytest.mark.parametrize(
+        "name", [spec.name for spec in registry_specs(replayable=True)]
+    )
+    def test_replay_matches_pipeline_value_exactly(
+        self, result, released, name
+    ):
+        spec = get_spec(name)
+        country = "AU" if spec.needs_country else None
+        session = ReplaySession(
+            load_pathset_jsonl(released), oracle=result.oracle
+        )
+        original = result.ranking(spec.name, country)
+        replayed = session.ranking(spec.name, country)
+        assert replayed.metric == original.metric
+        assert replayed.country == original.country
+        assert replayed.entries == original.entries
+
+    def test_every_non_replayable_spec_is_rejected(self, released):
+        session = ReplaySession.from_file(released)
+        for spec in registry_specs(replayable=False):
+            with pytest.raises(ValueError, match="cannot be replayed"):
+                session.ranking(spec.name, "AU")

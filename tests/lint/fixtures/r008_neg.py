@@ -1,8 +1,16 @@
 # repro-lint: module=repro.fixture
-"""R008 negative: conventional names; dynamic names are skipped."""
+"""R008 negative: conventional names; dynamic names are skipped;
+registered ranking metrics (any case) are fine."""
 
 
 def instrument(metrics, category):
     metrics.counter("lint.files").inc()
     metrics.histogram("views.size").observe(3)
     metrics.counter(f"sanitize.dropped.{category}").inc()
+
+
+def rank(result, metric):
+    result.ranking("CCI", "AU")
+    result.ranking("ahg")
+    result.ranking(metric, "AU")
+    return result.ranking("AHN-P", "AU")

@@ -1,8 +1,13 @@
 # repro-lint: module=repro.fixture
-"""R008 positive: metric names off the stage.metric_name convention."""
+"""R008 positive: metric names off the stage.metric_name convention,
+plus a ranking metric missing from the registry."""
 
 
 def instrument(metrics):
     metrics.counter("Totals").inc()
     metrics.gauge("lint").set(1)
     metrics.histogram("lint.Sizes").observe(2)
+
+
+def rank(result):
+    return result.ranking("CCX", "AU")

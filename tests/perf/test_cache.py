@@ -10,6 +10,7 @@ import pytest
 
 from repro import GeneratorConfig, Tracer, generate_world, run_pipeline, small_profiles
 from repro.bgp.collectors import VantagePoint
+from repro.core.ahc import ahc_ranking, ahc_scores, ahc_scores_cached
 from repro.core.cone import (
     cone_addresses,
     cones_from_suffixes,
@@ -195,3 +196,73 @@ class TestPerVpTransit:
         direct = per_vp_transit(view.records, result.oracle)
         fed = per_vp_transit(view.records, result.oracle, suffixes=suffixes)
         assert fed == direct
+
+
+class TestAhcThroughCache:
+    """AHC routed through ViewComputation equals the naive path exactly."""
+
+    @pytest.fixture(scope="class")
+    def global_view(self, result):
+        return result.view("global")
+
+    @pytest.fixture(scope="class")
+    def origins(self, result):
+        code = result.countries_with_national_view()[0]
+        return sorted(result.world.graph.by_registry_country(code))
+
+    def test_origin_records_match_manual_bucketing(self, result, global_view):
+        compute = ViewComputation(global_view, result.oracle)
+        buckets = compute.origin_records()
+        manual = {}
+        for rec in global_view.records:
+            manual.setdefault(rec.origin, []).append(rec)
+        assert buckets == {o: tuple(rs) for o, rs in manual.items()}
+
+    def test_local_hegemony_matches_naive(self, result, global_view, origins):
+        compute = ViewComputation(global_view, result.oracle)
+        buckets = compute.origin_records()
+        for origin in origins:
+            expected = hegemony_scores(buckets.get(origin, ()), 0.1)
+            assert compute.local_hegemony(origin, 0.1) == expected
+
+    def test_scores_cached_equals_naive(self, result, global_view, origins):
+        compute = ViewComputation(global_view, result.oracle)
+        for weighting in ("as_count", "addresses"):
+            naive = ahc_scores(
+                global_view.records, origins, 0.1, weighting=weighting
+            )
+            cached = ahc_scores_cached(compute, origins, 0.1, weighting=weighting)
+            assert cached == naive  # bit-identical, not approx
+
+    def test_ranking_with_compute_equals_without(self, result, global_view, origins):
+        code = result.countries_with_national_view()[0]
+        compute = ViewComputation(global_view, result.oracle)
+        plain = ahc_ranking(result.paths, code, origins, 0.1)
+        routed = ahc_ranking(
+            global_view, code, origins, 0.1, compute=compute
+        )
+        assert routed.entries == plain.entries
+        assert routed.metric == plain.metric
+
+    def test_pipeline_ahc_memoised_and_cached(self, result):
+        code = result.countries_with_national_view()[0]
+        assert result.ranking("AHC", code) is result.ranking("AHC", code)
+
+    def test_perf_counters_count_ahc_hits(self, result, global_view, origins):
+        tracer = Tracer()
+        compute = ViewComputation(global_view, result.oracle, tracer=tracer)
+        ahc_scores_cached(compute, origins, 0.1)
+        before = tracer.metrics.counters()["perf.view.hit"]
+        ahc_scores_cached(compute, origins, 0.1)  # every lookup now hits
+        after = tracer.metrics.counters()["perf.view.hit"]
+        assert after > before
+
+    def test_local_hegemony_rejects_bad_trim(self, result, global_view):
+        compute = ViewComputation(global_view, result.oracle)
+        with pytest.raises(ValueError):
+            compute.local_hegemony(1, 0.5)
+
+    def test_unknown_weighting_rejected(self, result, global_view, origins):
+        compute = ViewComputation(global_view, result.oracle)
+        with pytest.raises(ValueError, match="weighting"):
+            ahc_scores_cached(compute, origins, 0.1, weighting="magic")
