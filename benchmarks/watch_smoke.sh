@@ -1,0 +1,46 @@
+#!/bin/sh
+# Watch smoke: a 3-snapshot small-world monitoring run under a hard
+# time ceiling, followed by a schema check of the emitted event stream
+# (the validate_events-style gate for the watch JSONL).
+#
+# Usage:  sh benchmarks/watch_smoke.sh [ceiling-seconds]
+set -eu
+
+CEILING="${1:-120}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT="$ROOT/benchmarks/output"
+mkdir -p "$OUT"
+
+status=0
+timeout "$CEILING" env PYTHONPATH="$ROOT/src" python -m repro.cli \
+    watch small@0 small@1 small@2 \
+    --metrics AHN,CCI --countries AU --json \
+    > "$OUT/watch_smoke.jsonl" || status=$?
+
+if [ "$status" -eq 124 ]; then
+    echo "FAIL: watch smoke exceeded the ${CEILING}s ceiling" >&2
+    exit 1
+elif [ "$status" -ne 0 ]; then
+    echo "FAIL: watch smoke exited with status $status" >&2
+    exit "$status"
+fi
+
+PYTHONPATH="$ROOT/src" python - "$OUT/watch_smoke.jsonl" <<'EOF'
+import sys
+from repro.monitor import validate_watch_jsonl
+
+text = open(sys.argv[1]).read()
+problems = validate_watch_jsonl(text)
+if problems:
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    raise SystemExit(1)
+events = [line for line in text.splitlines() if line.strip()]
+kinds = {line.split('"type": "')[1].split('"')[0] for line in events}
+missing = {"snapshot", "ranking", "drift"} - kinds
+if missing:
+    print(f"FAIL: event stream missing types {sorted(missing)}", file=sys.stderr)
+    raise SystemExit(1)
+print(f"watch smoke: {len(events)} events, schema valid")
+EOF
+echo "watch smoke OK (ceiling ${CEILING}s)"

@@ -24,7 +24,12 @@ Subcommands mirror the paper's workflow:
   ``--trace`` appends the obs stage report with the ``lint.*`` metrics;
 * ``sweep``       — batch rankings: every requested metric × country in
   one pass through the shared path index and cross-metric caches
-  (Tables 9–12 style output at scale).
+  (Tables 9–12 style output at scale);
+* ``watch``       — monitor an ordered snapshot stream (world names,
+  released ``paths.jsonl`` files, directories, or globs) for rank
+  drift: Kendall-τ / NDCG / top-k churn per transition, emitted as a
+  deterministic JSONL event stream (``--json``), a Prometheus
+  exposition (``--prom``), or a human-readable drift summary.
 
 ``--workers N`` (global flag) fans route propagation and stability
 trials out across N processes; results are identical for any N.
@@ -66,35 +71,11 @@ from repro.lint.cli import DEFAULT_BASELINE
 from repro.lint.report import emit_metrics, render_json, render_text
 from repro.obs.export import stage_report, to_jsonl, to_prometheus
 from repro.obs.trace import Tracer
-from repro.topology.generator import GeneratorConfig, generate_world
-from repro.topology.paper_world import (
-    SNAPSHOT_2021,
-    SNAPSHOT_2023,
-    build_paper_world,
-)
-from repro.topology.profiles import small_profiles
+from repro.topology.catalog import WORLD_CHOICES, build_world
 from repro.topology.world import World
-
-WORLD_CHOICES = ("small", "default", "paper2021", "paper2023")
 
 #: exit status for input-validation failures (argparse uses 2 as well)
 EXIT_USAGE = 2
-
-
-def build_world(kind: str, seed: int) -> World:
-    """Materialize one of the named worlds."""
-    if kind == "small":
-        config = GeneratorConfig(
-            profiles=small_profiles(), clique_homes=("US", "US", "SE", "JP")
-        )
-        return generate_world(config, seed=seed, name="small")
-    if kind == "default":
-        return generate_world(seed=seed, name="default")
-    if kind == "paper2021":
-        return build_paper_world(SNAPSHOT_2021)
-    if kind == "paper2023":
-        return build_paper_world(SNAPSHOT_2023)
-    raise ValueError(f"unknown world {kind!r}")
 
 
 def _fail(message: str) -> int:
@@ -157,6 +138,81 @@ def run_traced(
     for metric in ("CCI", "AHN", "AHC", "CTI"):
         result.ranking(metric, code)
     return result, tracer
+
+
+def _run_watch(args: argparse.Namespace) -> int:
+    """The ``watch`` subcommand: validate, stream, emit."""
+    from repro.monitor import (
+        WatchConfig,
+        WatchError,
+        render_watch,
+        resolve_snapshots,
+        watch,
+        watch_key,
+    )
+
+    metric_list = [m for m in args.metrics.split(",") if m.strip()]
+    if not metric_list:
+        return _fail("--metrics needs at least one metric name")
+    canonical = [_normalize_metric(m) for m in metric_list]
+    for name, norm in zip(metric_list, canonical):
+        if norm is None:
+            return _fail(_bad_metric(name))
+    countries: tuple[str, ...] | None = None
+    if args.countries is not None:
+        codes = [c.strip() for c in args.countries.split(",") if c.strip()]
+        if not codes:
+            return _fail("--countries needs at least one country code")
+        for code in codes:
+            if len(code) != 2 or not code.isalpha():
+                return _fail(
+                    f"country {code!r} is not a two-letter country code"
+                )
+        countries = tuple(normalize_country(code) for code in codes)
+    if args.resume and args.checkpoint is None:
+        return _fail("--resume requires --checkpoint")
+    if args.workers < 1:
+        return _fail(f"--workers must be >= 1 (got {args.workers})")
+    try:
+        config = WatchConfig(
+            metrics=tuple(canonical),
+            countries=countries,
+            top=args.top,
+            tau_threshold=args.tau_threshold,
+            ndcg_threshold=args.ndcg_threshold,
+            seed=args.seed,
+            workers=args.workers,
+        )
+        refs = resolve_snapshots(args.snapshots)
+    except WatchError as error:
+        return _fail(str(error))
+    checkpoint = None
+    if args.checkpoint is not None:
+        from repro.resilience.checkpoint import Checkpoint
+
+        checkpoint = Checkpoint.open(
+            args.checkpoint,
+            watch_key([ref.label for ref in refs], config),
+            resume=args.resume,
+        )
+    tracer = Tracer()
+    try:
+        run = watch(refs, config, tracer=tracer, checkpoint=checkpoint)
+    except WatchError as error:
+        return _fail(str(error))
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+    if args.json:
+        print(run.jsonl())
+    elif args.prom:
+        print(to_prometheus(tracer.metrics))
+    else:
+        print(render_watch(run))
+    if args.trace:
+        print(stage_report(tracer, title="watch stage report"))
+    tracer.close()
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -263,6 +319,55 @@ def main(argv: list[str] | None = None) -> int:
         help="also capture tracemalloc peak memory per stage",
     )
 
+    watch = sub.add_parser(
+        "watch", help="monitor a snapshot stream for rank drift"
+    )
+    watch.add_argument(
+        "snapshots", nargs="+",
+        help="ordered snapshot specs: a world name (optionally name@SEED), "
+             "a released paths.jsonl, a directory of them, or a glob",
+    )
+    watch.add_argument(
+        "--metrics", default="CCI,AHI",
+        help="comma-separated metric list to monitor (default: CCI,AHI)",
+    )
+    watch.add_argument(
+        "--countries", default=None,
+        help="comma-separated country codes (default: resolved from the "
+             "first snapshot)",
+    )
+    watch.add_argument(
+        "--top", type=int, default=10, help="churn window (default: 10)"
+    )
+    watch.add_argument(
+        "--tau-threshold", type=float, default=0.8,
+        help="alert when full-ranking Kendall-tau falls below this",
+    )
+    watch.add_argument(
+        "--ndcg-threshold", type=float, default=0.9,
+        help="alert when NDCG@top falls below this",
+    )
+    watch.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="persist snapshot metadata and rankings to PATH as they finish",
+    )
+    watch.add_argument(
+        "--resume", action="store_true",
+        help="skip work already banked in --checkpoint (the resumed event "
+             "stream is byte-identical to an uninterrupted run)",
+    )
+    watch.add_argument(
+        "--json", action="store_true", help="emit the JSONL event stream"
+    )
+    watch.add_argument(
+        "--prom", action="store_true",
+        help="emit a Prometheus-style text exposition of the monitor metrics",
+    )
+    watch.add_argument(
+        "--trace", action="store_true",
+        help="append the obs stage report with the monitor.* metrics",
+    )
+
     lint = sub.add_parser(
         "lint", help="run the repro-lint static analyzer (rules R001-R008)"
     )
@@ -299,6 +404,9 @@ def main(argv: list[str] | None = None) -> int:
             return _fail(f"metric {spec.name} requires a country code")
         print(session.ranking(spec.name, country).render(args.k))
         return 0
+
+    if args.command == "watch":
+        return _run_watch(args)
 
     if args.command == "lint":
         baseline = (

@@ -257,8 +257,18 @@ _CLOCK_FNS = frozenset((
 _DATETIME_CLASS_FNS = frozenset(("now", "utcnow", "today", "fromtimestamp"))
 
 
+#: Modules allowed to read clocks: the observability layer itself, and
+#: the watch benchmark helper (`repro.monitor.bench`), whose whole job
+#: is timing watch runs — its readings route into the tracer's
+#: registry, and the monitor *engine* stays clock-free (the event
+#: stream's byte-identity depends on it, so it is deliberately NOT
+#: exempt).
+_CLOCK_ALLOWED = ("repro.obs", "repro.monitor.bench")
+
+
 class WallClockChecker(BaseChecker):
-    """R002 — only ``repro.obs`` may read clocks.
+    """R002 — only ``repro.obs`` (and the watch benchmark helper
+    ``repro.monitor.bench``) may read clocks.
 
     Pipeline stages must not branch on, store, or emit wall-clock time:
     metric values are deterministic for a fixed seed, and only span
@@ -271,7 +281,10 @@ class WallClockChecker(BaseChecker):
 
     @classmethod
     def applies_to(cls, module: str) -> bool:
-        return not (module == "repro.obs" or module.startswith("repro.obs."))
+        return not any(
+            module == allowed or module.startswith(allowed + ".")
+            for allowed in _CLOCK_ALLOWED
+        )
 
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func

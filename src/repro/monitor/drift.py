@@ -1,0 +1,157 @@
+"""Drift detection between consecutive snapshot rankings.
+
+Three complementary signals per (metric, country) cell, following the
+paper's own comparison toolkit:
+
+* **Kendall-τ** over the full rankings' shared ASes (the §3.3 rank-
+  agreement statistic, via :func:`repro.analysis.rank_correlation.kendall_tau`)
+  — global reordering;
+* **NDCG@k** of the later ranking scored against the earlier one
+  (:func:`repro.core.ndcg.ndcg`) — did the previously-important ASes
+  keep their importance;
+* **top-k churn** — which ASes entered or exited the top-k and how
+  the survivors shifted, generalizing the two-snapshot
+  :class:`repro.analysis.temporal.TemporalRow` tables (10/11) to a
+  rolling stream.
+
+:func:`alert_reasons` turns a drift report into alert material: τ or
+NDCG below threshold pages; churn alone (the Table-10 signal — AS3257
+leaving, AS5511 arriving) is a notice. All of it is pure arithmetic
+over :class:`repro.core.ranking.Ranking` pairs — no clocks, no state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.rank_correlation import kendall_tau
+from repro.core.ndcg import ndcg
+from repro.core.ranking import Ranking
+
+
+@dataclass(frozen=True, slots=True)
+class RankShift:
+    """One AS that stayed in the top-k but changed rank."""
+
+    asn: int
+    before_rank: int
+    after_rank: int
+
+    @property
+    def delta(self) -> int:
+        """Positive = climbed (rank number decreased)."""
+        return self.before_rank - self.after_rank
+
+
+@dataclass(frozen=True, slots=True)
+class TopChurn:
+    """Membership turnover in the top-k between two snapshots."""
+
+    k: int
+    entered: tuple[int, ...]  # in the later ranking's order
+    exited: tuple[int, ...]  # in the earlier ranking's order
+    shifts: tuple[RankShift, ...]  # common ASes whose rank changed
+
+    def quiet(self) -> bool:
+        """True when the top-k membership did not change at all."""
+        return not self.entered and not self.exited
+
+
+@dataclass(frozen=True, slots=True)
+class DriftReport:
+    """Everything measured for one (metric, country) cell across one
+    consecutive snapshot pair."""
+
+    metric: str
+    country: str | None
+    before_label: str
+    after_label: str
+    tau: float
+    ndcg: float
+    churn: TopChurn
+
+
+def top_churn(before: Ranking, after: Ranking, k: int) -> TopChurn:
+    """Top-k membership turnover, ordered deterministically."""
+    before_top = before.top_asns(k)
+    after_top = after.top_asns(k)
+    before_set = set(before_top)
+    after_set = set(after_top)
+    shifts = tuple(
+        RankShift(asn, before.rank_of(asn), after.rank_of(asn))
+        for asn in before_top
+        if asn in after_set and before.rank_of(asn) != after.rank_of(asn)
+    )
+    return TopChurn(
+        k=k,
+        entered=tuple(asn for asn in after_top if asn not in before_set),
+        exited=tuple(asn for asn in before_top if asn not in after_set),
+        shifts=shifts,
+    )
+
+
+def full_tau(before: Ranking, after: Ranking) -> float:
+    """Kendall's τ-a over all ASes ranked in both snapshots."""
+    pairs = [
+        (entry.rank, after.rank_of(entry.asn))
+        for entry in before.entries
+        if after.rank_of(entry.asn) is not None
+    ]
+    return kendall_tau(pairs)
+
+
+def measure_drift(
+    before: Ranking,
+    after: Ranking,
+    before_label: str,
+    after_label: str,
+    k: int,
+    metric: str | None = None,
+    country: str | None = None,
+) -> DriftReport:
+    """All three drift signals for one consecutive snapshot pair.
+
+    NDCG scores the *later* ordering against the *earlier* relevance
+    values: 1.0 means yesterday's important ASes kept both membership
+    and order. ``metric`` defaults to the earlier ranking's label;
+    the engine passes the registry's canonical name instead.
+    """
+    return DriftReport(
+        metric=metric if metric is not None else before.metric,
+        country=country if country is not None else before.country,
+        before_label=before_label,
+        after_label=after_label,
+        tau=full_tau(before, after),
+        ndcg=ndcg(before, after, k=k),
+        churn=top_churn(before, after, k),
+    )
+
+
+def alert_reasons(
+    report: DriftReport, tau_threshold: float, ndcg_threshold: float
+) -> tuple[str, tuple[str, ...]]:
+    """(severity, reasons) for a drift report; reasons empty = no alert.
+
+    Threshold breaches on the global statistics page; top-k membership
+    churn alone is a notice — visible but not noisy, since one AS
+    swapping at rank 10 is routine while a τ collapse is not.
+    """
+    reasons: list[str] = []
+    severity = "notice"
+    if report.tau < tau_threshold:
+        reasons.append(
+            f"kendall-tau {report.tau:.3f} below threshold {tau_threshold:g}"
+        )
+        severity = "page"
+    if report.ndcg < ndcg_threshold:
+        reasons.append(
+            f"ndcg {report.ndcg:.3f} below threshold {ndcg_threshold:g}"
+        )
+        severity = "page"
+    if not report.churn.quiet():
+        churn = report.churn
+        reasons.append(
+            f"top-{churn.k} churn: {len(churn.entered)} entered, "
+            f"{len(churn.exited)} exited"
+        )
+    return severity, tuple(reasons)

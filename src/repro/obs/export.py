@@ -14,9 +14,9 @@ Three consumers, three formats:
 * :func:`stage_report` — the human-readable pipeline stage report:
   span tree with wall/CPU time, input/output volumes and drop ratios,
   followed by the Table-1 drop accounting, the geolocation accounting,
-  and (for ``repro-rank lint --trace`` runs) the ``lint.*`` run stats,
-  all rendered from the metric counters (so they are, by construction,
-  the instrumented truth).
+  and (for ``repro-rank lint --trace`` / ``watch --trace`` runs) the
+  ``lint.*`` / ``monitor.*`` run stats, all rendered from the metric
+  counters (so they are, by construction, the instrumented truth).
 
 :func:`validate_events` is the schema check used by the smoke tests.
 """
@@ -24,6 +24,7 @@ Three consumers, three formats:
 from __future__ import annotations
 
 import json
+import re
 from typing import Iterable
 
 from repro.obs.metrics import MetricsRegistry
@@ -143,8 +144,16 @@ def validate_jsonl(text: str) -> list[str]:
 
 # -- prometheus exposition --------------------------------------------------
 
+#: Prometheus metric names must match ``[a-zA-Z_:][a-zA-Z0-9_:]*``;
+#: anything else in an instrument name collapses to ``_``.
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
 def _prom_name(name: str) -> str:
-    return "repro_" + name.replace(".", "_").replace("-", "_")
+    sanitized = _PROM_INVALID.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return "repro_" + sanitized
 
 
 def to_prometheus(metrics: MetricsRegistry) -> str:
@@ -254,6 +263,16 @@ def stage_report(tracer: Tracer, title: str = "pipeline stage report") -> str:
             lines.append(f"  {key:<28}{counters[key]:>10}")
         for key, value in gauges.items():
             if key.startswith("lint."):
+                lines.append(f"  {key:<28}{value:>10g}")
+
+    monitor_counters = [key for key in counters if key.startswith("monitor.")]
+    if monitor_counters:
+        lines.append("")
+        lines.append("-- monitor (watch run stats) --")
+        for key in monitor_counters:
+            lines.append(f"  {key:<28}{counters[key]:>10}")
+        for key, value in gauges.items():
+            if key.startswith("monitor."):
                 lines.append(f"  {key:<28}{value:>10g}")
 
     histograms = tracer.metrics.histograms()

@@ -1,0 +1,38 @@
+"""The named-world catalog.
+
+One place maps the user-facing world names (``small`` / ``default`` /
+``paper2021`` / ``paper2023``) to their builders, so every consumer —
+the CLI, the watch engine's snapshot resolver, and the benchmark
+harness — materializes exactly the same world for the same name and
+seed. The paper worlds are seedless (hand-curated); the generated
+worlds take the seed through :func:`repro.topology.generator.generate_world`.
+"""
+
+from __future__ import annotations
+
+from repro.topology.generator import GeneratorConfig, generate_world
+from repro.topology.paper_world import (
+    SNAPSHOT_2021,
+    SNAPSHOT_2023,
+    build_paper_world,
+)
+from repro.topology.profiles import small_profiles
+from repro.topology.world import World
+
+WORLD_CHOICES = ("small", "default", "paper2021", "paper2023")
+
+
+def build_world(kind: str, seed: int) -> World:
+    """Materialize one of the named worlds."""
+    if kind == "small":
+        config = GeneratorConfig(
+            profiles=small_profiles(), clique_homes=("US", "US", "SE", "JP")
+        )
+        return generate_world(config, seed=seed, name="small")
+    if kind == "default":
+        return generate_world(seed=seed, name="default")
+    if kind == "paper2021":
+        return build_paper_world(SNAPSHOT_2021)
+    if kind == "paper2023":
+        return build_paper_world(SNAPSHOT_2023)
+    raise ValueError(f"unknown world {kind!r}")

@@ -1,0 +1,102 @@
+"""Edge-case coverage for the Table-10/11 temporal comparison.
+
+``compare_snapshots`` duck-types on ``result.ranking(...)`` and
+``result.world.name``, so these tests drive it with stub results built
+straight from scores — no pipeline runs needed.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis.temporal import compare_snapshots
+from repro.core.ranking import Ranking
+
+
+class StubResult:
+    def __init__(self, name, scores, shares=None):
+        self.world = SimpleNamespace(name=name)
+        self._scores = scores
+        self._shares = shares if shares is not None else scores
+
+    def ranking(self, metric, country):
+        return Ranking.from_scores(
+            metric, self._scores, shares=self._shares, country=country,
+        )
+
+
+class TestNewEntrant:
+    def test_rank_delta_none_for_as_only_in_later_snapshot(self):
+        before = StubResult("d0", {10: 3.0, 20: 2.0})
+        after = StubResult("d1", {10: 3.0, 99: 2.5, 20: 2.0})
+        comparison = compare_snapshots(before, after, "RU", "CCI", k=3)
+        new_row = next(r for r in comparison.rows if r.after_asn == 99)
+        assert new_row.rank_delta is None
+        assert comparison.entered() == [99]
+        assert "new" in comparison.render()
+
+    def test_new_entrant_share_delta_is_full_share(self):
+        before = StubResult("d0", {10: 3.0})
+        after = StubResult("d1", {10: 3.0, 99: 2.0})
+        comparison = compare_snapshots(before, after, "RU", "CCI", k=2)
+        new_row = next(r for r in comparison.rows if r.after_asn == 99)
+        assert new_row.share_delta == pytest.approx(2.0)
+
+
+class TestExitingTopK:
+    def test_as_exiting_top_k_is_departed(self):
+        before = StubResult("d0", {10: 3.0, 20: 2.0, 30: 1.0})
+        after = StubResult("d1", {10: 3.0, 20: 2.0, 40: 1.0})
+        comparison = compare_snapshots(before, after, "RU", "CCI", k=3)
+        assert comparison.departed() == [30]
+        assert comparison.entered() == [40]
+
+    def test_demoted_below_k_still_counts_as_departed(self):
+        # 30 is still ranked after, just below the top-k window
+        before = StubResult("d0", {10: 3.0, 30: 2.0})
+        after = StubResult("d1", {10: 3.0, 40: 2.0, 30: 0.5})
+        comparison = compare_snapshots(before, after, "RU", "CCI", k=2)
+        assert comparison.departed() == [30]
+
+
+class TestTiedShares:
+    def test_ties_break_on_ascending_asn_both_sides(self):
+        scores = {30: 2.0, 10: 2.0, 20: 2.0}
+        before = StubResult("d0", scores)
+        after = StubResult("d1", dict(scores))
+        comparison = compare_snapshots(before, after, "RU", "CCI", k=3)
+        assert [r.before_asn for r in comparison.rows] == [10, 20, 30]
+        assert [r.after_asn for r in comparison.rows] == [10, 20, 30]
+        for row in comparison.rows:
+            assert row.rank_delta == 0
+            assert row.share_delta == pytest.approx(0.0)
+
+
+class TestEmptyEarlierRanking:
+    def test_all_rows_are_new(self):
+        before = StubResult("d0", {})
+        after = StubResult("d1", {10: 2.0, 20: 1.0})
+        comparison = compare_snapshots(before, after, "RU", "CCI", k=3)
+        assert len(comparison.rows) == 2
+        for row in comparison.rows:
+            assert row.before_asn is None
+            assert row.rank_delta is None
+            assert row.before_share == 0.0
+        assert comparison.entered() == [10, 20]
+        assert comparison.departed() == []
+
+    def test_both_empty_renders_header_only(self):
+        before = StubResult("d0", {})
+        after = StubResult("d1", {})
+        comparison = compare_snapshots(before, after, "RU", "CCI")
+        assert comparison.rows == ()
+        assert "d0" in comparison.render()
+
+
+class TestLabels:
+    def test_labels_default_to_world_names(self):
+        before = StubResult("w2021", {1: 1.0})
+        after = StubResult("w2023", {1: 1.0})
+        comparison = compare_snapshots(before, after, "RU", "CCI")
+        assert comparison.before_label == "w2021"
+        assert comparison.after_label == "w2023"

@@ -1,0 +1,109 @@
+"""Tests for drift measurement: churn, tau, NDCG, alert policy."""
+
+import pytest
+
+from repro.core.ranking import Ranking
+from repro.monitor.drift import (
+    alert_reasons,
+    full_tau,
+    measure_drift,
+    top_churn,
+)
+
+
+def ranking(scores, metric="CCI", country="RU"):
+    return Ranking.from_scores(metric, scores, shares=scores, country=country)
+
+
+class TestTopChurn:
+    def test_identical_rankings_are_quiet(self):
+        r = ranking({1: 3.0, 2: 2.0, 3: 1.0})
+        churn = top_churn(r, r, k=3)
+        assert churn.quiet()
+        assert churn.shifts == ()
+
+    def test_entered_and_exited(self):
+        before = ranking({10: 3.0, 20: 2.0, 30: 1.0})
+        after = ranking({10: 3.0, 40: 2.0, 50: 1.0})
+        churn = top_churn(before, after, k=3)
+        assert churn.entered == (40, 50)  # later ranking's order
+        assert churn.exited == (20, 30)  # earlier ranking's order
+        assert not churn.quiet()
+
+    def test_shifts_track_survivors_only(self):
+        before = ranking({10: 3.0, 20: 2.0, 30: 1.0})
+        after = ranking({20: 3.0, 10: 2.0, 30: 1.0})
+        churn = top_churn(before, after, k=3)
+        assert churn.entered == () and churn.exited == ()
+        moved = {s.asn: (s.before_rank, s.after_rank) for s in churn.shifts}
+        assert moved == {10: (1, 2), 20: (2, 1)}
+        assert {s.asn: s.delta for s in churn.shifts} == {10: -1, 20: 1}
+
+    def test_k_windows_the_comparison(self):
+        before = ranking({10: 3.0, 20: 2.0, 30: 1.0})
+        after = ranking({10: 3.0, 30: 2.0, 20: 1.0})
+        churn = top_churn(before, after, k=2)
+        assert churn.entered == (30,)
+        assert churn.exited == (20,)
+
+
+class TestFullTau:
+    def test_identical_is_one(self):
+        r = ranking({1: 3.0, 2: 2.0, 3: 1.0})
+        assert full_tau(r, r) == pytest.approx(1.0)
+
+    def test_reversed_is_minus_one(self):
+        before = ranking({1: 3.0, 2: 2.0, 3: 1.0})
+        after = ranking({1: 1.0, 2: 2.0, 3: 3.0})
+        assert full_tau(before, after) == pytest.approx(-1.0)
+
+    def test_only_shared_ases_count(self):
+        before = ranking({1: 3.0, 2: 2.0, 9: 1.0})
+        after = ranking({1: 3.0, 2: 2.0, 7: 1.0})  # 9 gone, 7 new
+        assert full_tau(before, after) == pytest.approx(1.0)
+
+
+class TestMeasureDrift:
+    def test_report_fields(self):
+        before = ranking({10: 3.0, 20: 2.0})
+        after = ranking({10: 3.0, 30: 2.0})
+        report = measure_drift(
+            before, after, "d0", "d1", k=2, metric="CCI", country="RU",
+        )
+        assert report.metric == "CCI" and report.country == "RU"
+        assert report.before_label == "d0" and report.after_label == "d1"
+        assert report.churn.entered == (30,)
+        assert 0.0 <= report.ndcg <= 1.0 + 1e-9
+
+    def test_identical_snapshot_scores_perfectly(self):
+        r = ranking({10: 3.0, 20: 2.0, 30: 1.0})
+        report = measure_drift(r, r, "d0", "d1", k=3)
+        assert report.tau == pytest.approx(1.0)
+        assert report.ndcg == pytest.approx(1.0)
+        assert report.churn.quiet()
+
+
+class TestAlertReasons:
+    def test_quiet_stable_ranking_no_alert(self):
+        r = ranking({10: 3.0, 20: 2.0})
+        report = measure_drift(r, r, "d0", "d1", k=2)
+        severity, reasons = alert_reasons(report, 0.8, 0.9)
+        assert reasons == ()
+        assert severity == "notice"
+
+    def test_tau_breach_pages(self):
+        before = ranking({1: 3.0, 2: 2.0, 3: 1.0})
+        after = ranking({1: 1.0, 2: 2.0, 3: 3.0})
+        report = measure_drift(before, after, "d0", "d1", k=3)
+        severity, reasons = alert_reasons(report, 0.8, 0.0)
+        assert severity == "page"
+        assert any("kendall-tau" in reason for reason in reasons)
+
+    def test_churn_alone_is_notice(self):
+        # same relative order among survivors, one AS swapped at the tail
+        before = ranking({10: 3.0, 20: 2.0, 30: 1.0})
+        after = ranking({10: 3.0, 20: 2.0, 40: 1.0})
+        report = measure_drift(before, after, "d0", "d1", k=3)
+        severity, reasons = alert_reasons(report, 0.0, 0.0)
+        assert severity == "notice"
+        assert reasons and "churn" in reasons[0]

@@ -1,0 +1,86 @@
+"""Exposition-format validity for the Prometheus export.
+
+Prometheus metric names must match ``[a-zA-Z_:][a-zA-Z0-9_:]*``; the
+registry's dotted (and occasionally dashed or otherwise decorated)
+instrument names must all be sanitized into that alphabet, and every
+instrument kind — counters, gauges, histograms — must appear in the
+exposition.
+"""
+
+import re
+
+from repro.obs.export import _prom_name, to_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+#: https://prometheus.io/docs/concepts/data_model/#metric-names-and-labels
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+TYPE_LINE = re.compile(r"^# TYPE (\S+) (counter|gauge|summary)$")
+SAMPLE_LINE = re.compile(r"^(\S+) (-?\d+(?:\.\d+)?(?:e[+-]?\d+)?)$")
+
+
+def exposition_problems(text: str) -> list[str]:
+    problems = []
+    for line in text.splitlines():
+        type_match = TYPE_LINE.match(line)
+        if type_match:
+            if not NAME_RE.match(type_match.group(1)):
+                problems.append(f"bad metric name in TYPE line: {line!r}")
+            continue
+        sample = SAMPLE_LINE.match(line)
+        if sample is None:
+            problems.append(f"not a TYPE or sample line: {line!r}")
+        elif not NAME_RE.match(sample.group(1)):
+            problems.append(f"bad metric name in sample: {line!r}")
+    return problems
+
+
+def populated_registry() -> MetricsRegistry:
+    metrics = MetricsRegistry()
+    metrics.counter("sanitize.input").inc(10)
+    metrics.counter("monitor.churn.entered").inc(2)
+    metrics.gauge("ribs.vps").set(42)
+    metrics.gauge("monitor.snapshots").set(3)
+    metrics.histogram("monitor.drift.tau").observe(0.5)
+    metrics.histogram("monitor.drift.tau").observe(0.9)
+    return metrics
+
+
+class TestExpositionValidity:
+    def test_every_line_is_valid(self):
+        assert exposition_problems(to_prometheus(populated_registry())) == []
+
+    def test_gauges_are_included(self):
+        text = to_prometheus(populated_registry())
+        assert "# TYPE repro_ribs_vps gauge" in text
+        assert "repro_ribs_vps 42" in text
+        assert "# TYPE repro_monitor_snapshots gauge" in text
+
+    def test_counters_get_total_suffix(self):
+        text = to_prometheus(populated_registry())
+        assert "# TYPE repro_sanitize_input_total counter" in text
+        assert "repro_sanitize_input_total 10" in text
+
+    def test_histograms_export_summary(self):
+        text = to_prometheus(populated_registry())
+        assert "repro_monitor_drift_tau_count 2" in text
+        assert "repro_monitor_drift_tau_min 0.5" in text
+        assert "repro_monitor_drift_tau_max 0.9" in text
+
+
+class TestNameSanitization:
+    def test_dotted_names(self):
+        assert _prom_name("perf.view.hits") == "repro_perf_view_hits"
+
+    def test_dashed_names(self):
+        assert _prom_name("AHC-A.rate") == "repro_AHC_A_rate"
+
+    def test_arbitrary_punctuation_collapses(self):
+        assert NAME_RE.match(_prom_name("weird name!with%chars"))
+
+    def test_leading_digit_guarded(self):
+        assert NAME_RE.match(_prom_name("9lives"))
+
+    def test_hostile_names_stay_valid(self):
+        registry = MetricsRegistry()
+        registry.counter("0day.metric name-with every+thing").inc()
+        assert exposition_problems(to_prometheus(registry)) == []

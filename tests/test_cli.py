@@ -152,6 +152,80 @@ class TestSweepCheckpoint:
         assert "--resume requires --checkpoint" in capsys.readouterr().err
 
 
+class TestWatch:
+    ARGS = ["watch", "small@0", "small@1", "--metrics", "AHN", "--countries", "AU"]
+
+    def test_summary_output(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "== watch ==" in out
+        assert "small@0 -> small@1" in out
+
+    def test_json_mode_emits_schema_valid_events(self, capsys):
+        from repro.monitor import validate_watch_jsonl
+
+        assert main(self.ARGS + ["--json"]) == 0
+        out = capsys.readouterr().out
+        assert validate_watch_jsonl(out) == []
+        kinds = {json.loads(line)["type"] for line in out.splitlines() if line.strip()}
+        assert {"snapshot", "ranking", "drift"} <= kinds
+
+    def test_prom_mode(self, capsys):
+        assert main(self.ARGS + ["--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_monitor_events_total counter" in out
+        assert "repro_monitor_drifts_total" in out
+
+    def test_trace_mode_appends_monitor_section(self, capsys):
+        assert main(self.ARGS + ["--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "watch stage report" in out
+        assert "monitor (watch run stats)" in out
+
+    def test_checkpoint_then_resume_byte_identical(self, capsys, tmp_path):
+        path = tmp_path / "watch.ck"
+        args = self.ARGS + ["--json", "--checkpoint", str(path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert path.is_file()
+        assert main(args + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_unknown_metric(self, capsys):
+        assert main(["watch", "small@0", "small@1", "--metrics", "XXX"]) == 2
+        assert "unknown metric" in capsys.readouterr().err
+
+    def test_bad_country_shape(self, capsys):
+        assert main(self.ARGS[:-1] + ["AUS"]) == 2
+        assert "two-letter" in capsys.readouterr().err
+
+    def test_unresolvable_snapshot(self, capsys):
+        assert main(["watch", "small@0", "nonexistent.jsonl"]) == 2
+        assert "not a known world" in capsys.readouterr().err
+
+    def test_bad_seed(self, capsys):
+        assert main(["watch", "small@x", "small@1"]) == 2
+        assert "not an integer" in capsys.readouterr().err
+
+    def test_too_few_snapshots(self, capsys):
+        assert main(["watch", "small@0"]) == 2
+        assert "at least 2" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint(self, capsys):
+        assert main(self.ARGS + ["--resume"]) == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_bad_threshold(self, capsys):
+        assert main(self.ARGS + ["--tau-threshold", "3.0"]) == 2
+        assert "tau threshold" in capsys.readouterr().err
+
+    def test_non_replayable_metric_on_release(self, capsys, tmp_path):
+        day = tmp_path / "day.jsonl"
+        day.write_text("")
+        assert main(["watch", "small@0", str(day), "--metrics", "CTI"]) == 2
+        assert "cannot be replayed" in capsys.readouterr().err
+
+
 class TestValidation:
     def test_unknown_metric(self, capsys):
         assert main(["--world", "small", "rank", "XXX"]) == 2
