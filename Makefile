@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint faults bench bench-smoke watch-smoke
+.PHONY: test lint faults bench bench-smoke watch-smoke profile
 
 ## Default verification: static analysis first, then the test suite
 ## (which includes the fault-injection suite), then the fault suite
@@ -37,10 +37,18 @@ lint:
 bench:
 	$(PYTHON) benchmarks/bench_pipeline_scaling.py --min-speedup 2.5
 
-## Quick perf gate: small world under a time ceiling (see
-## benchmarks/smoke.sh); writes benchmarks/output/BENCH_smoke.json.
+## Quick perf gate: small world under a time ceiling, plus the
+## parallel >= serial floor at workers=2 (auto-skipped on hosts with
+## fewer than 2 usable CPUs — see benchmarks/smoke.sh); writes
+## benchmarks/output/BENCH_smoke.json.
 bench-smoke:
 	sh benchmarks/smoke.sh
+
+## Hotspot profile: cProfile over the pipeline + ranking sweep, printed
+## as the obs stage report followed by the pstats top-N tables; writes
+## benchmarks/output/profile.txt.
+profile:
+	$(PYTHON) benchmarks/profile_pipeline.py
 
 ## Monitoring gate: 3-snapshot small-world watch run under a time
 ## ceiling + schema check of the emitted event stream (see

@@ -11,8 +11,14 @@ Times, per world (small / medium):
 * **indexed sweep** — ``PipelineResult.rank_all`` over the same pairs:
   shared path index + cross-metric intermediate caches;
 * **parallel pipeline** — the cold pipeline with ``workers`` process
-  fan-out on route propagation (recorded for the trajectory; on a
-  single-core box this is expected to be slower, not faster).
+  fan-out on route propagation, served by one persistent broadcast
+  pool (its spawn/broadcast stats land in the report; on a single-core
+  box parallel is expected to be slower, not faster, and the
+  ``--parallel-floor`` gate auto-skips there).
+
+Each world entry also records a per-stage wall-clock breakdown from a
+traced serial run, and the report carries host provenance (logical
+CPUs, *usable* CPUs via ``sched_getaffinity``, Python, platform).
 
 Also times the monitoring engine (``repro-rank watch``) over a
 3-snapshot small-world stream with the obs layer off and on, recording
@@ -31,6 +37,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import platform
 import sys
 import time
 from pathlib import Path
@@ -52,6 +59,8 @@ from repro.core.views import (
     national_view,
     outbound_view,
 )
+from repro.obs.trace import Tracer
+from repro.perf.parallel import CHUNKS_PER_WORKER
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -117,6 +126,28 @@ def pick_countries(result: PipelineResult, want: int) -> list[str]:
     return chosen[:want]
 
 
+def usable_cpus() -> int:
+    """CPUs this process may actually run on — ``sched_getaffinity``
+    where available (cgroup/taskset-aware), ``cpu_count`` otherwise."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def stage_timings(tracer: Tracer) -> dict[str, float]:
+    """Wall-clock per top-level pipeline stage, from a traced run."""
+    root = next(
+        record for record in tracer.spans if record.name == "pipeline"
+    )
+    stages: dict[str, float] = {}
+    for record in tracer.spans:
+        if record.parent_id == root.span_id:
+            stages[record.name] = round(
+                stages.get(record.name, 0.0) + record.dur_s, 4
+            )
+    return stages
+
+
 def bench_world(
     kind: str, seed: int, countries_wanted: int, workers: int
 ) -> dict:
@@ -125,6 +156,12 @@ def bench_world(
     t0 = time.perf_counter()
     result = run_pipeline(world, PipelineConfig(seed=seed))
     pipeline_cold_s = time.perf_counter() - t0
+
+    # a separate traced serial run feeds the per-stage breakdown, so
+    # the timed runs above/below stay tracer-free
+    tracer = Tracer()
+    run_pipeline(world, PipelineConfig(seed=seed), tracer=tracer)
+    stages = stage_timings(tracer)
 
     countries = pick_countries(result, countries_wanted)
     pairs = [(m, c) for m in SWEEP_METRICS for c in countries]
@@ -154,18 +191,31 @@ def bench_world(
             raise AssertionError(f"indexed sweep diverged from naive on {key}")
 
     t0 = time.perf_counter()
-    run_pipeline(world, PipelineConfig(seed=seed, workers=workers))
+    parallel_result = run_pipeline(
+        world, PipelineConfig(seed=seed, workers=workers)
+    )
     pipeline_parallel_s = time.perf_counter() - t0
+    pool = parallel_result._pool
+    pool_stats = dict(pool.stats) if pool is not None else None
+    parallel_result.close()
 
     speedup = sweep_naive_s / sweep_indexed_s if sweep_indexed_s else float("inf")
+    parallel_speedup = (
+        pipeline_cold_s / pipeline_parallel_s
+        if pipeline_parallel_s else float("inf")
+    )
     return {
         "records": len(result.paths),
         "countries": countries,
         "metrics": list(SWEEP_METRICS),
         "pairs": len(pairs),
         "pipeline_cold_s": round(pipeline_cold_s, 4),
+        "pipeline_stages_s": stages,
         "pipeline_parallel_s": round(pipeline_parallel_s, 4),
+        "speedup_parallel_vs_serial": round(parallel_speedup, 2),
         "workers": workers,
+        "chunks_per_worker": CHUNKS_PER_WORKER,
+        "pool": pool_stats,
         "sweep_naive_s": round(sweep_naive_s, 4),
         "sweep_indexed_s": round(sweep_indexed_s, 4),
         "speedup_indexed_vs_naive": round(speedup, 2),
@@ -222,24 +272,38 @@ def main(argv: list[str] | None = None) -> int:
              "speedup is below this floor (0 disables)",
     )
     parser.add_argument(
+        "--parallel-floor", type=float, default=0.0,
+        help="fail (exit 1) when the *last* world's parallel-vs-serial "
+             "pipeline speedup is below this floor; only enforced on "
+             "hosts with >= 2 usable CPUs — on fewer the gate is "
+             "recorded as skipped (0 disables)",
+    )
+    parser.add_argument(
         "--output", default=str(REPO_ROOT / "BENCH_pipeline.json")
     )
     args = parser.parse_args(argv)
 
+    cpus = usable_cpus()
     report = {
-        "schema": "bench_pipeline/1",
+        "schema": "bench_pipeline/2",
         "cpus": os.cpu_count(),
+        "cpus_usable": cpus,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
         "seed": args.seed,
         "worlds": {},
     }
     last_speedup = float("inf")
+    last_parallel = float("inf")
     for kind in [w for w in args.worlds.split(",") if w]:
         print(f"[{kind}] running …", flush=True)
         entry = bench_world(kind, args.seed, args.countries, args.workers)
         report["worlds"][kind] = entry
         last_speedup = entry["speedup_indexed_vs_naive"]
+        last_parallel = entry["speedup_parallel_vs_serial"]
         print(
             f"[{kind}] pipeline {entry['pipeline_cold_s']:.2f}s  "
+            f"parallel {entry['pipeline_parallel_s']:.2f}s  "
             f"naive sweep {entry['sweep_naive_s']:.2f}s  "
             f"indexed sweep {entry['sweep_indexed_s']:.2f}s  "
             f"speedup {entry['speedup_indexed_vs_naive']:.1f}x "
@@ -257,18 +321,39 @@ def main(argv: list[str] | None = None) -> int:
         flush=True,
     )
 
+    failures: list[str] = []
+    if args.min_speedup and last_speedup < args.min_speedup:
+        failures.append(
+            f"indexed sweep speedup {last_speedup:.2f}x is below the "
+            f"{args.min_speedup:.2f}x floor"
+        )
+    if args.parallel_floor:
+        if cpus < 2:
+            # the gate cannot be meaningful on a single-CPU host: the
+            # fan-out's processes time-slice one core, so parallel is
+            # expected to trail serial there
+            report["parallel_gate"] = (
+                f"skipped: {cpus} usable CPU(s), gate needs >= 2"
+            )
+            print(f"[gate] {report['parallel_gate']}", flush=True)
+        else:
+            report["parallel_gate"] = (
+                f"enforced: floor {args.parallel_floor:.2f}x, "
+                f"measured {last_parallel:.2f}x"
+            )
+            if last_parallel < args.parallel_floor:
+                failures.append(
+                    f"parallel pipeline speedup {last_parallel:.2f}x is "
+                    f"below the {args.parallel_floor:.2f}x floor"
+                )
+
     out = Path(args.output)
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")
 
-    if args.min_speedup and last_speedup < args.min_speedup:
-        print(
-            f"FAIL: indexed sweep speedup {last_speedup:.2f}x is below the "
-            f"{args.min_speedup:.2f}x floor",
-            file=sys.stderr,
-        )
-        return 1
-    return 0
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,81 @@
+"""Hotspot profile: cProfile over the pipeline plus a ranking sweep.
+
+Runs one traced ``run_pipeline`` and a ``rank_all`` sweep under
+cProfile and prints, in order:
+
+1. the obs stage report (wall/cpu/in/out per pipeline stage) — the
+   coarse where-does-the-time-go view;
+2. the pstats top-N by cumulative time, then by total (self) time —
+   the fine-grained one.
+
+The combination answers both "which stage regressed" and "which
+function inside it". A copy of the report is written to
+``benchmarks/output/profile.txt``.
+
+Run:  PYTHONPATH=src python benchmarks/profile_pipeline.py
+      (or ``make profile``)
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import sys
+from pathlib import Path
+
+from repro import PipelineConfig, run_pipeline
+from repro.obs.export import stage_report
+from repro.obs.trace import Tracer
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_pipeline_scaling import SWEEP_METRICS, build_world, pick_countries
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--world", default="small", help="small or medium")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--countries", type=int, default=5)
+    parser.add_argument(
+        "--top", type=int, default=25, help="rows per pstats table"
+    )
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "benchmarks/output/profile.txt")
+    )
+    args = parser.parse_args(argv)
+
+    world = build_world(args.world, args.seed)
+    tracer = Tracer()
+    profiler = cProfile.Profile()
+
+    profiler.enable()
+    result = run_pipeline(world, PipelineConfig(seed=args.seed), tracer=tracer)
+    countries = pick_countries(result, args.countries)
+    result.rank_all(SWEEP_METRICS, countries)
+    profiler.disable()
+    tracer.close()
+
+    sections = [stage_report(tracer, title=f"{args.world} stage report")]
+    for sort, label in (("cumulative", "cumulative"), ("tottime", "self")):
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.strip_dirs().sort_stats(sort).print_stats(args.top)
+        sections.append(
+            f"== top {args.top} by {label} time ==\n{buffer.getvalue().rstrip()}"
+        )
+
+    report = "\n\n".join(sections) + "\n"
+    print(report, end="")
+    out = Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(report)
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -155,7 +155,7 @@ def stability_curve(
             metric, view, result.oracle, result.config.trim,
             full, k, todo_samples, workers,
             tracer=result._tracer, policy=result.config.retry,
-            faults=result.config.faults,
+            faults=result.config.faults, pool=result._pool,
         )
     else:
         fresh = [

@@ -3,7 +3,13 @@
 from repro.bgp.announcement import Announcement, RibRecord
 from repro.bgp.collectors import Collector, CollectorProject, CollectorSet, VantagePoint
 from repro.bgp.policy import Route, RouteClass
-from repro.bgp.propagation import RoutingOutcome, propagate, propagate_all
+from repro.bgp.propagation import (
+    PropagationBasis,
+    RoutingOutcome,
+    adjacency_delta,
+    propagate,
+    propagate_all,
+)
 from repro.bgp.rib import RibDump, RibGenerationConfig, RibSeries, generate_rib_days
 from repro.bgp.updates import (
     ChurnSummary,
@@ -23,6 +29,7 @@ __all__ = [
     "CollectorProject",
     "CollectorSet",
     "InjectionSummary",
+    "PropagationBasis",
     "RibDump",
     "RibGenerationConfig",
     "RibRecord",
@@ -33,6 +40,7 @@ __all__ = [
     "Update",
     "UpdateKind",
     "VantagePoint",
+    "adjacency_delta",
     "churn_profile",
     "daily_updates",
     "diff_ribs",

@@ -179,10 +179,20 @@ def inject_anomalies(
               "prepended": 0, "route_server": 0}
     route_server_list = sorted(route_servers)
     non_clique_fillers = sorted(set(filler_pool) - clique) if filler_pool else []
+    total_rate = (
+        config.loop_rate + config.poison_rate + config.unallocated_rate
+        + config.prepend_rate + config.route_server_rate
+    )
     for key, path in records:
         if not non_clique_fillers:
             non_clique_fillers = sorted(path.unique_asns() - clique)
         roll = roll_for(key) if roll_for is not None else rng.random()
+        if roll >= total_rate:
+            # the overwhelmingly common case: nothing planted, so the
+            # record-keyed RNG (an expensive Random() construction) is
+            # never needed — rng_for is pure in key, so deferring it
+            # cannot change which draws a planted record sees
+            continue
         local_rng = rng_for(key) if rng_for is not None else rng
         try:
             if roll < config.loop_rate and len(path) >= 2:

@@ -25,7 +25,8 @@ to a collector — the raw material of the whole reproduction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import weakref
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 
 from repro.bgp.policy import Route, RouteClass
@@ -34,8 +35,42 @@ from repro.obs.trace import NULL_TRACER
 from repro.topology.model import ASGraph
 
 if TYPE_CHECKING:  # the fan-out wrapper is imported lazily at runtime
+    from repro.perf.pool import WorkerPool
     from repro.resilience.faults import FaultPlan
     from repro.resilience.retry import RetryPolicy
+
+
+@dataclass(frozen=True, slots=True)
+class PropagationBasis:
+    """Everything needed to re-propagate a *changed* graph incrementally.
+
+    Captured by :func:`propagate_all` with ``capture_basis=True`` and fed
+    back on the next snapshot via ``basis=``. ``holders[origin]`` is the
+    set of ASes the (possibly keep-pruned) sweep assigned a route toward
+    ``origin`` — the exact set of nodes whose adjacency rows that
+    origin's BFS ever read, which is what makes the reuse criterion
+    sound: if none of those rows changed (and the keep closure is
+    unchanged), rerunning the BFS would reproduce the same routes
+    byte for byte.
+    """
+
+    adjacency: "_Adjacency"
+    tiebreak: str
+    salt: int
+    keep: frozenset[int] | None
+    relevant: frozenset[int] | None
+    routes: Mapping[int, Mapping[int, Route]]
+    holders: Mapping[int, frozenset[int]]
+
+    def compatible(
+        self, tiebreak: str, salt: int, keep: frozenset[int] | None
+    ) -> bool:
+        """Whether this basis describes the same propagation problem."""
+        return (
+            self.tiebreak == tiebreak
+            and self.salt == salt
+            and self.keep == keep
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -44,9 +79,14 @@ class RoutingOutcome:
 
     ``routes[origin][asn]`` is the best :class:`Route` held by ``asn``
     toward ``origin``; absent keys mean the origin was unreachable.
+    ``basis`` is populated only when :func:`propagate_all` ran with
+    ``capture_basis=True`` (it does not participate in equality).
     """
 
     routes: Mapping[int, Mapping[int, Route]]
+    basis: "PropagationBasis | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     def path(self, origin: int, asn: int) -> tuple[int, ...] | None:
         """Convenience lookup of the AS path or ``None``."""
@@ -70,8 +110,78 @@ class _Adjacency:
         self.peers = {a: tuple(sorted(graph.peers_of(a))) for a in self.asns}
 
 
+#: graph -> (graph.version, snapshot); weak keys so graphs can die
+_adjacency_cache: "weakref.WeakKeyDictionary[ASGraph, tuple[int, _Adjacency]]"
+_adjacency_cache = weakref.WeakKeyDictionary()
+
+
+def _adjacency_of(graph: ASGraph) -> _Adjacency:
+    """The adjacency snapshot for ``graph``, cached per structural
+    version.
+
+    Sharing one snapshot object across calls is what lets the worker
+    pool broadcast it once for all salt planes (the broadcast registry
+    memoizes by identity) and what makes the incremental delta check
+    between unchanged snapshots trivial.
+    """
+    cached = _adjacency_cache.get(graph)
+    version = graph.version
+    if cached is not None and cached[0] == version:
+        return cached[1]
+    snapshot = _Adjacency(graph)
+    _adjacency_cache[graph] = (version, snapshot)
+    return snapshot
+
+
 #: Valid tie-break policies.
 TIEBREAKS = ("asn", "hash")
+
+
+def keep_closure(
+    adjacency: _Adjacency, keep: Iterable[int]
+) -> frozenset[int]:
+    """The ``keep`` set closed upward under provider links.
+
+    An AS is *relevant* to the kept routes iff some kept AS sits in its
+    customer cone — equivalently, iff it is reachable from ``keep`` by
+    climbing provider edges. The down phase of the sweep only ever
+    hands a route to a kept AS through a chain of relevant providers
+    (a provider of a relevant AS is itself relevant), so pruning
+    irrelevant customers from phase 3 cannot change any kept route.
+    """
+    providers = adjacency.providers
+    relevant = set(keep)
+    frontier = list(relevant)
+    while frontier:
+        next_frontier: list[int] = []
+        for asn in frontier:
+            for provider in providers.get(asn, ()):
+                if provider not in relevant:
+                    relevant.add(provider)
+                    next_frontier.append(provider)
+        frontier = next_frontier
+    return frozenset(relevant)
+
+
+def adjacency_delta(old: _Adjacency, new: _Adjacency) -> frozenset[int]:
+    """ASNs whose adjacency rows differ between two snapshots.
+
+    An edge change marks *both* endpoints (each endpoint's row lists the
+    other); an added or removed AS marks itself and, through their rows,
+    every neighbor. Rows are sorted tuples, so comparison is exact.
+    """
+    old_rows = old.providers
+    changed: set[int] = {asn for asn in old.asns if asn not in new.providers}
+    for asn in new.asns:
+        if asn not in old_rows:
+            changed.add(asn)
+        elif (
+            old.providers[asn] != new.providers[asn]
+            or old.customers[asn] != new.customers[asn]
+            or old.peers[asn] != new.peers[asn]
+        ):
+            changed.add(asn)
+    return frozenset(changed)
 
 
 def _hash_mix(holder: int, next_hop: int, origin: int, salt: int = 0) -> int:
@@ -106,7 +216,7 @@ def propagate(
     equally-valid routing plane — the mechanism behind multi-plane path
     diversity (see :class:`repro.core.pipeline.PipelineConfig`).
     """
-    return _propagate(_Adjacency(graph), origin, tiebreak, salt)
+    return _propagate(_adjacency_of(graph), origin, tiebreak, salt)
 
 
 def propagate_all(
@@ -119,6 +229,10 @@ def propagate_all(
     workers: int = 1,
     policy: "RetryPolicy | None" = None,
     faults: "FaultPlan | None" = None,
+    basis: "PropagationBasis | None" = None,
+    capture_basis: bool = False,
+    delta_threshold: float = 0.5,
+    pool: "WorkerPool | None" = None,
 ) -> RoutingOutcome:
     """Propagate every origin and keep routes only at ``keep`` ASes.
 
@@ -142,47 +256,123 @@ def propagate_all(
     ``tracer`` wraps the sweep in a ``propagate.plane`` span, counts
     origins and kept routes, and samples per-level BFS frontier sizes
     into the ``propagate.frontier`` histogram.
+
+    ``basis`` (a :class:`PropagationBasis` from a previous snapshot)
+    turns the sweep incremental: origins whose BFS never touched a
+    changed adjacency row reuse their stored routes verbatim, the rest
+    recompute against the new graph. The output is byte-identical to a
+    full sweep; if more than ``delta_threshold`` of the origins are
+    dirty the basis is abandoned and the sweep runs in full.
+    ``capture_basis=True`` stores a fresh basis on the returned
+    outcome (``outcome.basis``) for the next snapshot.
+
+    ``pool`` lends a persistent :class:`repro.perf.pool.WorkerPool` to
+    the fan-out (the adjacency is broadcast to it once and reused
+    across planes); without one, the fan-out runs on a transient pool
+    scoped to this call.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
     with tracer.span(
         "propagate.plane", tiebreak=tiebreak, salt=salt, workers=workers,
     ) as span:
-        adjacency = _Adjacency(graph)
+        adjacency = _adjacency_of(graph)
         if origins is None:
             origins = [asn for asn in graph.asns() if graph.node(asn).prefixes]
-        keep_set = set(keep) if keep is not None else None
+        keep_set = frozenset(keep) if keep is not None else None
         origin_list = sorted(set(origins))
         for origin in origin_list:
             if origin not in graph:
                 raise KeyError(f"origin AS{origin} not in graph")
+        relevant = (
+            keep_closure(adjacency, keep_set) if keep_set is not None else None
+        )
+
+        # Incremental reuse: an origin is clean iff no AS its previous
+        # BFS assigned a route to has a changed adjacency row — then the
+        # sweep would read exactly the same rows and rebuild exactly the
+        # same routes. The keep closure must also be unchanged, because
+        # phase-3 pruning reads it.
+        reused: dict[int, Mapping[int, Route]] = {}
+        dirty_origins = origin_list
+        if (
+            basis is not None
+            and basis.compatible(tiebreak, salt, keep_set)
+            and basis.relevant == relevant
+        ):
+            changed = adjacency_delta(basis.adjacency, adjacency)
+            dirty = [
+                origin for origin in origin_list
+                if origin not in basis.holders
+                or not changed.isdisjoint(basis.holders[origin])
+            ]
+            if len(dirty) <= delta_threshold * len(origin_list):
+                dirty_origins = dirty
+                dirty_set = set(dirty)
+                reused = {
+                    origin: basis.routes[origin]
+                    for origin in origin_list if origin not in dirty_set
+                }
+
         kept_routes = 0
-        all_routes: dict[int, dict[int, Route]] = {}
-        if workers > 1 and len(origin_list) > 1:
+        computed: dict[int, dict[int, Route]] = {}
+        holders: dict[int, frozenset[int]] = {}
+        if workers > 1 and len(dirty_origins) > 1:
             from repro.perf.parallel import propagate_origins
 
-            all_routes = propagate_origins(
-                adjacency, origin_list, tiebreak, salt, keep_set, workers,
+            computed, holders = propagate_origins(
+                adjacency, dirty_origins, tiebreak, salt, keep_set, workers,
                 tracer=tracer, policy=policy, faults=faults,
+                relevant=relevant, capture_holders=capture_basis, pool=pool,
             )
-            kept_routes = sum(len(routes) for routes in all_routes.values())
         else:
             frontier_hist = tracer.metrics.histogram("propagate.frontier")
-            for origin in origin_list:
+            for origin in dirty_origins:
                 routes = _propagate(
-                    adjacency, origin, tiebreak, salt, frontier_hist
+                    adjacency, origin, tiebreak, salt, frontier_hist,
+                    relevant=relevant,
                 )
+                if capture_basis:
+                    holders[origin] = frozenset(routes)
                 if keep_set is not None:
                     routes = {
                         asn: route for asn, route in routes.items()
                         if asn in keep_set
                     }
-                kept_routes += len(routes)
-                all_routes[origin] = routes
-        span.set(origins=len(origin_list), routes=kept_routes)
+                computed[origin] = routes
+
+        all_routes: dict[int, Mapping[int, Route]] = {}
+        for origin in origin_list:
+            all_routes[origin] = (
+                computed[origin] if origin in computed else reused[origin]
+            )
+        kept_routes = sum(len(routes) for routes in all_routes.values())
+
+        outcome_basis: PropagationBasis | None = None
+        if capture_basis:
+            if reused and basis is not None:
+                for origin in reused:
+                    holders[origin] = basis.holders[origin]
+            outcome_basis = PropagationBasis(
+                adjacency=adjacency, tiebreak=tiebreak, salt=salt,
+                keep=keep_set, relevant=relevant,
+                routes=all_routes, holders=holders,
+            )
+
+        span.set(
+            origins=len(origin_list), routes=kept_routes,
+            reused=len(reused), recomputed=len(dirty_origins),
+        )
         tracer.metrics.counter("propagate.origins").inc(len(origin_list))
         tracer.metrics.counter("propagate.routes").inc(kept_routes)
-    return RoutingOutcome(all_routes)
+        if basis is not None:
+            tracer.metrics.counter("propagate.incremental.reused").inc(
+                len(reused)
+            )
+            tracer.metrics.counter("propagate.incremental.recomputed").inc(
+                len(dirty_origins)
+            )
+    return RoutingOutcome(all_routes, basis=outcome_basis)
 
 
 def _propagate(
@@ -191,7 +381,19 @@ def _propagate(
     tiebreak: str = "asn",
     salt: int = 0,
     frontier_hist=NULL_HISTOGRAM,
+    relevant: frozenset[int] | None = None,
 ) -> dict[int, Route]:
+    """Full three-phase sweep for one origin.
+
+    ``relevant`` (a :func:`keep_closure` of the caller's keep set)
+    prunes the down phase: customers outside it never enter the route
+    map or the frontier. Phases 1–2 always run in full — their routes
+    fix every AS's export and any of them may be an ancestor of a kept
+    AS. Routes at relevant ASes are byte-identical to the unpruned
+    sweep because a relevant AS's candidate providers are themselves
+    relevant (or up/across holders), so its candidate set — and the
+    strict-min selection over it — never changes.
+    """
     providers = adjacency.providers
     customers = adjacency.customers
     peers = adjacency.peers
@@ -255,7 +457,9 @@ def _propagate(
             candidates = {}
             for asn in batch:
                 for customer in customers[asn]:
-                    if customer in routes:
+                    if customer in routes or (
+                        relevant is not None and customer not in relevant
+                    ):
                         continue
                     key = key_of(customer, asn)
                     best = candidates.get(customer)

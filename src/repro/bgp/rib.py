@@ -70,6 +70,18 @@ def _stable_uniform(seed: int, kind: str, key: str) -> float:
     return (digest & 0xFFFFFFFF) / 4294967296.0
 
 
+def _stable_uniform_bytes(prefix: bytes, key: bytes) -> float:
+    """:func:`_stable_uniform` over pre-encoded ``prefix + key`` bytes.
+
+    The per-(VP, prefix) loops draw hundreds of thousands of times; the
+    f-string formatting and ``str.encode`` of the generic helper
+    dominate those loops, so they pre-encode the ``"{seed}:{kind}:"``
+    prefix once and the entity key once per entity. The digest is
+    byte-identical to the generic helper's.
+    """
+    return (zlib.crc32(prefix + key) & 0xFFFFFFFF) / 4294967296.0
+
+
 class RibSeries:
     """Daily RIB snapshots over one world, exposed lazily."""
 
@@ -89,6 +101,11 @@ class RibSeries:
             (record.prefix, asn) for asn, record in world.graph.originations()
         ]
         self._seed = seed
+        #: ``str(prefix)`` per prefix index — every hash-stable draw
+        #: keys on it, and ``Prefix.__str__`` re-formats on each call
+        self._prefix_strs: list[str] = [
+            str(prefix) for prefix, _ in self.prefix_table
+        ]
         outcomes = outcome if isinstance(outcome, list) else [outcome]
         if not outcomes:
             raise ValueError("need at least one routing outcome")
@@ -141,7 +158,8 @@ class RibSeries:
             for origin in outcome.origins():
                 route = outcome.routes[origin].get(vp_asn)
                 if route is not None:
-                    paths[(vp_asn, origin)] = ASPath(route.path)
+                    # propagated paths are valid by construction
+                    paths[(vp_asn, origin)] = ASPath.trusted(route.path)
         return paths
 
     def _sample_visibility(self) -> set[tuple[int, int]]:
@@ -150,10 +168,16 @@ class RibSeries:
         drop_rate = 1.0 - self.config.vp_visibility
         if drop_rate <= 0.0:
             return missing
+        # One crc32 per cell is unavoidable; the string assembly is
+        # not — pre-encode the stable "{seed}:vis:{ip}|" head per VP
+        # and the "{prefix}" tail per prefix (draws stay identical to
+        # _stable_uniform(seed, "vis", f"{vp.ip}|{prefix}")).
+        seed = self._seed
+        tails = [text.encode() for text in self._prefix_strs]
         for vp_index, vp in enumerate(self.vps):
-            for prefix_index, (prefix, _) in enumerate(self.prefix_table):
-                key = f"{vp.ip}|{prefix}"
-                if _stable_uniform(self._seed, "vis", key) < drop_rate:
+            head = f"{seed}:vis:{vp.ip}|".encode()
+            for prefix_index, tail in enumerate(tails):
+                if _stable_uniform_bytes(head, tail) < drop_rate:
                     missing.add((vp_index, prefix_index))
         return missing
 
@@ -163,8 +187,8 @@ class RibSeries:
         days = self.config.days
         if self.config.churn_rate <= 0.0 or days < 2:
             return unstable
-        for prefix_index, (prefix, origin) in enumerate(self.prefix_table):
-            key = f"{prefix}|{origin}"
+        for prefix_index, (_, origin) in enumerate(self.prefix_table):
+            key = f"{self._prefix_strs[prefix_index]}|{origin}"
             if _stable_uniform(self._seed, "churn", key) >= self.config.churn_rate:
                 continue
             absent = 1 + int(
@@ -188,9 +212,20 @@ class RibSeries:
             for vp_index, prefix_index, path in self._iter_clean():
                 yield ((vp_index, prefix_index), path)
 
-        def record_key(key: tuple[int, int]) -> str:
-            vp_index, prefix_index = key
-            return f"{self.vps[vp_index].ip}|{self.prefix_table[prefix_index][0]}"
+        # The roll/rng draws key on f"{vp.ip}|{prefix}"; pre-encode the
+        # per-VP heads and per-prefix tails once so the per-record work
+        # is a dict-free bytes concat + crc32 (draws stay identical to
+        # the _stable_uniform / crc32-seeded forms they replace).
+        seed = self._seed
+        roll_heads = [f"{seed}:anom:{vp.ip}|".encode() for vp in self.vps]
+        rng_heads = [f"{seed}:anom-rng:{vp.ip}|".encode() for vp in self.vps]
+        tails = [text.encode() for text in self._prefix_strs]
+
+        def roll_for(key: tuple[int, int]) -> float:
+            return _stable_uniform_bytes(roll_heads[key[0]], tails[key[1]])
+
+        def rng_for(key: tuple[int, int]) -> random.Random:
+            return random.Random(zlib.crc32(rng_heads[key[0]] + tails[key[1]]))
 
         return inject_anomalies(
             clean_records(),
@@ -200,10 +235,8 @@ class RibSeries:
             route_servers,
             random.Random(self._seed),
             filler_pool=filler_pool,
-            roll_for=lambda key: _stable_uniform(self._seed, "anom", record_key(key)),
-            rng_for=lambda key: random.Random(
-                zlib.crc32(f"{self._seed}:anom-rng:{record_key(key)}".encode())
-            ),
+            roll_for=roll_for,
+            rng_for=rng_for,
         )
 
     # -- iteration ----------------------------------------------------------

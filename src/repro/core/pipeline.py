@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
-from repro.bgp.propagation import RoutingOutcome, propagate_all
+from repro.bgp.propagation import PropagationBasis, RoutingOutcome, propagate_all
 from repro.bgp.rib import RibGenerationConfig, RibSeries, generate_rib_days
 from repro.core.ranking import Ranking
 from repro.core.registry import (
@@ -38,6 +38,7 @@ from repro.topology.world import World
 if TYPE_CHECKING:  # perf imports core at runtime; the cycle is type-only
     from repro.perf.cache import SuffixCache, ViewComputation
     from repro.perf.index import PathIndex
+    from repro.perf.pool import WorkerPool
     from repro.resilience.checkpoint import Checkpoint
     from repro.resilience.faults import FaultPlan
     from repro.resilience.retry import RetryPolicy
@@ -126,10 +127,17 @@ class PipelineResult:
         oracle: RelationshipOracle,
         inferred: InferredRelationships | None,
         tracer: AnyTracer = NULL_TRACER,
+        outcomes: "list[RoutingOutcome] | None" = None,
+        pool: "WorkerPool | None" = None,
     ) -> None:
         self.world = world
         self.config = config
         self.outcome = outcome
+        #: all routing planes (``outcome`` is ``outcomes[0]``)
+        self.outcomes = outcomes if outcomes is not None else [outcome]
+        #: the persistent worker pool the run's fan-outs shared (None
+        #: when the run was serial); stability sweeps reuse it
+        self._pool = pool
         self.ribs = ribs
         self.geodb = geodb
         self.prefix_geo = prefix_geo
@@ -155,6 +163,21 @@ class PipelineResult:
         ``None`` when the run was not traced."""
         return self._tracer if self._tracer.enabled else None
 
+    def propagation_bases(self) -> "list[PropagationBasis | None]":
+        """Per-plane :class:`repro.bgp.propagation.PropagationBasis`
+        captured by the run (``None`` entries when the run was not
+        asked to capture them) — feed these to the next snapshot's
+        ``run_pipeline(..., propagation_bases=...)`` for incremental
+        re-propagation."""
+        return [outcome.basis for outcome in self.outcomes]
+
+    def close(self) -> None:
+        """Release the run's worker pool (idempotent; the result's
+        cached views and rankings stay usable)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
     # -- views & batch-engine state -----------------------------------------
 
     def path_index(self) -> "PathIndex":
@@ -168,11 +191,21 @@ class PipelineResult:
         return self._index
 
     def suffix_cache(self) -> "SuffixCache":
-        """The shared per-(path, oracle) transit-suffix cache."""
+        """The shared per-(path, oracle) transit-suffix cache.
+
+        The cache is handed the SoA path store: on its first miss it
+        computes every distinct path's suffix start in one vectorized
+        pass, after which each resolution is an O(1) slice — only the
+        paths actually touched ever materialise a suffix tuple. A
+        store-sliced entry is value-identical to one computed by the
+        per-path backward scan, so consumers cannot tell the difference.
+        """
         if self._suffixes is None:
             from repro.perf.cache import SuffixCache
 
-            self._suffixes = SuffixCache(self.oracle, self._tracer)
+            self._suffixes = SuffixCache(
+                self.oracle, self._tracer, store=self.paths.store()
+            )
         return self._suffixes
 
     def computation(
@@ -384,12 +417,30 @@ class Pipeline:
 
     config: PipelineConfig = field(default_factory=PipelineConfig)
 
-    def run(self, world: World, tracer: "Tracer | None" = None) -> PipelineResult:
+    def run(
+        self,
+        world: World,
+        tracer: "Tracer | None" = None,
+        propagation_bases: "list[PropagationBasis | None] | None" = None,
+        capture_bases: bool = False,
+    ) -> PipelineResult:
         """Execute every stage of Figure 6 on one world.
 
         ``tracer`` overrides the tracer built from ``config.trace``
         (pass a preconfigured :class:`repro.obs.Tracer` to share one
         registry across runs or to tune memory capture).
+
+        ``propagation_bases`` (one per salt plane, from a previous
+        snapshot's :meth:`PipelineResult.propagation_bases`) makes the
+        propagate stage incremental: only origins whose reachable
+        region changed re-run, with byte-identical output.
+        ``capture_bases`` records fresh bases on this run's outcomes
+        for the *next* snapshot.
+
+        When ``config.workers > 1`` the run creates one persistent
+        :class:`repro.perf.pool.WorkerPool` that every fan-out shares —
+        all propagation planes and, later, the result's stability
+        sweeps. Call :meth:`PipelineResult.close` to release it.
         """
         config = self.config
         if tracer is None:
@@ -397,6 +448,11 @@ class Pipeline:
                 Tracer(capture_memory=config.trace == "memory")
                 if config.trace else NULL_TRACER
             )
+        pool: "WorkerPool | None" = None
+        if config.workers > 1:
+            from repro.perf.pool import WorkerPool
+
+            pool = WorkerPool(config.workers)
         with tracer.span(
             "pipeline", world=world.name, seed=config.seed, family=config.family,
         ):
@@ -407,6 +463,13 @@ class Pipeline:
                         tiebreak=config.tiebreak, salt=salt, tracer=tracer,
                         workers=config.workers, policy=config.retry,
                         faults=config.faults,
+                        basis=(
+                            propagation_bases[salt]
+                            if propagation_bases is not None
+                            and salt < len(propagation_bases) else None
+                        ),
+                        capture_basis=capture_bases,
+                        pool=pool,
                     )
                     for salt in range(config.path_diversity)
                 ]
@@ -448,7 +511,7 @@ class Pipeline:
                 oracle = inferred
         return PipelineResult(
             world, config, outcome, ribs, geodb, prefix_geo, vp_geo, paths,
-            oracle, inferred, tracer,
+            oracle, inferred, tracer, outcomes=outcomes, pool=pool,
         )
 
 
@@ -456,6 +519,11 @@ def run_pipeline(
     world: World,
     config: PipelineConfig | None = None,
     tracer: "Tracer | None" = None,
+    propagation_bases: "list[PropagationBasis | None] | None" = None,
+    capture_bases: bool = False,
 ) -> PipelineResult:
     """One-shot convenience wrapper around :class:`Pipeline`."""
-    return Pipeline(config or PipelineConfig()).run(world, tracer)
+    return Pipeline(config or PipelineConfig()).run(
+        world, tracer,
+        propagation_bases=propagation_bases, capture_bases=capture_bases,
+    )

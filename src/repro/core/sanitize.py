@@ -24,7 +24,7 @@ matching the paper's accounting of 248M announcements.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Protocol
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Protocol
 
 from repro.bgp.announcement import RibRecord
 from repro.bgp.collectors import VantagePoint
@@ -33,6 +33,9 @@ from repro.geo.vp_geo import VPGeolocator
 from repro.net.aspath import ASPath
 from repro.net.prefix import Prefix, parse_address
 from repro.obs.trace import NULL_TRACER, AnyTracer
+
+if TYPE_CHECKING:  # perf imports core at runtime; the cycle is type-only
+    from repro.perf.pathstore import PathStore
 
 
 class RelationshipOracle(Protocol):
@@ -135,12 +138,26 @@ class PathSet:
 
     records: list[PathRecord]
     report: FilterReport
+    #: lazily-built SoA mirror of the records (see :meth:`store`);
+    #: derived state, excluded from equality
+    _store: object = field(default=None, init=False, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.records)
 
     def __iter__(self) -> Iterator[PathRecord]:
         return iter(self.records)
+
+    def store(self) -> "PathStore":
+        """The records flattened into a :class:`repro.perf.PathStore`
+        (built on first use, then shared by every array-walking
+        consumer — the suffix bulk-prime and the index's origin
+        buckets). The records list must not be mutated after this."""
+        if self._store is None:
+            from repro.perf.pathstore import PathStore
+
+            self._store = PathStore(self.records)
+        return self._store
 
     def vps(self) -> list[VantagePoint]:
         """Distinct VPs present, ordered by IP (numeric, not lexical)."""
@@ -215,6 +232,46 @@ def sanitize(
     return path_set
 
 
+def _check_path(
+    path: ASPath,
+    clique: frozenset[int],
+    allocated: dict[int, bool],
+    is_allocated: Callable[[int], bool],
+    route_servers: frozenset[int],
+) -> tuple[str | None, ASPath | None]:
+    """The path-only half of the Table-1 pipeline for one path:
+    ``(reject_category, None)`` or ``(None, cleaned_path)``.
+
+    Exactly the unallocated → loop → poisoned → clean sequence of the
+    per-record loop, with one prepending collapse shared by all three
+    steps (``has_loop``/``is_poisoned``/clean each used to collapse on
+    their own) and per-ASN allocation verdicts memoised in
+    ``allocated`` — the registry answer for an ASN never changes within
+    one pass.
+    """
+    for asn in path.asns:
+        verdict = allocated.get(asn)
+        if verdict is None:
+            verdict = allocated[asn] = bool(is_allocated(asn))
+        if not verdict:
+            return ("unallocated", None)
+    collapsed = path.collapse_prepending()
+    asns = collapsed.asns
+    if len(set(asns)) != len(asns):
+        return ("loop", None)
+    if not clique.isdisjoint(asns):
+        for index in range(1, len(asns) - 1):
+            if (
+                asns[index] not in clique
+                and asns[index - 1] in clique
+                and asns[index + 1] in clique
+            ):
+                return ("poisoned", None)
+    if route_servers and not route_servers.isdisjoint(asns):
+        collapsed = collapsed.without(route_servers)
+    return (None, collapsed)
+
+
 def _sanitize(
     records: Iterable[RibRecord],
     clique: frozenset[int],
@@ -225,6 +282,16 @@ def _sanitize(
 ) -> PathSet:
     report = FilterReport()
     out: list[PathRecord] = []
+    # Per-entity memos: path verdicts repeat across records sharing a
+    # path object/value, VP location depends only on the collector,
+    # and each prefix resolves its (covered, country, addresses) fate
+    # once. All three underliers are pure within one pass.
+    path_verdicts: dict[ASPath, tuple[str | None, ASPath | None]] = {}
+    allocated: dict[int, bool] = {}
+    collector_country: dict[str, str | None] = {}
+    prefix_fate: dict[Prefix, tuple[str | None, str | None, int]] = {}
+    covered = prefix_geo.covered
+    owned = prefix_geo.owned_addresses
     for record in records:
         weight = record.days_present
         report.total += weight
@@ -232,38 +299,48 @@ def _sanitize(
             report.note_rejection("unstable", record, weight)
             continue
         path = record.path
-        if any(not is_allocated(asn) for asn in path.asns):
-            report.note_rejection("unallocated", record, weight)
+        verdict = path_verdicts.get(path)
+        if verdict is None:
+            verdict = path_verdicts[path] = _check_path(
+                path, clique, allocated, is_allocated, route_servers
+            )
+        category, cleaned = verdict
+        if category is not None:
+            report.note_rejection(category, record, weight)
             continue
-        if path.has_loop():
-            report.note_rejection("loop", record, weight)
-            continue
-        if is_poisoned(path, clique):
-            report.note_rejection("poisoned", record, weight)
-            continue
-        vp_country = vp_geo.country(record.vp)
+        vp_country = collector_country.get(record.vp.collector, "")
+        if vp_country == "":
+            vp_country = vp_geo.country(record.vp)
+            collector_country[record.vp.collector] = vp_country
         if vp_country is None:
             report.note_rejection("vp_no_location", record, weight)
             continue
-        if record.prefix in prefix_geo.covered:
-            report.note_rejection("covered", record, weight)
+        prefix = record.prefix
+        fate = prefix_fate.get(prefix)
+        if fate is None:
+            if prefix in covered:
+                fate = ("covered", None, 0)
+            else:
+                country = prefix_geo.country(prefix)
+                fate = (
+                    ("prefix_no_location", None, 0) if country is None
+                    else (None, country, owned.get(prefix, 0))
+                )
+            prefix_fate[prefix] = fate
+        prefix_category, prefix_country, addresses = fate
+        if prefix_category is not None:
+            report.note_rejection(prefix_category, record, weight)
             continue
-        prefix_country = prefix_geo.country(record.prefix)
-        if prefix_country is None:
-            report.note_rejection("prefix_no_location", record, weight)
-            continue
-        cleaned = path.collapse_prepending()
-        if route_servers and any(asn in route_servers for asn in cleaned.asns):
-            cleaned = cleaned.without(route_servers)
+        assert cleaned is not None and prefix_country is not None
         report.accepted += weight
         out.append(
             PathRecord(
                 vp=record.vp,
                 vp_country=vp_country,
-                prefix=record.prefix,
+                prefix=prefix,
                 prefix_country=prefix_country,
                 path=cleaned,
-                addresses=prefix_geo.owned_addresses.get(record.prefix, 0),
+                addresses=addresses,
             )
         )
     return PathSet(records=out, report=report)

@@ -747,7 +747,7 @@ class SwallowedExceptionChecker(BaseChecker):
 
 # -- R007: mutation of shared inputs in repro.perf ---------------------------
 
-_PROTECTED_TYPES = frozenset(("View", "PathSet", "Ranking"))
+_PROTECTED_TYPES = frozenset(("View", "PathSet", "Ranking", "PathStore"))
 _MUTATING_METHODS = frozenset((
     "append", "extend", "insert", "add", "update", "clear", "pop",
     "popitem", "remove", "discard", "sort", "reverse", "setdefault",
@@ -758,11 +758,13 @@ class PerfMutationChecker(BaseChecker):
     """R007 — the batch engine must treat its inputs as read-only.
 
     Inside ``repro.perf`` modules, parameters annotated ``View`` /
-    ``PathSet`` / ``Ranking`` (including ``X | None`` unions) are shared
-    across cached computations: mutating one poisons every cache entry
-    built from it. Flags attribute/subscript assignment, ``del``, and
-    mutating method calls rooted at such a parameter. Rebinding the
-    bare parameter name is fine (a local rebind, not a mutation).
+    ``PathSet`` / ``Ranking`` / ``PathStore`` (including ``X | None``
+    unions) are shared across cached computations: mutating one poisons
+    every cache entry built from it (for a ``PathStore``, its flat
+    arrays additionally back every consumer of the same record set).
+    Flags attribute/subscript assignment, ``del``, and mutating method
+    calls rooted at such a parameter. Rebinding the bare parameter name
+    is fine (a local rebind, not a mutation).
     """
 
     rule_id = "R007"

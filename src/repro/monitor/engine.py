@@ -75,6 +75,10 @@ class WatchConfig:
     workers: int = 1
     #: trimmed-mean fraction for the hegemony/CTI family
     trim: float = 0.1
+    #: thread propagation bases between consecutive world snapshots so
+    #: only origins whose reachable region changed re-propagate; like
+    #: ``workers``, byte-identical output, so excluded from watch_key
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         if not self.metrics:
@@ -179,6 +183,10 @@ def watch(
     events: list[dict] = []
     previous: dict[tuple[str, str | None], Ranking] | None = None
     previous_label: str | None = None
+    #: per-plane propagation bases handed from one world snapshot's
+    #: pipeline to the next (None after a release snapshot, a resume
+    #: hit, or with config.incremental off)
+    bases: list | None = None
     computed_units = 0
     resumed_units = 0
 
@@ -204,6 +212,10 @@ def watch(
                         provider = ref.load(
                             config.seed, config.workers, config.trim,
                             tracer=tracer,
+                            propagation_bases=(
+                                bases if config.incremental else None
+                            ),
+                            capture_bases=config.incremental,
                         )
                     metrics.counter("monitor.snapshots.loaded").inc()
                 return provider
@@ -315,6 +327,17 @@ def watch(
 
             previous = current
             previous_label = ref.label
+            # hand this snapshot's propagation bases to the next one
+            # (and release its worker pool — only one provider's
+            # resources stay live at a time)
+            bases = None
+            if provider is not None:
+                basis_getter = getattr(provider, "propagation_bases", None)
+                if config.incremental and basis_getter is not None:
+                    bases = basis_getter()
+                closer = getattr(provider, "close", None)
+                if closer is not None:
+                    closer()
         metrics.gauge("monitor.snapshots").set(len(refs))
         metrics.gauge("monitor.pairs").set(len(units))
         metrics.gauge("monitor.transitions").set(len(refs) - 1)

@@ -50,12 +50,25 @@ class SnapshotRef:
     seed: int | None = None  # per-snapshot seed, world refs only
     path: str | None = None  # paths.jsonl location, release refs only
 
-    def load(self, seed: int, workers: int, trim: float, tracer=None):
+    def load(
+        self,
+        seed: int,
+        workers: int,
+        trim: float,
+        tracer=None,
+        propagation_bases=None,
+        capture_bases: bool = False,
+    ):
         """Materialize the snapshot's ranking provider.
 
         World refs run the full pipeline (under ``tracer`` so its
         stages appear as spans of the surrounding watch.load span);
         release refs open a :class:`ReplaySession` over the file.
+
+        ``propagation_bases``/``capture_bases`` thread incremental
+        propagation state between consecutive world snapshots (see
+        :meth:`repro.core.pipeline.PipelineResult.propagation_bases`);
+        release refs ignore both.
         """
         if self.kind == "world":
             from repro.core.pipeline import PipelineConfig, run_pipeline
@@ -63,7 +76,9 @@ class SnapshotRef:
             effective = self.seed if self.seed is not None else seed
             config = PipelineConfig(seed=effective, workers=workers, trim=trim)
             return run_pipeline(
-                build_world(self.world, effective), config, tracer=tracer
+                build_world(self.world, effective), config, tracer=tracer,
+                propagation_bases=propagation_bases,
+                capture_bases=capture_bases,
             )
         return ReplaySession.from_file(self.path, trim=trim)
 

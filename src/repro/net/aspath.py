@@ -38,6 +38,20 @@ class ASPath:
         return cls(tuple(asns))
 
     @classmethod
+    def trusted(cls, asns: tuple[int, ...]) -> "ASPath":
+        """Wrap an already-validated non-empty ASN tuple without
+        re-running per-element validation.
+
+        Only for callers that hold ASNs proven valid by construction
+        (propagated routes, collapsed copies of validated paths) — the
+        hot loops build hundreds of thousands of paths per run and the
+        public constructor's validation dominates their cost.
+        """
+        path = object.__new__(cls)
+        object.__setattr__(path, "asns", asns)
+        return path
+
+    @classmethod
     def parse(cls, text: str) -> "ASPath":
         """Parse a space-separated path string, e.g. ``"3356 1299 4826"``."""
         parts = text.split()
@@ -72,11 +86,19 @@ class ASPath:
 
     def collapse_prepending(self) -> "ASPath":
         """Merge runs of adjacent duplicate ASNs (BGP path prepending)."""
+        asns = self.asns
+        previous = None
+        for asn in asns:
+            if asn == previous:
+                break
+            previous = asn
+        else:  # no adjacent duplicates: already collapsed
+            return self
         collapsed: list[int] = []
-        for asn in self.asns:
+        for asn in asns:
             if not collapsed or collapsed[-1] != asn:
                 collapsed.append(asn)
-        return ASPath(tuple(collapsed))
+        return ASPath.trusted(tuple(collapsed))
 
     def has_loop(self) -> bool:
         """Whether any ASN repeats non-adjacently (e.g. ``A C A``).
@@ -96,7 +118,7 @@ class ASPath:
         kept = tuple(asn for asn in self.asns if asn not in drop)
         if not kept:
             raise ASPathError(f"removing {sorted(drop)} empties path {self}")
-        return ASPath(kept)
+        return ASPath.trusted(kept)
 
     def prepended(self, asn: int, times: int = 1) -> "ASPath":
         """Return the path with ``asn`` prepended (VP side) ``times`` times."""

@@ -12,6 +12,13 @@ Three layers, designed to compose (see DESIGN.md §4):
 * :mod:`repro.perf.parallel` — deterministic process fan-out for
   propagation origins and stability trials (``workers=1`` stays the
   byte-identical serial path).
+* :mod:`repro.perf.pool` — :class:`WorkerPool`, the persistent
+  process pool under both fan-outs, with ship-once broadcast of heavy
+  shared state (zero-copy under ``fork``).
+* :mod:`repro.perf.pathstore` — :class:`PathStore`, the
+  structure-of-arrays mirror of the sanitized records (flat interned
+  token arrays) feeding the suffix bulk-prime and the index's origin
+  buckets.
 
 The pipeline (:class:`repro.core.pipeline.PipelineResult`) wires all
 three together; ``rank_all`` / ``repro-rank sweep`` are the batch entry
@@ -21,12 +28,17 @@ points.
 from repro.perf.cache import SuffixCache, ViewComputation
 from repro.perf.index import PathIndex, ViewSlicer
 from repro.perf.parallel import chunked, propagate_origins, stability_trials
+from repro.perf.pathstore import PathStore
+from repro.perf.pool import WorkerPool, broadcast_get
 
 __all__ = [
     "PathIndex",
+    "PathStore",
     "SuffixCache",
     "ViewComputation",
     "ViewSlicer",
+    "WorkerPool",
+    "broadcast_get",
     "chunked",
     "propagate_origins",
     "stability_trials",

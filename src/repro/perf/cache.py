@@ -28,7 +28,7 @@ value-for-value).
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.core.cone import (
     cone_addresses,
@@ -47,6 +47,9 @@ from repro.core.views import View
 from repro.net.aspath import ASPath
 from repro.obs.trace import NULL_TRACER, AnyTracer
 
+if TYPE_CHECKING:
+    from repro.perf.pathstore import PathStore
+
 
 class SuffixCache:
     """Memoised ``transit_suffix`` bound to one relationship oracle.
@@ -54,10 +57,15 @@ class SuffixCache:
     ``table`` is the raw ``path → suffix`` dict; hot loops may read it
     directly and fall back to calling the cache on a miss."""
 
-    __slots__ = ("oracle", "table", "_p2c", "_hits", "_misses")
+    __slots__ = (
+        "oracle", "table", "_p2c", "_store", "_starts", "_hits", "_misses",
+    )
 
     def __init__(
-        self, oracle: RelationshipOracle, tracer: AnyTracer = NULL_TRACER
+        self,
+        oracle: RelationshipOracle,
+        tracer: AnyTracer = NULL_TRACER,
+        store: "PathStore | None" = None,
     ) -> None:
         self.oracle = oracle
         self.table: dict[ASPath, tuple[int, ...]] = {}
@@ -68,6 +76,11 @@ class SuffixCache:
         self._p2c: frozenset[tuple[int, int]] | None = (
             edges() if edges is not None else None
         )
+        #: optional SoA store over the result's records: misses on its
+        #: paths slice from one vectorized suffix-start pass instead of
+        #: scanning the path backward link by link
+        self._store = store if self._p2c is not None else None
+        self._starts: list[int] | None = None
         metrics = tracer.metrics
         self._hits = metrics.counter("perf.suffix.hit")
         self._misses = metrics.counter("perf.suffix.miss")
@@ -79,6 +92,17 @@ class SuffixCache:
         p2c = self._p2c
         if p2c is None:
             return transit_suffix(path, self.oracle)
+        store = self._store
+        if store is not None:
+            pid = store.path_ids.get(path)
+            if pid is not None:
+                if self._starts is None:
+                    self._starts = store.suffix_starts(p2c)
+                offset = int(store.offsets[pid])
+                end = offset + int(store.lengths[pid])
+                return tuple(
+                    store.token_list()[offset + self._starts[pid]:end]
+                )
         asns = path.asns
         start = len(asns) - 1
         for index in range(len(asns) - 2, -1, -1):

@@ -26,12 +26,15 @@ trial.
 from __future__ import annotations
 
 from operator import attrgetter
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.core.sanitize import PathRecord, PathSet
 from repro.core.views import View, ip_sort_key
 from repro.net.prefix import Prefix
 from repro.obs.trace import NULL_TRACER, AnyTracer
+
+if TYPE_CHECKING:
+    from repro.perf.pathstore import PathStore
 
 #: View kinds the index can build, with their (vp_in, prefix_in)
 #: country-membership selectors relative to the target country.
@@ -42,18 +45,32 @@ class PathIndex:
     """Bucketed record lookups for O(selected) view construction."""
 
     __slots__ = (
-        "records", "_by_pair", "_by_vp", "_by_origin",
+        "records", "_store", "_by_pair", "_by_vp", "_by_origin",
         "_origin_prefixes", "_prefix_addresses",
     )
 
-    def __init__(self, records: Sequence[PathRecord]) -> None:
+    def __init__(
+        self,
+        records: Sequence[PathRecord],
+        store: "PathStore | None" = None,
+    ) -> None:
         self.records: tuple[PathRecord, ...] = tuple(records)
+        #: optional SoA mirror of *exactly these* records; when present
+        #: the pair and origin buckets come from its shared groupings
+        #: instead of per-index record walks
+        self._store = store
         #: (vp_country, prefix_country) → ascending record positions
         self._by_pair: dict[tuple[str, str], list[int]] = {}
         self._by_vp: dict[str, list[int]] | None = None
         self._by_origin: dict[int, list[int]] | None = None
         self._origin_prefixes: dict[int, set[Prefix]] | None = None
         self._prefix_addresses: dict[Prefix, int] | None = None
+        if store is not None:
+            # the store memoises the same first-appearance bucket dict,
+            # so every index over one PathSet shares a single scan; the
+            # buckets are read-only on both sides
+            self._by_pair = store.pair_buckets()
+            return
         by_pair = self._by_pair
         # attrgetter materialises the (vp_country, prefix_country) key
         # tuple in C — this loop is the only full-record scan a ranking
@@ -68,8 +85,9 @@ class PathIndex:
 
     @classmethod
     def from_paths(cls, paths: PathSet) -> "PathIndex":
-        """Index a sanitized path set (one O(n) pass)."""
-        return cls(paths.records)
+        """Index a sanitized path set (one O(n) pass), sharing its SoA
+        store so the origin buckets are array walks."""
+        return cls(paths.records, store=paths.store())
 
     # -- lazy secondary maps --------------------------------------------------
 
@@ -89,19 +107,33 @@ class PathIndex:
 
     def _origin_buckets(self) -> dict[int, list[int]]:
         """Origin ASN → ascending record positions (built on first use,
-        together with the origin → prefixes map)."""
+        together with the origin → prefixes map).
+
+        With a :class:`~repro.perf.pathstore.PathStore` attached the
+        buckets come from its flat origin column (same dict, grouped in
+        C instead of a per-record attribute walk); the record objects
+        are only touched for the prefix sets.
+        """
         if self._by_origin is None:
-            by_origin: dict[int, list[int]] = {}
-            origin_prefixes: dict[int, set[Prefix]] = {}
-            for position, record in enumerate(self.records):
-                origin = record.path.origin
-                bucket = by_origin.get(origin)
-                if bucket is None:
-                    by_origin[origin] = [position]
-                    origin_prefixes[origin] = {record.prefix}
-                else:
-                    bucket.append(position)
-                    origin_prefixes[origin].add(record.prefix)
+            records = self.records
+            if self._store is not None:
+                by_origin = self._store.origin_buckets()
+                origin_prefixes = {
+                    origin: {records[position].prefix for position in bucket}
+                    for origin, bucket in by_origin.items()
+                }
+            else:
+                by_origin = {}
+                origin_prefixes = {}
+                for position, record in enumerate(records):
+                    origin = record.path.origin
+                    bucket = by_origin.get(origin)
+                    if bucket is None:
+                        by_origin[origin] = [position]
+                        origin_prefixes[origin] = {record.prefix}
+                    else:
+                        bucket.append(position)
+                        origin_prefixes[origin].add(record.prefix)
             self._by_origin = by_origin
             self._origin_prefixes = origin_prefixes
         return self._by_origin

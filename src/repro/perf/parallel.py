@@ -1,6 +1,6 @@
 """Deterministic process fan-out for the pipeline's two heavy loops.
 
-Two fan-out points, both chunked over a ``ProcessPoolExecutor``:
+Two fan-out points, both chunked over a worker pool:
 
 * **route propagation** — ``propagate_all`` origins are independent
   single-origin BFS sweeps over a shared adjacency snapshot, a textbook
@@ -8,23 +8,30 @@ Two fan-out points, both chunked over a ``ProcessPoolExecutor``:
 * **stability trials** — every NDCG downsampling trial recomputes one
   metric on one VP-restricted view, independent of every other trial.
 
-Determinism contract: results are merged back in the caller's input
-order (``ProcessPoolExecutor.map`` preserves chunk order, and route
-maps are re-keyed in ascending origin order), so the output is
-identical for any ``workers`` value — ``workers=1`` never touches an
-executor at all and stays the byte-identical serial path. The
-equivalence tests in ``tests/perf/test_parallel.py`` pin this down.
+Heavy shared state (the adjacency snapshot, the view, the oracle) is
+*broadcast* through :mod:`repro.perf.pool` — shipped to workers once
+per pool instead of pickled into every chunk payload — and chunk
+payloads carry only a token plus the per-chunk work list. Chunk count
+is decoupled from worker count (``CHUNKS_PER_WORKER`` finer-grained
+chunks per worker) so a slow chunk cannot leave the rest of the pool
+idle at the tail of a sweep.
 
-Workers rebuild cheap per-chunk state (a :class:`ViewSlicer`, a suffix
-cache) instead of shipping tracers across process boundaries; parent
-process telemetry still records aggregate counts.
+Determinism contract: results are merged back in the caller's input
+order (chunk results are keyed by index, and route maps are re-keyed
+in the caller's origin order), so the output is identical for any
+``workers`` value *and any chunk granularity* — ``workers=1`` never
+touches an executor at all and stays the byte-identical serial path.
+The equivalence tests in ``tests/perf/test_parallel.py`` pin this
+down.
 
 Both fan-outs run through :func:`repro.resilience.resilient_map`: a
 killed worker respawns the pool and replays only the chunks without
 results, a hung chunk hits the policy's per-chunk timeout, and an
 exhausted chunk falls back to an in-process run — none of which can
 change the output, because chunks are pure functions of their payload
-merged by index (see DESIGN.md §6).
+merged by index (see DESIGN.md §6). The broadcast registry is
+installed parent-side too, so the serial fallback resolves tokens
+identically.
 """
 
 from __future__ import annotations
@@ -40,20 +47,25 @@ if TYPE_CHECKING:  # worker-side imports stay lazy; these are type-only
     from repro.core.ranking import Ranking
     from repro.core.sanitize import RelationshipOracle
     from repro.core.views import View
+    from repro.perf.pool import WorkerPool
 
 T = TypeVar("T")
 
-#: one route-propagation work unit: (adjacency, origins, tiebreak,
-#: salt, keep)
+#: chunks per worker — finer than 1 so stragglers rebalance; results
+#: are merged by index, so granularity can never change the output
+CHUNKS_PER_WORKER = 4
+
+#: one route-propagation work unit: (adjacency token, origins,
+#: tiebreak, salt, keep, relevant closure, capture holder sets?)
 PropagatePayload = tuple[
-    "_Adjacency", list[int], str, int, "frozenset[int] | None"
+    str, list[int], str, int, "frozenset[int] | None",
+    "frozenset[int] | None", bool,
 ]
 
-#: one stability work unit: (metric, view, oracle, trim, full ranking,
-#: k, VP samples)
+#: one stability work unit: (view token, oracle token, metric, trim,
+#: full ranking, k, VP samples)
 StabilityPayload = tuple[
-    str, "View", "RelationshipOracle", float, "Ranking", int,
-    "list[Iterable[str]]",
+    str, str, str, float, "Ranking", int, "list[Iterable[str]]",
 ]
 
 
@@ -78,24 +90,38 @@ def chunked(items: Sequence[T], chunks: int) -> list[list[T]]:
     return out
 
 
+def chunk_count(total: int, workers: int) -> int:
+    """How many chunks to cut ``total`` items into for ``workers``."""
+    return max(1, min(total, workers * CHUNKS_PER_WORKER))
+
+
 # -- route propagation ---------------------------------------------------------
 
 
-def _propagate_chunk(payload: PropagatePayload) -> dict[int, dict[int, "Route"]]:
-    """Worker: best routes for one chunk of origins (top-level for
-    pickling)."""
-    adjacency, origins, tiebreak, salt, keep = payload
+def _propagate_chunk(
+    payload: PropagatePayload,
+) -> tuple[dict[int, dict[int, "Route"]], dict[int, frozenset[int]]]:
+    """Worker: best routes (and optionally holder sets) for one chunk
+    of origins (top-level for pickling)."""
+    token, origins, tiebreak, salt, keep, relevant, capture = payload
     from repro.bgp.propagation import _propagate
+    from repro.perf.pool import broadcast_get
 
-    out: dict[int, dict[int, "Route"]] = {}
+    adjacency: "_Adjacency" = broadcast_get(token)
+    routes_out: dict[int, dict[int, "Route"]] = {}
+    holders_out: dict[int, frozenset[int]] = {}
     for origin in origins:
-        routes = _propagate(adjacency, origin, tiebreak, salt)
+        routes = _propagate(
+            adjacency, origin, tiebreak, salt, relevant=relevant
+        )
+        if capture:
+            holders_out[origin] = frozenset(routes)
         if keep is not None:
             routes = {
                 asn: route for asn, route in routes.items() if asn in keep
             }
-        out[origin] = routes
-    return out
+        routes_out[origin] = routes
+    return routes_out, holders_out
 
 
 def propagate_origins(
@@ -108,26 +134,53 @@ def propagate_origins(
     tracer: AnyTracer = NULL_TRACER,
     policy: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
-) -> dict[int, dict[int, "Route"]]:
+    relevant: frozenset[int] | None = None,
+    capture_holders: bool = False,
+    pool: "WorkerPool | None" = None,
+) -> tuple[dict[int, dict[int, "Route"]], dict[int, frozenset[int]]]:
     """Fan ``_propagate`` out over origin chunks; merge by origin.
 
-    Returns ``{origin: {asn: Route}}`` keyed in ``origins`` order
-    regardless of which worker finished first — or was retried, timed
-    out, or replayed after a pool respawn (``policy``/``faults`` feed
-    the :func:`repro.resilience.resilient_map` wrapper).
+    Returns ``({origin: {asn: Route}}, {origin: holder set})`` keyed in
+    ``origins`` order regardless of which worker finished first — or
+    was retried, timed out, or replayed after a pool respawn
+    (``policy``/``faults`` feed the
+    :func:`repro.resilience.resilient_map` wrapper). The holder map is
+    empty unless ``capture_holders`` (see
+    :class:`repro.bgp.propagation.PropagationBasis`).
+
+    The adjacency is broadcast to the pool once — chunk payloads carry
+    only its token. Without an external ``pool`` a transient one is
+    created for this call (still one broadcast, not one per chunk).
     """
     keep_frozen = frozenset(keep) if keep is not None else None
-    payloads: list[PropagatePayload] = [
-        (adjacency, chunk, tiebreak, salt, keep_frozen)
-        for chunk in chunked(origins, workers)
-    ]
-    merged: dict[int, dict[int, "Route"]] = {}
-    for part in resilient_map(
-        "propagate", _propagate_chunk, payloads, workers,
-        policy=policy, tracer=tracer, faults=faults,
-    ):
-        merged.update(part)
-    return {origin: merged[origin] for origin in origins}
+    own_pool = pool is None
+    if own_pool:
+        from repro.perf.pool import WorkerPool
+
+        pool = WorkerPool(workers)
+    try:
+        token = pool.broadcast("adjacency", adjacency)
+        payloads: list[PropagatePayload] = [
+            (token, chunk, tiebreak, salt, keep_frozen, relevant,
+             capture_holders)
+            for chunk in chunked(origins, chunk_count(len(origins), workers))
+        ]
+        merged: dict[int, dict[int, "Route"]] = {}
+        holders: dict[int, frozenset[int]] = {}
+        for routes_part, holders_part in resilient_map(
+            "propagate", _propagate_chunk, payloads, workers,
+            policy=policy, tracer=tracer, faults=faults, pool=pool,
+        ):
+            merged.update(routes_part)
+            holders.update(holders_part)
+    finally:
+        if own_pool:
+            pool.close()
+    return (
+        {origin: merged[origin] for origin in origins},
+        {origin: holders[origin] for origin in origins}
+        if capture_holders else {},
+    )
 
 
 # -- stability trials ---------------------------------------------------------
@@ -135,11 +188,14 @@ def propagate_origins(
 
 def _stability_chunk(payload: StabilityPayload) -> list[float]:
     """Worker: NDCG scores for one chunk of downsampling trials."""
-    metric, view, oracle, trim, full, k, samples = payload
+    view_token, oracle_token, metric, trim, full, k, samples = payload
     from repro.analysis.stability import metric_ranking
     from repro.core.ndcg import ndcg
     from repro.perf.index import ViewSlicer
+    from repro.perf.pool import broadcast_get
 
+    view: "View" = broadcast_get(view_token)
+    oracle: "RelationshipOracle" = broadcast_get(oracle_token)
     slicer = ViewSlicer(view)
     scores: list[float] = []
     for sample in samples:
@@ -161,18 +217,31 @@ def stability_trials(
     tracer: AnyTracer = NULL_TRACER,
     policy: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
+    pool: "WorkerPool | None" = None,
 ) -> list[float]:
     """Fan NDCG trials out over sample chunks; scores return in
     ``samples`` order (chunk results are merged by index, so retries
-    and pool respawns never reorder them)."""
-    payloads: list[StabilityPayload] = [
-        (metric, view, oracle, trim, full, k, chunk)
-        for chunk in chunked(samples, workers)
-    ]
-    scores: list[float] = []
-    for part in resilient_map(
-        "stability", _stability_chunk, payloads, workers,
-        policy=policy, tracer=tracer, faults=faults,
-    ):
-        scores.extend(part)
+    and pool respawns never reorder them). The view and oracle are
+    broadcast once per pool, not pickled per chunk."""
+    own_pool = pool is None
+    if own_pool:
+        from repro.perf.pool import WorkerPool
+
+        pool = WorkerPool(workers)
+    try:
+        view_token = pool.broadcast("view", view)
+        oracle_token = pool.broadcast("oracle", oracle)
+        payloads: list[StabilityPayload] = [
+            (view_token, oracle_token, metric, trim, full, k, chunk)
+            for chunk in chunked(samples, chunk_count(len(samples), workers))
+        ]
+        scores: list[float] = []
+        for part in resilient_map(
+            "stability", _stability_chunk, payloads, workers,
+            policy=policy, tracer=tracer, faults=faults, pool=pool,
+        ):
+            scores.extend(part)
+    finally:
+        if own_pool:
+            pool.close()
     return scores

@@ -28,10 +28,13 @@ import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Sequence, TypeVar
+from typing import TYPE_CHECKING, Callable, Sequence, TypeVar
 
 from repro.obs.trace import NULL_TRACER, AnyTracer
 from repro.resilience.faults import FaultPlan, InjectedFault
+
+if TYPE_CHECKING:  # imported lazily to avoid a repro.perf import cycle
+    from repro.perf.pool import WorkerPool
 
 P = TypeVar("P")
 R = TypeVar("R")
@@ -109,6 +112,7 @@ def resilient_map(
     policy: RetryPolicy | None = None,
     tracer: AnyTracer = NULL_TRACER,
     faults: FaultPlan | None = None,
+    pool: "WorkerPool | None" = None,
 ) -> list[R]:
     """Map ``worker`` over ``payloads`` on a process pool, riding out
     worker deaths, hangs, and chunk exceptions.
@@ -116,6 +120,13 @@ def resilient_map(
     Returns results in payload order. Raises :class:`ChunkFailedError`
     (or the chunk's own exception) only when a chunk exhausts
     ``policy.max_attempts`` and ``policy.serial_fallback`` is off.
+
+    ``pool`` (a :class:`repro.perf.pool.WorkerPool`) lends a persistent
+    executor instead of creating one per call. The failure contract is
+    identical — a poisoned executor is handed back through
+    ``pool.invalidate()`` (terminated, never reused) and the pool
+    serves a fresh one for the replay; the pool itself stays usable
+    after this call returns.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -129,7 +140,12 @@ def resilient_map(
     with tracer.span(
         "resilience.map", stage=stage, chunks=total, workers=workers,
     ) as span:
-        pool = ProcessPoolExecutor(max_workers=min(workers, max(total, 1)))
+        if pool is not None:
+            executor = pool.executor()
+        else:
+            executor = ProcessPoolExecutor(
+                max_workers=min(workers, max(total, 1))
+            )
         try:
             pending = list(range(total))
             while pending:
@@ -157,7 +173,7 @@ def resilient_map(
                     if attempts[index] > 0:
                         retries += 1
                         metrics.counter("resilience.retry").inc()
-                    futures[index] = pool.submit(
+                    futures[index] = executor.submit(
                         _run_guarded, worker, stage, index,
                         attempts[index], faults, payloads[index],
                     )
@@ -190,15 +206,20 @@ def resilient_map(
                             raise
                         metrics.counter("resilience.chunk_error").inc()
                 if broken:
-                    _abandon(pool)
                     respawns += 1
                     metrics.counter("resilience.pool_respawn").inc()
-                    pool = ProcessPoolExecutor(
-                        max_workers=min(workers, max(total, 1))
-                    )
+                    if pool is not None:
+                        pool.invalidate()
+                        executor = pool.executor()
+                    else:
+                        _abandon(executor)
+                        executor = ProcessPoolExecutor(
+                            max_workers=min(workers, max(total, 1))
+                        )
                 pending = [i for i in range(total) if i not in results]
         finally:
-            _abandon(pool)
+            if pool is None:
+                _abandon(executor)
         span.set(
             retries=retries, timeouts=timeouts,
             respawns=respawns, fallbacks=fallbacks,

@@ -129,6 +129,15 @@ class ASGraph:
         self._providers: dict[int, set[int]] = {}
         self._customers: dict[int, set[int]] = {}
         self._peers: dict[int, set[int]] = {}
+        self._version = 0
+        self._p2c_cache: tuple[int, frozenset[tuple[int, int]]] | None = None
+
+    @property
+    def version(self) -> int:
+        """Monotonic structural version: bumped by every node or edge
+        mutation, so derived snapshots (e.g. the propagation adjacency)
+        can be cached safely against a mutable graph."""
+        return self._version
 
     # -- nodes -------------------------------------------------------------
 
@@ -146,6 +155,7 @@ class ASGraph:
             raise TopologyError(f"ASN {asn} is not publicly assignable")
         if not self.asn_registry.is_allocated(asn):
             self.asn_registry.allocate(asn)
+        self._version += 1
         node = ASNode(asn, name or f"AS{asn}", registry_country, role)
         self._nodes[asn] = node
         self._providers[asn] = set()
@@ -170,6 +180,7 @@ class ASGraph:
         del self._providers[asn]
         del self._customers[asn]
         del self._peers[asn]
+        self._version += 1
         return self._nodes.pop(asn)
 
     def copy(self) -> "ASGraph":
@@ -215,12 +226,14 @@ class ASGraph:
     def add_p2c(self, provider: int, customer: int) -> None:
         """Record that ``provider`` sells transit to ``customer``."""
         self._check_new_edge(provider, customer)
+        self._version += 1
         self._customers[provider].add(customer)
         self._providers[customer].add(provider)
 
     def add_p2p(self, left: int, right: int) -> None:
         """Record settlement-free peering between two ASes."""
         self._check_new_edge(left, right)
+        self._version += 1
         self._peers[left].add(right)
         self._peers[right].add(left)
 
@@ -228,6 +241,7 @@ class ASGraph:
         """Remove whatever relationship exists between the pair."""
         if self.relationship(left, right) is None:
             raise TopologyError(f"no relationship between AS{left} and AS{right}")
+        self._version += 1
         self._customers[left].discard(right)
         self._customers[right].discard(left)
         self._providers[left].discard(right)
@@ -253,12 +267,22 @@ class ASGraph:
         ``graph.relationship(a, b) == "p2c"`` — a bulk form of the
         oracle interface for hot loops that test many links (the
         transit-suffix walks in :mod:`repro.perf.cache`).
+
+        Memoised against :attr:`version`, so repeated callers on an
+        unmutated graph get the *same* frozenset object back — identity
+        is a valid cache key for derived per-edge-set state (e.g. the
+        path store's bulk suffix starts).
         """
-        return frozenset(
+        cached = self._p2c_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        edges = frozenset(
             (provider, customer)
             for provider, customers in self._customers.items()
             for customer in customers
         )
+        self._p2c_cache = (self._version, edges)
+        return edges
 
     def providers_of(self, asn: int) -> frozenset[int]:
         """Transit providers of ``asn``."""

@@ -1,0 +1,200 @@
+"""Incremental re-propagation must be invisible: feeding a basis from
+the previous snapshot can only change *how much* work the sweep does,
+never its routes. Every test here compares an incremental outcome
+against a cold full recompute of the same (mutated) graph."""
+
+import pytest
+
+from repro import GeneratorConfig, generate_world, small_profiles
+from repro.bgp.propagation import (
+    _adjacency_of,
+    adjacency_delta,
+    keep_closure,
+    propagate_all,
+)
+from repro.topology.model import ASGraph
+
+SMALL = GeneratorConfig(
+    profiles=small_profiles(), clique_homes=("US", "US", "SE", "JP")
+)
+
+
+def _world():
+    # function-scoped worlds: these tests mutate the graph in place
+    return generate_world(SMALL, seed=7, name="small")
+
+
+def _origins(graph):
+    return [asn for asn in graph.asns() if graph.node(asn).prefixes][:12]
+
+
+@pytest.fixture
+def world():
+    return _world()
+
+
+def _customer_link(graph, origins):
+    """A (provider, origin) edge to script a topology change with."""
+    for asn in origins:
+        providers = graph.providers_of(asn)
+        if providers:
+            return next(iter(providers)), asn
+    raise AssertionError("generated world has no origin with a provider")
+
+
+class TestBasisCapture:
+    def test_capture_populates_holders_and_routes(self, world):
+        origins = _origins(world.graph)
+        outcome = propagate_all(
+            world.graph, origins=origins, capture_basis=True
+        )
+        basis = outcome.basis
+        assert basis is not None
+        assert set(basis.routes) == set(origins)
+        assert set(basis.holders) == set(origins)
+        for origin in origins:
+            # every AS holding a route is a holder the BFS visited
+            assert set(outcome.routes[origin]) <= basis.holders[origin]
+
+    def test_no_capture_by_default(self, world):
+        outcome = propagate_all(world.graph, origins=_origins(world.graph))
+        assert outcome.basis is None
+
+    def test_compatible(self, world):
+        origins = _origins(world.graph)
+        basis = propagate_all(
+            world.graph, origins=origins, capture_basis=True, salt=3
+        ).basis
+        assert basis.compatible("asn", 3, None)
+        assert not basis.compatible("asn", 4, None)
+        assert not basis.compatible("random", 3, None)
+        assert not basis.compatible("asn", 3, frozenset({1}))
+
+
+class TestIncrementalEquivalence:
+    def test_unchanged_graph_reuses_everything(self, world):
+        origins = _origins(world.graph)
+        first = propagate_all(
+            world.graph, origins=origins, capture_basis=True
+        )
+        second = propagate_all(
+            world.graph, origins=origins, basis=first.basis
+        )
+        assert second.routes == first.routes
+
+    def test_edge_removal_matches_full_recompute(self, world):
+        origins = _origins(world.graph)
+        basis = propagate_all(
+            world.graph, origins=origins, capture_basis=True
+        ).basis
+        provider, victim = _customer_link(world.graph, origins)
+        world.graph.remove_edge(provider, victim)
+        incremental = propagate_all(
+            world.graph, origins=origins, basis=basis
+        )
+        full = propagate_all(world.graph, origins=origins)
+        assert incremental.routes == full.routes
+
+    def test_added_peering_matches_full_recompute(self, world):
+        origins = _origins(world.graph)
+        basis = propagate_all(
+            world.graph, origins=origins, capture_basis=True
+        ).basis
+        asns = list(world.graph.asns())
+        left, right = asns[0], asns[-1]
+        if world.graph.relationship(left, right) is not None:
+            pytest.skip("seed already links the chosen pair")
+        world.graph.add_p2p(left, right)
+        incremental = propagate_all(
+            world.graph, origins=origins, basis=basis
+        )
+        full = propagate_all(world.graph, origins=origins)
+        assert incremental.routes == full.routes
+
+    def test_keep_pruned_sweep_matches_full(self, world):
+        origins = _origins(world.graph)
+        keep = frozenset(list(world.graph.asns())[:6])
+        basis = propagate_all(
+            world.graph, origins=origins, keep=keep, capture_basis=True
+        ).basis
+        provider, victim = _customer_link(world.graph, list(reversed(origins)))
+        world.graph.remove_edge(provider, victim)
+        incremental = propagate_all(
+            world.graph, origins=origins, keep=keep, basis=basis
+        )
+        full = propagate_all(world.graph, origins=origins, keep=keep)
+        assert incremental.routes == full.routes
+
+    def test_threshold_zero_forces_full_recompute(self, world):
+        origins = _origins(world.graph)
+        basis = propagate_all(
+            world.graph, origins=origins, capture_basis=True
+        ).basis
+        provider, victim = _customer_link(world.graph, origins)
+        world.graph.remove_edge(provider, victim)
+        forced = propagate_all(
+            world.graph, origins=origins, basis=basis, delta_threshold=0.0
+        )
+        full = propagate_all(world.graph, origins=origins)
+        assert forced.routes == full.routes
+
+    def test_incompatible_basis_is_ignored(self, world):
+        origins = _origins(world.graph)
+        basis = propagate_all(
+            world.graph, origins=origins, capture_basis=True, salt=1
+        ).basis
+        mismatched = propagate_all(
+            world.graph, origins=origins, basis=basis, salt=2
+        )
+        fresh = propagate_all(world.graph, origins=origins, salt=2)
+        assert mismatched.routes == fresh.routes
+
+
+class TestAdjacencyDelta:
+    def test_same_version_snapshot_is_cached(self, world):
+        assert _adjacency_of(world.graph) is _adjacency_of(world.graph)
+
+    def test_mutation_invalidates_snapshot(self, world):
+        before = _adjacency_of(world.graph)
+        asns = list(world.graph.asns())
+        world.graph.add_p2p(asns[0], asns[-1])
+        after = _adjacency_of(world.graph)
+        assert after is not before
+        delta = adjacency_delta(before, after)
+        assert {asns[0], asns[-1]} <= delta
+
+    def test_identical_snapshots_have_empty_delta(self, world):
+        snapshot = _adjacency_of(world.graph)
+        assert adjacency_delta(snapshot, snapshot) == frozenset()
+
+    def test_removed_as_is_marked(self):
+        graph = ASGraph()
+        for asn in (1, 2, 3):
+            graph.add_as(asn)
+        graph.add_p2c(1, 2)
+        graph.add_p2c(2, 3)
+        before = _adjacency_of(graph)
+        graph.remove_as(3)
+        delta = adjacency_delta(before, _adjacency_of(graph))
+        assert 3 in delta
+        assert 2 in delta  # its provider's row changed too
+
+
+class TestKeepClosure:
+    def test_closure_climbs_provider_chains(self):
+        graph = ASGraph()
+        for asn in (1, 2, 3, 4):
+            graph.add_as(asn)
+        graph.add_p2c(1, 2)  # 1 provides 2
+        graph.add_p2c(2, 3)  # 2 provides 3
+        graph.add_p2c(1, 4)
+        closure = keep_closure(_adjacency_of(graph), {3})
+        assert closure == frozenset({3, 2, 1})
+
+    def test_peers_are_not_pulled_in(self):
+        graph = ASGraph()
+        for asn in (1, 2, 3):
+            graph.add_as(asn)
+        graph.add_p2c(1, 2)
+        graph.add_p2p(2, 3)
+        assert keep_closure(_adjacency_of(graph), {2}) == frozenset({2, 1})

@@ -17,7 +17,8 @@ from repro import (
 )
 from repro.analysis.stability import stability_curve
 from repro.bgp.propagation import propagate_all
-from repro.perf.parallel import chunked
+from repro.perf.parallel import CHUNKS_PER_WORKER, chunk_count, chunked
+from repro.perf.pool import WorkerPool
 
 SMALL = GeneratorConfig(profiles=small_profiles(), clique_homes=("US", "US", "SE", "JP"))
 
@@ -54,6 +55,20 @@ class TestChunked:
             chunked([1], 0)
 
 
+class TestChunkCount:
+    def test_oversplits_for_balance(self):
+        # plenty of work: more chunks than workers, so a slow chunk
+        # cannot serialize the whole sweep behind it
+        assert chunk_count(1000, 4) == 4 * CHUNKS_PER_WORKER
+
+    def test_never_exceeds_items(self):
+        assert chunk_count(3, 4) == 3
+        assert chunk_count(1, 8) == 1
+
+    def test_floor_of_one(self):
+        assert chunk_count(0, 4) == 1
+
+
 class TestPropagationFanOut:
     def test_workers_match_serial(self, world):
         origins = [
@@ -75,6 +90,27 @@ class TestPropagationFanOut:
     def test_rejects_bad_workers(self, world):
         with pytest.raises(ValueError, match="workers"):
             propagate_all(world.graph, workers=0)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_persistent_pool_matches_serial(self, world, workers):
+        origins = [
+            asn for asn in world.graph.asns() if world.graph.node(asn).prefixes
+        ][:8]
+        serial = propagate_all(world.graph, origins=origins, workers=1)
+        with WorkerPool(workers) as pool:
+            first = propagate_all(
+                world.graph, origins=origins, workers=workers, pool=pool
+            )
+            again = propagate_all(
+                world.graph, origins=origins, workers=workers, pool=pool
+            )
+            assert first.routes == serial.routes
+            assert again.routes == serial.routes
+            if workers > 1:
+                # one spawn serves both sweeps: the adjacency broadcast
+                # is identity-memoized, so the second call reuses it
+                assert pool.stats["spawns"] == 1
+                assert pool.stats["broadcasts"] == 1
 
 
 class TestStabilityFanOut:

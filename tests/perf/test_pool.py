@@ -1,0 +1,123 @@
+"""WorkerPool lifecycle: ship-once broadcast, persistence across
+fan-outs, poisoned-pool respawn, and registry cleanup on close."""
+
+import pytest
+
+from repro.perf.pool import WorkerPool, _BROADCAST, broadcast_get
+from repro.resilience.faults import FaultPlan
+from repro.resilience.retry import resilient_map
+
+
+def _double(x):
+    return 2 * x
+
+
+def _resolve_len(token):
+    return len(broadcast_get(token))
+
+
+class TestBroadcast:
+    def test_token_resolves_parent_side(self):
+        with WorkerPool(2) as pool:
+            token = pool.broadcast("blob", [1, 2, 3])
+            assert broadcast_get(token) == [1, 2, 3]
+
+    def test_same_object_is_memoized(self):
+        blob = {"k": 1}
+        with WorkerPool(2) as pool:
+            first = pool.broadcast("blob", blob)
+            again = pool.broadcast("blob", blob)
+            assert first == again
+            assert pool.stats["broadcasts"] == 1
+
+    def test_distinct_objects_get_distinct_tokens(self):
+        with WorkerPool(2) as pool:
+            one = pool.broadcast("blob", [1])
+            two = pool.broadcast("blob", [2])
+            assert one != two
+
+    def test_unknown_token_raises(self):
+        with pytest.raises(KeyError, match="not installed"):
+            broadcast_get("nope#0")
+
+    def test_close_drops_registrations(self):
+        pool = WorkerPool(2)
+        token = pool.broadcast("blob", [1, 2])
+        assert token in _BROADCAST
+        pool.close()
+        assert token not in _BROADCAST
+
+    def test_workers_resolve_broadcast_state(self):
+        with WorkerPool(2) as pool:
+            token = pool.broadcast("blob", [10, 20, 30])
+            future = pool.executor().submit(_resolve_len, token)
+            assert future.result(timeout=60) == 3
+
+
+class TestLifecycle:
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            WorkerPool(0)
+
+    def test_executor_persists_across_uses(self):
+        with WorkerPool(2) as pool:
+            first = pool.executor()
+            second = pool.executor()
+            assert first is second
+            assert pool.stats["spawns"] == 1
+
+    def test_new_broadcast_marks_live_pool_stale(self):
+        with WorkerPool(2) as pool:
+            before = pool.executor()
+            pool.broadcast("blob", [1])
+            after = pool.executor()
+            assert after is not before
+            assert pool.stats["spawns"] == 2
+
+    def test_broadcast_before_start_does_not_respawn(self):
+        with WorkerPool(2) as pool:
+            pool.broadcast("blob", [1])
+            pool.broadcast("blob2", [2])
+            pool.executor()
+            assert pool.stats["spawns"] == 1
+
+    def test_invalidate_respawns_fresh(self):
+        with WorkerPool(2) as pool:
+            before = pool.executor()
+            pool.invalidate()
+            assert pool.stats["respawns"] == 1
+            after = pool.executor()
+            assert after is not before
+            assert after.submit(_double, 21).result(timeout=60) == 42
+
+
+class TestResilientMapIntegration:
+    def test_external_pool_is_reused_across_calls(self):
+        with WorkerPool(2) as pool:
+            for _ in range(3):
+                out = resilient_map(
+                    "s", _double, [1, 2, 3], workers=2, pool=pool
+                )
+                assert out == [2, 4, 6]
+            assert pool.stats["spawns"] == 1
+            assert pool.stats["respawns"] == 0
+
+    def test_injected_raise_is_retried_on_external_pool(self):
+        faults = FaultPlan(fail_chunks=frozenset({("s", 1)}), kind="raise")
+        with WorkerPool(2) as pool:
+            out = resilient_map(
+                "s", _double, [1, 2, 3], workers=2, faults=faults, pool=pool
+            )
+            assert out == [2, 4, 6]
+
+    def test_killed_worker_respawns_external_pool(self):
+        faults = FaultPlan(fail_chunks=frozenset({("s", 0)}), kind="exit")
+        with WorkerPool(2) as pool:
+            out = resilient_map(
+                "s", _double, [1, 2, 3, 4], workers=2, faults=faults, pool=pool
+            )
+            assert out == [2, 4, 6, 8]
+            assert pool.stats["respawns"] >= 1
+            # the pool survives the fault and keeps serving
+            again = resilient_map("s", _double, [5], workers=2, pool=pool)
+            assert again == [10]
