@@ -1,13 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint faults bench bench-smoke watch-smoke profile
+.PHONY: test lint lint-wp lint-sarif faults bench bench-smoke watch-smoke profile
 
-## Default verification: static analysis first, then the test suite
-## (which includes the fault-injection suite), then the fault suite
-## once more on its own so a recovery regression is named explicitly,
-## then the watch smoke (monitoring engine end-to-end + event schema).
-test: lint
+## Default verification: static analysis first (per-file and
+## whole-program tiers, then the R009-R012 self-check and the SARIF
+## artifact), then the test suite (which includes the fault-injection
+## suite), then the fault suite once more on its own so a recovery
+## regression is named explicitly, then the watch smoke (monitoring
+## engine end-to-end + event schema).
+test: lint lint-wp lint-sarif
 	$(PYTHON) -m pytest -x -q
 	$(MAKE) faults
 	$(MAKE) watch-smoke
@@ -18,8 +20,9 @@ test: lint
 faults:
 	$(PYTHON) -m pytest tests/resilience -q
 
-## Static analysis gate: the repro-lint AST invariant checker over the
-## whole source + test tree (rules R001-R008, findings vs the checked-in
+## Static analysis gate: the repro-lint invariant checker over the
+## whole source + test tree (per-file rules R001-R008 plus the
+## whole-program tier R009-R012, findings vs the checked-in
 ## lint-baseline.json, runtime guard of 5s so it stays cheap enough to
 ## run always), then mypy when available (lenient globally, strict for
 ## repro.perf and repro.core -- see [tool.mypy] in pyproject.toml).
@@ -30,6 +33,22 @@ lint:
 	else \
 		echo "mypy not installed -- type check skipped"; \
 	fi
+
+## Whole-program self-check: just the call-graph rules (R009 fork
+## safety, R010 broadcast discipline, R011 memo coherence, R012 spec
+## purity) over the library source, with no baseline — asserts the
+## tree carries zero unbaselined whole-program findings.
+lint-wp:
+	$(PYTHON) -m repro.lint src/repro --no-baseline \
+		--select R009,R010,R011,R012 --stats --max-seconds 5
+
+## SARIF artifact for CI annotation tooling: the full rule set over
+## src + tests as a SARIF 2.1.0 log at benchmarks/output/lint.sarif.
+## Exit status is the lint verdict, same as `make lint`.
+lint-sarif:
+	mkdir -p benchmarks/output
+	$(PYTHON) -m repro.lint src tests --format sarif \
+		--max-seconds 5 > benchmarks/output/lint.sarif
 
 ## Full scaling benchmark (small + medium worlds); writes
 ## BENCH_pipeline.json at the repo root and fails below the 3x

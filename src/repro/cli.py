@@ -68,7 +68,12 @@ from repro.io.export import release_dataset
 from repro.io.replay import ReplaySession
 from repro.lint import Baseline, LintConfig, run_lint
 from repro.lint.cli import DEFAULT_BASELINE
-from repro.lint.report import emit_metrics, render_json, render_text
+from repro.lint.report import (
+    emit_metrics,
+    render_json,
+    render_sarif,
+    render_text,
+)
 from repro.obs.export import stage_report, to_jsonl, to_prometheus
 from repro.obs.trace import Tracer
 from repro.topology.catalog import WORLD_CHOICES, build_world
@@ -369,13 +374,18 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     lint = sub.add_parser(
-        "lint", help="run the repro-lint static analyzer (rules R001-R008)"
+        "lint", help="run the repro-lint static analyzer (rules R001-R012, "
+                     "including the whole-program tier)"
     )
     lint.add_argument(
         "paths", nargs="*", default=["src", "tests"],
         help="files or directories to lint (default: src tests)",
     )
     lint.add_argument("--json", action="store_true", help="JSON report")
+    lint.add_argument(
+        "--sarif", action="store_true",
+        help="SARIF 2.1.0 report (for CI annotation tooling)",
+    )
     lint.add_argument(
         "--trace", action="store_true",
         help="append the obs stage report with the lint.* metrics",
@@ -416,7 +426,10 @@ def main(argv: list[str] | None = None) -> int:
         tracer = Tracer()
         result = run_lint(args.paths, LintConfig(baseline=baseline), tracer)
         emit_metrics(result, tracer.metrics)
-        print(render_json(result) if args.json else render_text(result))
+        if args.sarif:
+            print(render_sarif(result))
+        else:
+            print(render_json(result) if args.json else render_text(result))
         if args.trace:
             print(stage_report(tracer, title="lint stage report"))
         return 0 if result.ok() else 1

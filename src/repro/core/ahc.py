@@ -54,6 +54,7 @@ def _weighted_origin_average(
     """
     totals: dict[int, float] = {}
     weight_sum = 0.0
+    contributing = 0
     for origin in origins:
         bucket = bucket_of(origin)
         if not bucket:
@@ -70,9 +71,12 @@ def _weighted_origin_average(
         else:
             weight = 1.0
         weight_sum += weight
+        contributing += 1
         for asn, value in hegemony_of(origin, bucket).items():
             totals[asn] = totals.get(asn, 0.0) + weight * value
-    if weight_sum == 0.0:
+    if contributing == 0:
+        # exact-integer accounting: no origin contributed, so there is
+        # nothing to average (weight_sum is untouched — never compared)
         return {}
     return {asn: value / weight_sum for asn, value in totals.items()}
 

@@ -6,6 +6,7 @@ errors, ``2`` usage errors, ``3`` runtime-guard breach
 
     repro-lint src tests                    # lint, text report
     repro-lint src --format json            # machine-readable
+    repro-lint src --format sarif           # SARIF 2.1.0 for CI annotation
     repro-lint src --select R001,R003       # a subset of rules
     repro-lint src --write-baseline         # grandfather current findings
     repro-lint --list-rules                 # the rule catalog
@@ -29,6 +30,7 @@ from repro.lint.report import (
     emit_metrics,
     render_json,
     render_rules,
+    render_sarif,
     render_stats,
     render_text,
 )
@@ -68,7 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
     )
     parser.add_argument(
         "--select", type=_parse_rule_list, default=None, metavar="RULES",
@@ -151,6 +153,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.format == "json":
         print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result))
     else:
         print(render_text(result))
         if args.stats:

@@ -1,18 +1,20 @@
-"""Reporters: human-readable text, JSON, and obs metrics emission.
+"""Reporters: text, JSON, SARIF 2.1.0, and obs metrics emission.
 
 The text reporter is what ``make lint`` prints; the JSON reporter is
-for tooling (stable key order, one object per finding); and
-``emit_metrics`` pushes the run's stats into a
-:class:`repro.obs.metrics.MetricsRegistry` under the ``lint.*``
-namespace so a traced run (``repro-rank lint --trace``) reports them
-alongside the pipeline's own instruments:
+for tooling (stable key order, one object per finding); the SARIF
+reporter (``--format sarif`` / ``make lint-sarif``) emits the OASIS
+SARIF 2.1.0 shape consumed by standard CI annotation tooling (GitHub
+code scanning, VS Code SARIF viewers); and ``emit_metrics`` pushes the
+run's stats into a :class:`repro.obs.metrics.MetricsRegistry` under the
+``lint.*`` namespace so a traced run (``repro-rank lint --trace``)
+reports them alongside the pipeline's own instruments:
 
 ==========================  =======  ==================================
 name                        kind     meaning
 ==========================  =======  ==================================
 lint.files                  counter  files scanned
 lint.findings               counter  unsuppressed findings
-lint.findings.r001 … r008   counter  unsuppressed findings per rule
+lint.findings.r001 … r012   counter  unsuppressed findings per rule
 lint.suppressed.noqa        counter  findings silenced by inline noqa
 lint.suppressed.baseline    counter  findings grandfathered by baseline
 lint.baseline.stale         gauge    baseline entries matching nothing
@@ -26,6 +28,13 @@ import json
 from repro.lint.engine import LintResult
 from repro.lint.rules import RULES
 
+#: the SARIF 2.1.0 schema URI (OASIS errata01 canonical location)
+SARIF_SCHEMA_URI = (
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/"
+    "sarif-schema-2.1.0.json"
+)
+SARIF_VERSION = "2.1.0"
+
 
 def render_text(result: LintResult, verbose: bool = False) -> str:
     """The human-readable report: one line per finding plus a summary."""
@@ -38,8 +47,9 @@ def render_text(result: LintResult, verbose: bool = False) -> str:
         lines.append(f"{path}: parse error: {error}")
     for entry in result.stale_baseline:
         lines.append(
-            f"warning: stale baseline entry {entry.rule} for {entry.path} "
-            f"({entry.code!r}) — remove it from the baseline"
+            f"error: stale baseline entry {entry.rule} for {entry.path} "
+            f"({entry.code!r}) — the finding no longer fires; remove the "
+            "entry (stale entries fail the run)"
         )
     suppressed = result.suppressed_noqa + result.suppressed_baseline
     lines.append(
@@ -74,6 +84,91 @@ def render_json(result: LintResult) -> str:
         "stats": result.stats(),
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(result: LintResult) -> str:
+    """The findings as a SARIF 2.1.0 log (one run, stable ordering).
+
+    Every catalog rule appears in the driver's ``rules`` array (so
+    viewers can show the invariant text even for clean runs) and each
+    finding references its rule by ``ruleId`` + ``ruleIndex``. Parse
+    errors and stale baseline entries — conditions of the *run* rather
+    than of a source region — surface as tool execution notifications
+    on the invocation, which also carries ``executionSuccessful``.
+    """
+    rule_ids = list(RULES)
+    rules = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": rule.invariant},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in RULES.values()
+    ]
+    results = [
+        {
+            "ruleId": finding.rule_id,
+            "ruleIndex": rule_ids.index(finding.rule_id),
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                            "snippet": {"text": finding.code},
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in result.findings
+    ]
+    notifications = [
+        {
+            "level": "error",
+            "message": {"text": f"parse error in {path}: {error}"},
+        }
+        for path, error in result.parse_errors
+    ] + [
+        {
+            "level": "error",
+            "message": {
+                "text": (
+                    f"stale baseline entry {entry.rule} for {entry.path} "
+                    f"({entry.code!r}) — remove it"
+                )
+            },
+        }
+        for entry in result.stale_baseline
+    ]
+    log = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+                "invocations": [
+                    {
+                        "executionSuccessful": result.ok(),
+                        "toolExecutionNotifications": notifications,
+                    }
+                ],
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)
 
 
 def render_rules() -> str:

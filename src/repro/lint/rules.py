@@ -1,10 +1,13 @@
 """The rule catalog: ids, names, and the invariants they protect.
 
 Each rule is a :class:`Rule` record plus a checker class in
-:mod:`repro.lint.visitors`. The catalog is the single source of truth:
-reporters, the CLI's ``--list-rules``, suppression validation, and the
-fixture tests all read it. Rule ids are stable (``R001``–``R008``);
-retired ids are never reused.
+:mod:`repro.lint.visitors` (per-file rules, ``R001``–``R008``) or
+:mod:`repro.lint.wprules` (whole-program rules, ``R009``–``R012``,
+which run over the call graph built by :mod:`repro.lint.callgraph`).
+The catalog is the single source of truth: reporters, the CLI's
+``--list-rules``, suppression validation, the SARIF ``rules`` array,
+and the fixture tests all read it. Rule ids are stable; retired ids
+are never reused.
 """
 
 from __future__ import annotations
@@ -89,12 +92,58 @@ RULES: dict[str, Rule] = {
             "consumed (Prometheus export) and ranking metrics have one "
             "source of truth (the registry); names must stay resolvable",
         ),
+        Rule(
+            "R009",
+            "fork-safety",
+            "write to module-level state in a function reachable from "
+            "a worker-pool chunk entry point",
+            "fork isolation: a worker's module state dies with the "
+            "worker, so writes there are silently lost (or, under a "
+            "respawned pool, silently different per replay) — only "
+            "the sanctioned broadcast registry in repro.perf.pool may "
+            "hold cross-process state",
+        ),
+        Rule(
+            "R010",
+            "broadcast-discipline",
+            "worker payload carrying a heavy world object instead of "
+            "a broadcast token, or broadcast_get with no broadcast "
+            "producer on the dispatch path",
+            "ship-once economics and replay correctness: heavy state "
+            "(ASGraph/PathSet/View/PathStore) crosses the process "
+            "boundary exactly once via pool.broadcast, and every "
+            "token a worker resolves must have a parent-side producer",
+        ),
+        Rule(
+            "R011",
+            "memo-coherence",
+            "method mutating a field consulted by a version-memoised "
+            "property without bumping the version "
+            "(# repro: memo-guard)",
+            "cache coherence: version-memoised products (p2c_edges, "
+            "the adjacency snapshot) must be recomputed after any "
+            "mutation of the fields they read — a missed version bump "
+            "serves stale bytes forever",
+        ),
+        Rule(
+            "R012",
+            "spec-purity",
+            "MetricSpec.compute callable transitively reaching "
+            "unseeded RNG, a wall-clock read, or a parameter mutation",
+            "registry purity: every metric compute is a pure function "
+            "of (spec, ctx), so cached/checkpointed rankings are "
+            "byte-identical to a fresh compute — checked by call-graph "
+            "reachability, not per-module scoping",
+        ),
     )
 }
 
 
 #: all rule ids, in catalog order
 ALL_RULE_IDS: tuple[str, ...] = tuple(RULES)
+
+#: the whole-program tier (checked via the call graph, not per file)
+PROGRAM_RULE_IDS: tuple[str, ...] = ("R009", "R010", "R011", "R012")
 
 
 @dataclass(frozen=True, slots=True)

@@ -373,8 +373,16 @@ class UnorderedIterationChecker(BaseChecker):
       unless wrapped in an order-insensitive consumer (``sorted``,
       ``sum``, ``min``/``max``, ``len``, ``any``/``all``, ``set``, …).
 
-    Set and dict comprehensions are quiet: their *content* is
-    order-independent (serialization layers sort keys separately).
+    Dicts *built from sets* are hash-ordered too — insertion order is
+    the set's iteration order — so the same hazards apply one hop
+    later. Names assigned ``{k: f(k) for k in <set>}``,
+    ``dict.fromkeys(<set>)``, or ``dict(genexp-over-<set>)`` are
+    tracked as hash-ordered dicts, and iterating them (bare, or via
+    ``.keys()`` / ``.values()`` / ``.items()``) into ordered output is
+    flagged exactly like raw set iteration.
+
+    Set and dict comprehensions are quiet as *outputs*: their content
+    is order-independent (serialization layers sort keys separately).
     """
 
     rule_id = "R003"
@@ -453,36 +461,129 @@ class UnorderedIterationChecker(BaseChecker):
             )
         return False
 
+    # -- hash-ordered dicts (dicts whose insertion order came from a set) ----
+
+    def _scope_hash_dict_names(
+        self, body: list[ast.stmt], set_names: set[str]
+    ) -> set[str]:
+        """Names only ever assigned dicts built from set iteration —
+        their insertion order IS the set's hash order."""
+        votes: set[str] = set()
+        poisoned: set[str] = set()
+        for stmt in _walk_scope(body):
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        if self._is_hash_dict_expr(stmt.value, set_names):
+                            votes.add(target.id)
+                        else:
+                            poisoned.add(target.id)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ) and stmt.value is not None:
+                if self._is_hash_dict_expr(stmt.value, set_names):
+                    votes.add(stmt.target.id)
+                else:
+                    poisoned.add(stmt.target.id)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                for target_node in ast.walk(stmt.target):
+                    if isinstance(target_node, ast.Name):
+                        poisoned.add(target_node.id)
+        return votes - poisoned
+
+    def _is_hash_dict_expr(
+        self, node: ast.expr, set_names: set[str]
+    ) -> bool:
+        if isinstance(node, ast.DictComp):
+            return any(
+                self._is_set_expr(gen.iter, set_names)
+                for gen in node.generators
+            )
+        if isinstance(node, ast.Call):
+            func = node.func
+            # dict.fromkeys(<set>)
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "fromkeys"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "dict"
+                and node.args
+            ):
+                return self._is_set_expr(node.args[0], set_names)
+            # dict(<comprehension over a set>)
+            if (
+                isinstance(func, ast.Name)
+                and func.id == "dict"
+                and node.args
+                and isinstance(
+                    node.args[0], (ast.GeneratorExp, ast.ListComp)
+                )
+            ):
+                return any(
+                    self._is_set_expr(gen.iter, set_names)
+                    for gen in node.args[0].generators
+                )
+        return False
+
+    def _is_hash_dict_view(
+        self, node: ast.expr, dict_names: set[str]
+    ) -> bool:
+        """Iteration over a hash-ordered dict: the bare name, or a
+        ``.keys()`` / ``.values()`` / ``.items()`` view of it."""
+        if isinstance(node, ast.Name):
+            return node.id in dict_names
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("keys", "values", "items")
+            and isinstance(node.func.value, ast.Name)
+        ):
+            return node.func.value.id in dict_names
+        return False
+
+    def _is_unordered_iter(
+        self, node: ast.expr, set_names: set[str], dict_names: set[str]
+    ) -> bool:
+        return self._is_set_expr(node, set_names) or self._is_hash_dict_view(
+            node, dict_names
+        )
+
     # -- hazard detection -----------------------------------------------------
 
     def _analyze_scope(
         self, body: list[ast.stmt], params: ast.arguments | None
     ) -> None:
         set_names = self._scope_set_names(body, params)
+        dict_names = self._scope_hash_dict_names(body, set_names)
         sorted_names = self._normalized_names(body)
         for stmt in _walk_scope(body):
             if isinstance(stmt, (ast.For, ast.AsyncFor)):
-                self._check_for(stmt, set_names, sorted_names)
+                self._check_for(stmt, set_names, dict_names, sorted_names)
             elif isinstance(stmt, ast.Return) and stmt.value is not None:
-                self._check_ordered_expr(stmt.value, set_names, safe=False)
+                self._check_ordered_expr(
+                    stmt.value, set_names, dict_names, safe=False
+                )
             elif isinstance(stmt, ast.Expr) and isinstance(
                 stmt.value, (ast.Yield, ast.YieldFrom)
             ):
                 value = stmt.value.value
                 if value is not None:
-                    self._check_ordered_expr(value, set_names, safe=False)
+                    self._check_ordered_expr(
+                        value, set_names, dict_names, safe=False
+                    )
 
     def _check_for(
         self,
         stmt: ast.For | ast.AsyncFor,
         set_names: set[str],
+        dict_names: set[str],
         sorted_names: set[str],
     ) -> None:
-        if not self._is_set_expr(stmt.iter, set_names):
+        if not self._is_unordered_iter(stmt.iter, set_names, dict_names):
             return
         for child in ast.walk(stmt):
             if isinstance(child, (ast.Yield, ast.YieldFrom)):
-                self._report_iter(stmt.iter, "yields")
+                self._report_iter(stmt.iter, "yields", dict_names)
                 return
             if (
                 isinstance(child, ast.Call)
@@ -492,7 +593,9 @@ class UnorderedIterationChecker(BaseChecker):
                 target = root_name(child.func.value)
                 if target is not None and target in sorted_names:
                     continue  # accumulated order is normalized afterwards
-                self._report_iter(stmt.iter, f"{child.func.attr}s to a list")
+                self._report_iter(
+                    stmt.iter, f"{child.func.attr}s to a list", dict_names
+                )
                 return
 
     def _normalized_names(self, body: list[ast.stmt]) -> set[str]:
@@ -516,43 +619,64 @@ class UnorderedIterationChecker(BaseChecker):
         return names
 
     def _check_ordered_expr(
-        self, node: ast.expr, set_names: set[str], safe: bool
+        self,
+        node: ast.expr,
+        set_names: set[str],
+        dict_names: set[str],
+        safe: bool,
     ) -> None:
         """Walk a returned/yielded expression; ``safe`` is True once an
         order-insensitive consumer wraps the current subtree."""
         if isinstance(node, ast.Call):
             name = call_func_name(node)
+            if self._is_hash_dict_view(node, dict_names):
+                return  # d.keys()/.values()/.items() itself; parents decide
             child_safe = safe or name in _ORDER_INSENSITIVE
             if not safe and name in ("list", "tuple"):
                 for arg in node.args:
-                    if self._is_set_expr(arg, set_names):
-                        self._report_iter(arg, f"is materialized by {name}()")
+                    if self._is_unordered_iter(arg, set_names, dict_names):
+                        self._report_iter(
+                            arg, f"is materialized by {name}()", dict_names
+                        )
             for arg in node.args:
-                self._check_ordered_expr(arg, set_names, child_safe)
+                self._check_ordered_expr(arg, set_names, dict_names, child_safe)
             for keyword in node.keywords:
-                self._check_ordered_expr(keyword.value, set_names, child_safe)
+                self._check_ordered_expr(
+                    keyword.value, set_names, dict_names, child_safe
+                )
             return
         if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
             if not safe:
                 for generator in node.generators:
-                    if self._is_set_expr(generator.iter, set_names):
+                    if self._is_unordered_iter(
+                        generator.iter, set_names, dict_names
+                    ):
                         self._report_iter(
-                            generator.iter, "drives a returned comprehension"
+                            generator.iter,
+                            "drives a returned comprehension",
+                            dict_names,
                         )
             # inner expressions may hold further comprehensions
-            self._check_ordered_expr(node.elt, set_names, safe)
+            self._check_ordered_expr(node.elt, set_names, dict_names, safe)
             return
         if isinstance(node, (ast.SetComp, ast.DictComp)):
             return  # unordered/keyed output: content is order-independent
         for child in ast.iter_child_nodes(node):
             if isinstance(child, ast.expr):
-                self._check_ordered_expr(child, set_names, safe)
+                self._check_ordered_expr(child, set_names, dict_names, safe)
 
-    def _report_iter(self, node: ast.expr, verb: str) -> None:
+    def _report_iter(
+        self, node: ast.expr, verb: str, dict_names: set[str] | None = None
+    ) -> None:
+        source = "a set"
+        fix = "wrap the set in sorted(...)"
+        if dict_names and self._is_hash_dict_view(node, dict_names or set()):
+            source = "a dict built from a set"
+            fix = "sort the keys at build time or wrap in sorted(...)"
         self.report(
             node,
-            f"iteration over a set {verb} — hash order is not "
-            "deterministic; wrap the set in sorted(...)",
+            f"iteration over {source} {verb} — hash order is not "
+            f"deterministic; {fix}",
         )
 
 

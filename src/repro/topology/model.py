@@ -260,6 +260,12 @@ class ASGraph:
             return "p2p"
         return None
 
+    # The structural memos keyed on _version — the p2c edge set below
+    # and the external adjacency snapshot in repro.bgp.propagation —
+    # read exactly these fields; R011 statically checks that every
+    # method mutating one of them also bumps the version.
+    # repro: memo-guard version=_version fields=_nodes,_providers,_customers,_peers
+
     def p2c_edges(self) -> frozenset[tuple[int, int]]:
         """Every (provider, customer) transit pair as a flat edge set.
 

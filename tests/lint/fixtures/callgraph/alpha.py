@@ -1,0 +1,36 @@
+"""Call-graph fixture: cycles, cross-module from-imports, decorators.
+
+Parsed (never imported) by tests/lint/test_callgraph.py under the
+synthetic module name ``cgfix.alpha``.
+"""
+
+from cgfix.beta import BaseNode, helper
+
+
+def entry():
+    return ping()
+
+
+def ping():
+    return pong()
+
+
+def pong():
+    return ping() or helper()
+
+
+def trace_deco(fn):
+    return fn
+
+
+@trace_deco
+def decorated():
+    return 2
+
+
+def run_decorated():
+    return decorated()
+
+
+def isolated():
+    return 0

@@ -1,0 +1,34 @@
+"""Call-graph fixture: method resolution through ``self`` and bases,
+plus a dynamic-dispatch fallback site.
+
+Parsed (never imported) by tests/lint/test_callgraph.py under the
+synthetic module name ``cgfix.beta``.
+"""
+
+
+class BaseNode:
+    def shared(self):
+        return self.leaf()
+
+    def leaf(self):
+        return 0
+
+
+class Node(BaseNode):
+    def leaf(self):
+        return 1
+
+    def run(self):
+        return self.shared()
+
+
+def helper():
+    return 3
+
+
+def dyn_call(obj):
+    return obj.compute()
+
+
+def compute():
+    return 4

@@ -1,0 +1,17 @@
+"""Call-graph fixture: a second ``compute`` (dynamic-fallback target)
+and typed receivers via function-local instantiation.
+
+Parsed (never imported) by tests/lint/test_callgraph.py under the
+synthetic module name ``cgfix.gamma``.
+"""
+
+
+def compute():
+    return 5
+
+
+def local_type_dispatch():
+    from cgfix.beta import Node
+
+    node = Node()
+    return node.run()

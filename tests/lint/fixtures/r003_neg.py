@@ -21,3 +21,24 @@ def total(values):
 
 def distinct(values):
     return {value for value in set(values)}
+
+
+def keyed(names):
+    index = {name: len(name) for name in sorted(set(names))}
+    return [(name, width) for name, width in index.items()]
+
+
+def marked(names):
+    seen = dict.fromkeys(set(names))
+    return sorted(seen.keys())
+
+
+def counted(names):
+    table = dict.fromkeys(set(names), 0)
+    return len(table.values())
+
+
+def rebound(names):
+    table = dict.fromkeys(set(names))
+    table = {"fixed": 1}
+    return list(table)

@@ -11,3 +11,22 @@ def collect(groups):
     for item in {group for group in groups}:
         merged.append(item)
     return merged
+
+
+def keyed(names):
+    unique = set(names)
+    index = {name: len(name) for name in unique}
+    out = []
+    for name, width in index.items():
+        out.append((name, width))
+    return out
+
+
+def marked(names):
+    seen = dict.fromkeys(set(names))
+    return list(seen.keys())
+
+
+def paired(names):
+    table = dict((name, 1) for name in set(names))
+    return [name for name in table]

@@ -1,0 +1,26 @@
+# repro-lint: module=repro.workerfix.neg
+"""R009 negative: workers stay pure; parent-side code may write.
+
+``_chunk`` builds only local state, and ``register`` (which does write
+a module-level dict) is never reachable from a worker entry.
+"""
+
+_REGISTRY = {}
+
+
+def resilient_map(stage, fn, payloads, workers):
+    return [fn(p) for p in payloads]
+
+
+def _chunk(payload):
+    local = {}
+    local[payload] = True
+    return sorted(local)
+
+
+def register(name, value):
+    _REGISTRY[name] = value
+
+
+def dispatch(payloads):
+    return resilient_map("stage", _chunk, payloads, 2)

@@ -1,0 +1,35 @@
+# repro-lint: module=repro.workerfix.pos
+"""R009 positive: worker-reachable code writes module state.
+
+``_chunk`` mutates a module-level dict directly and ``_chunk_counted``
+reaches a global rebind through a helper; both run inside pool workers,
+so the writes land in forked copies and vanish.
+"""
+
+_CACHE = {}
+_COUNT = 0
+
+
+def resilient_map(stage, fn, payloads, workers):
+    return [fn(p) for p in payloads]
+
+
+def _chunk(payload):
+    _CACHE[payload] = True
+    return payload
+
+
+def _bump(n):
+    global _COUNT
+    _COUNT += 1
+    return n
+
+
+def _chunk_counted(payload):
+    return _bump(payload)
+
+
+def dispatch(payloads):
+    first = resilient_map("stage-a", _chunk, payloads, 2)
+    second = resilient_map("stage-b", _chunk_counted, payloads, 2)
+    return first + second

@@ -1,0 +1,34 @@
+# repro-lint: module=repro.workerfix.token
+"""R010 negative: the broadcast-token discipline, followed.
+
+The dispatcher publishes the heavy object once via ``broadcast`` and
+ships only the returned token; the worker rehydrates it with
+``broadcast_get``.
+"""
+
+
+class Pool:
+    def broadcast(self, name, value):
+        return name
+
+    def workers(self):
+        return 2
+
+
+def resilient_map(stage, fn, payloads, workers):
+    return [fn(p) for p in payloads]
+
+
+def broadcast_get(token):
+    return token
+
+
+def _chunk(payload):
+    view = broadcast_get(payload[0])
+    return (view, payload[1])
+
+
+def dispatch(pool: Pool, payloads):
+    token = pool.broadcast("view", object())
+    jobs = [(token, p) for p in payloads]
+    return resilient_map("stage", _chunk, jobs, pool.workers())

@@ -1,0 +1,44 @@
+# repro-lint: module=repro.workerfix.heavy
+"""R010 positive: worker payloads smuggle heavy world objects.
+
+``_heavy_chunk`` declares a payload type that expands to ``View``,
+``dispatch_orphan``'s worker calls ``broadcast_get`` with no
+``broadcast(...)`` producer in the dispatcher, and ``dispatch_closure``
+ships a lambda (whose closure pickles whatever it captures).
+"""
+
+
+class View:
+    """Stand-in for the heavy global view object."""
+
+
+HeavyPayload = tuple["View", int]
+
+
+def resilient_map(stage, fn, payloads, workers):
+    return [fn(p) for p in payloads]
+
+
+def broadcast_get(token):
+    return token
+
+
+def _heavy_chunk(payload: HeavyPayload):
+    return payload[1]
+
+
+def _token_chunk(payload):
+    view = broadcast_get(payload[0])
+    return (view, payload[1])
+
+
+def dispatch_heavy(payloads):
+    return resilient_map("stage", _heavy_chunk, payloads, 2)
+
+
+def dispatch_orphan(payloads):
+    return resilient_map("stage", _token_chunk, payloads, 2)
+
+
+def dispatch_closure(payloads, factor):
+    return resilient_map("stage", lambda p: p * factor, payloads, 2)

@@ -1,0 +1,31 @@
+# repro-lint: module=repro.memofix.neg
+"""R011 negative: every guarded-field mutation bumps the version.
+
+``add_edge`` bumps transitively through ``_touch``; ``clear`` bumps
+inline; ``edge_list`` only reads.
+"""
+
+
+class Graph:
+    # repro: memo-guard version=_version fields=_edges
+    def __init__(self):
+        self._version = 0
+        self._edges = {}
+        self._memo = None
+
+    def add_edge(self, a, b):
+        self._touch()
+        self._edges[a] = b
+
+    def clear(self):
+        self._edges.clear()
+        self._version += 1
+
+    def _touch(self):
+        self._version += 1
+        self._memo = None
+
+    def edge_list(self):
+        if self._memo is None:
+            self._memo = (self._version, sorted(self._edges))
+        return self._memo

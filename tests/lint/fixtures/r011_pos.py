@@ -1,0 +1,34 @@
+# repro-lint: module=repro.memofix.pos
+"""R011 positive: guarded fields mutated without a version bump.
+
+``Graph`` declares a memo-guard over ``_edges`` and ``_nodes`` but
+``add_edge`` and ``add_node`` mutate them without touching
+``_version`` — any memo keyed on the version silently goes stale.
+``Stale`` declares a guard over a field that does not exist.
+"""
+
+
+class Graph:
+    # repro: memo-guard version=_version fields=_edges,_nodes
+    def __init__(self):
+        self._version = 0
+        self._edges = {}
+        self._nodes = []
+        self._memo = None
+
+    def add_edge(self, a, b):
+        self._edges[a] = b
+
+    def add_node(self, n):
+        self._nodes.append(n)
+
+    def edge_list(self):
+        if self._memo is None:
+            self._memo = (self._version, sorted(self._edges))
+        return self._memo
+
+
+class Stale:
+    # repro: memo-guard version=_ver fields=_missing
+    def __init__(self):
+        self._ver = 0

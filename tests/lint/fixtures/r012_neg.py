@@ -1,0 +1,24 @@
+# repro-lint: module=repro.specfix.neg
+"""R012 negative: a pure compute callable — seeded RNG, no clocks,
+no parameter mutation anywhere in its call tree."""
+
+import random
+
+
+class MetricSpec:
+    def __init__(self, name, compute):
+        self.name = name
+        self.compute = compute
+
+
+def _jitter(rng, values):
+    return [value + rng.random() for value in values]
+
+
+def _good_compute(spec, ctx):
+    rng = random.Random(7)
+    values = _jitter(rng, list(ctx))
+    return sorted(values)
+
+
+SPEC = MetricSpec(name="good", compute=_good_compute)

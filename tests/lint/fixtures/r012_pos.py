@@ -1,0 +1,26 @@
+# repro-lint: module=repro.specfix.pos
+"""R012 positive: a registry compute callable mutates its inputs.
+
+``_bad_compute`` writes into its ``ctx`` argument directly and reaches
+a helper that appends to it — the registry contract says compute
+callables treat their parameters as read-only.
+"""
+
+
+class MetricSpec:
+    def __init__(self, name, compute):
+        self.name = name
+        self.compute = compute
+
+
+def _accumulate(ctx):
+    ctx.samples.append(0)
+    return list(ctx.samples)
+
+
+def _bad_compute(spec, ctx):
+    ctx.cache["spec"] = spec
+    return _accumulate(ctx)
+
+
+SPEC = MetricSpec(name="bad", compute=_bad_compute)

@@ -1,0 +1,153 @@
+"""The call-graph engine: symbol table, edge resolution (direct /
+dynamic / decorator), ``self`` and base-class method resolution, cycle
+termination, and reachability that is stable across file orderings.
+
+The fixture package under ``fixtures/callgraph/`` is parsed — never
+imported — under synthetic ``cgfix.*`` module names.
+"""
+
+import ast
+import itertools
+from pathlib import Path
+
+import pytest
+
+from repro.lint import ModuleInfo, Program
+
+FIXDIR = Path(__file__).parent / "fixtures" / "callgraph"
+NAMES = ("alpha", "beta", "gamma")
+
+
+def build_program(order=NAMES):
+    modules = []
+    for name in order:
+        path = FIXDIR / f"{name}.py"
+        source = path.read_text()
+        modules.append(ModuleInfo(
+            module=f"cgfix.{name}",
+            path=path.as_posix(),
+            tree=ast.parse(source),
+            lines=source.splitlines(),
+        ))
+    return Program(modules)
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_program()
+
+
+class TestSymbolTable:
+    def test_functions_and_classes_indexed(self, program):
+        assert "cgfix.alpha.entry" in program.functions
+        assert "cgfix.beta.Node.run" in program.functions
+        assert "cgfix.beta.Node" in program.classes
+        assert program.classes["cgfix.beta.Node"].bases == ("BaseNode",)
+
+    def test_by_name_groups_terminal_names(self, program):
+        assert program.by_name["compute"] == (
+            "cgfix.beta.compute", "cgfix.gamma.compute",
+        )
+
+    def test_resolve_name_through_from_import(self, program):
+        assert (
+            program.resolve_name("cgfix.alpha", "helper")
+            == "cgfix.beta.helper"
+        )
+
+    def test_resolve_method_walks_bases(self, program):
+        assert (
+            program.resolve_method("cgfix.beta.Node", "shared")
+            == "cgfix.beta.BaseNode.shared"
+        )
+        assert (
+            program.resolve_method("cgfix.beta.Node", "leaf")
+            == "cgfix.beta.Node.leaf"
+        )
+        assert program.resolve_method("cgfix.beta.Node", "absent") is None
+
+
+class TestEdges:
+    def test_cycle_terminates_and_both_sides_reachable(self, program):
+        parents = program.reachable(["cgfix.alpha.entry"])
+        assert "cgfix.alpha.ping" in parents
+        assert "cgfix.alpha.pong" in parents
+
+    def test_cross_module_from_import_edge(self, program):
+        parents = program.reachable(["cgfix.alpha.entry"])
+        assert "cgfix.beta.helper" in parents
+        chain = Program.chain(parents, "cgfix.beta.helper")
+        assert chain[0] == "cgfix.alpha.entry"
+        assert chain[-1] == "cgfix.beta.helper"
+
+    def test_decorator_edge(self, program):
+        edges = program.edges_of("cgfix.alpha.decorated")
+        assert any(
+            e.kind == "decorator" and e.callee == "cgfix.alpha.trace_deco"
+            for e in edges
+        )
+
+    def test_self_method_resolution(self, program):
+        run_edges = program.edges_of("cgfix.beta.Node.run")
+        assert any(
+            e.callee == "cgfix.beta.BaseNode.shared" and e.kind == "direct"
+            for e in run_edges
+        )
+        shared_edges = program.edges_of("cgfix.beta.BaseNode.shared")
+        assert any(
+            e.callee == "cgfix.beta.BaseNode.leaf" for e in shared_edges
+        )
+
+    def test_dynamic_dispatch_falls_back_to_all_same_named(self, program):
+        edges = program.edges_of("cgfix.beta.dyn_call")
+        dynamic = {e.callee for e in edges if e.kind == "dynamic"}
+        assert dynamic == {"cgfix.beta.compute", "cgfix.gamma.compute"}
+
+    def test_local_instantiation_types_the_receiver(self, program):
+        edges = program.edges_of("cgfix.gamma.local_type_dispatch")
+        assert any(
+            e.callee == "cgfix.beta.Node.run" and e.kind == "direct"
+            for e in edges
+        )
+
+
+class TestReachability:
+    def test_entries_map_to_none(self, program):
+        parents = program.reachable(["cgfix.alpha.entry"])
+        assert parents["cgfix.alpha.entry"] is None
+
+    def test_unreachable_stays_out(self, program):
+        parents = program.reachable(["cgfix.alpha.entry"])
+        assert "cgfix.alpha.isolated" not in parents
+
+    def test_include_dynamic_false_cuts_fallback_edges(self, program):
+        with_dyn = program.reachable(["cgfix.beta.dyn_call"])
+        without = program.reachable(
+            ["cgfix.beta.dyn_call"], include_dynamic=False,
+        )
+        assert "cgfix.gamma.compute" in with_dyn
+        assert "cgfix.gamma.compute" not in without
+
+    def test_reaches_predicate(self, program):
+        assert program.reaches(
+            ["cgfix.alpha.entry"], lambda fn: fn.name == "helper",
+        )
+        assert not program.reaches(
+            ["cgfix.alpha.entry"], lambda fn: fn.name == "isolated",
+        )
+
+    def test_stable_across_file_orderings(self):
+        baseline = None
+        for order in itertools.permutations(NAMES):
+            program = build_program(order)
+            parents = program.reachable(
+                ["cgfix.alpha.entry", "cgfix.beta.dyn_call"],
+            )
+            snapshot = (
+                sorted(parents.items()),
+                dict(program.by_name),
+            )
+            if baseline is None:
+                baseline = snapshot
+            else:
+                assert snapshot == baseline

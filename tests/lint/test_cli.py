@@ -46,6 +46,28 @@ class TestReproLint:
         assert payload["stats"]["findings"] == 1
         assert payload["findings"][0]["rule"] == "R004"
 
+    def test_sarif_format(self, dirty_file, capsys):
+        assert repro_lint(
+            [str(dirty_file), "--no-baseline", "--format", "sarif"]
+        ) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"][0]["ruleId"] == "R004"
+
+    def test_stale_baseline_exits_nonzero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("def f():\n    return 1\n")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "entries": [{
+                "rule": "R004", "path": "gone.py", "code": "x == 0.5",
+                "justification": "obsolete",
+            }],
+        }))
+        assert repro_lint([str(target), "--baseline", str(baseline)]) == 1
+        assert "stale baseline entry" in capsys.readouterr().out
+
     def test_select_subset(self, dirty_file):
         assert repro_lint(
             [str(dirty_file), "--no-baseline", "--select", "R001"]
@@ -103,6 +125,12 @@ class TestReproRankLint:
         assert repro_rank(["lint", str(fixture), "--json"]) == 1
         payload = json.loads(capsys.readouterr().out)
         assert payload["stats"]["findings"] == 2
+
+    def test_subcommand_sarif(self, capsys):
+        fixture = FIXTURES / "r006_pos.py"
+        assert repro_rank(["lint", str(fixture), "--sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
 
     def test_subcommand_trace_reports_lint_metrics(self, tmp_path, capsys):
         target = tmp_path / "ok.py"

@@ -120,7 +120,7 @@ class TestBaseline:
         result = run_lint([str(target)], LintConfig(baseline=baseline))
         assert result.ok() and result.suppressed_baseline == 1
 
-    def test_stale_entries_are_reported_not_fatal(self, tmp_path):
+    def test_stale_entries_are_fatal(self, tmp_path):
         target = tmp_path / "clean.py"
         target.write_text("def f():\n    return 1\n")
         baseline = Baseline((
@@ -130,7 +130,8 @@ class TestBaseline:
             ),
         ))
         result = run_lint([str(target)], LintConfig(baseline=baseline))
-        assert result.ok()
+        assert not result.ok()
+        assert result.findings == []
         assert len(result.stale_baseline) == 1
 
     def test_wrong_rule_or_code_does_not_match(self, tmp_path):

@@ -1,0 +1,235 @@
+"""Whole-program rules (R009–R012) across module boundaries: the
+scenarios the per-file tier cannot see — a worker chunk in one module
+writing another module's state, heavy types smuggled through imported
+annotations, sanctioned-module exemptions, and suppression of program
+findings through the ordinary noqa machinery.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint import LintConfig, lint_source, run_lint
+
+R009 = LintConfig(select=frozenset({"R009"}))
+R010 = LintConfig(select=frozenset({"R010"}))
+R011 = LintConfig(select=frozenset({"R011"}))
+R012 = LintConfig(select=frozenset({"R012"}))
+
+
+def write(tmp_path, name, module, body):
+    target = tmp_path / name
+    target.write_text(
+        f"# repro-lint: module={module}\n" + textwrap.dedent(body)
+    )
+    return target
+
+
+class TestForkSafetyAcrossModules:
+    def _tree(self, tmp_path, noqa=""):
+        write(tmp_path, "chunks.py", "repro.wfix.chunks", f"""\
+            _SEEN = {{}}
+
+            def chunk(payload):
+                _SEEN[payload] = True{noqa}
+                return payload
+            """)
+        write(tmp_path, "dispatch.py", "repro.wfix.dispatch", """\
+            from repro.wfix.chunks import chunk
+
+            def resilient_map(stage, fn, payloads, workers):
+                return [fn(p) for p in payloads]
+
+            def run(payloads):
+                return resilient_map("stage", chunk, payloads, 2)
+            """)
+        return tmp_path
+
+    def test_write_in_another_module_is_flagged(self, tmp_path):
+        result = run_lint([str(self._tree(tmp_path))], R009)
+        assert [f.rule_id for f in result.findings] == ["R009"]
+        finding = result.findings[0]
+        assert "chunks.py" in finding.path
+        assert "_SEEN" in finding.message
+        # the chain names the dispatch entry, cross-module
+        assert "chunk" in finding.message
+
+    def test_noqa_suppresses_program_finding(self, tmp_path):
+        tree = self._tree(tmp_path, noqa="  # repro: noqa[R009]")
+        result = run_lint([str(tree)], R009)
+        assert result.findings == []
+        assert result.suppressed_noqa == 1
+
+    def test_sanctioned_module_is_exempt(self):
+        source = textwrap.dedent("""\
+            _BROADCAST = {}
+
+            def resilient_map(stage, fn, payloads, workers):
+                return [fn(p) for p in payloads]
+
+            def chunk(payload):
+                _BROADCAST[payload] = True
+                return payload
+
+            def run(payloads):
+                return resilient_map("s", chunk, payloads, 2)
+            """)
+        assert lint_source(
+            source, "pool.py", R009, module="repro.perf.pool",
+        ) == []
+        flagged = lint_source(
+            source, "other.py", R009, module="repro.perf.other",
+        )
+        assert [f.rule_id for f in flagged] == ["R009"]
+
+    def test_runs_are_deterministic(self, tmp_path):
+        tree = self._tree(tmp_path)
+        first = run_lint([str(tree)], R009)
+        second = run_lint([str(tree)], R009)
+        assert [f.as_dict() for f in first.findings] == [
+            f.as_dict() for f in second.findings
+        ]
+
+
+class TestBroadcastDisciplineAcrossModules:
+    def test_imported_heavy_annotation_is_flagged(self, tmp_path):
+        write(tmp_path, "world.py", "repro.wfix.world", """\
+            class View:
+                pass
+            """)
+        write(tmp_path, "jobs.py", "repro.wfix.jobs", """\
+            from repro.wfix.world import View
+
+            def resilient_map(stage, fn, payloads, workers):
+                return [fn(p) for p in payloads]
+
+            def chunk(view: View):
+                return view
+
+            def run(payloads):
+                return resilient_map("stage", chunk, payloads, 2)
+            """)
+        result = run_lint([str(tmp_path)], R010)
+        assert [f.rule_id for f in result.findings] == ["R010"]
+        assert "View" in result.findings[0].message
+
+    def test_token_discipline_with_producer_is_quiet(self, tmp_path):
+        write(tmp_path, "jobs.py", "repro.wfix.jobs", """\
+            def resilient_map(stage, fn, payloads, workers):
+                return [fn(p) for p in payloads]
+
+            def broadcast_get(token):
+                return token
+
+            def chunk(payload):
+                return broadcast_get(payload)
+
+            def run(pool, payloads):
+                token = pool.broadcast("view", object())
+                return resilient_map(
+                    "stage", chunk, [token for _ in payloads], 2,
+                )
+            """)
+        result = run_lint([str(tmp_path)], R010)
+        assert result.findings == []
+
+
+class TestMemoCoherence:
+    def test_guard_outside_class_is_flagged(self):
+        source = textwrap.dedent("""\
+            # repro: memo-guard version=_version fields=_edges
+            class Graph:
+                def __init__(self):
+                    self._version = 0
+                    self._edges = {}
+            """)
+        flagged = lint_source(source, "g.py", R011, module="repro.wfix.g")
+        assert [f.rule_id for f in flagged] == ["R011"]
+        assert "class body" in flagged[0].message
+
+    def test_transitive_bump_through_helper_is_quiet(self):
+        source = textwrap.dedent("""\
+            class Graph:
+                # repro: memo-guard version=_version fields=_edges
+                def __init__(self):
+                    self._version = 0
+                    self._edges = {}
+
+                def add(self, a, b):
+                    self._invalidate()
+                    self._edges[a] = b
+
+                def _invalidate(self):
+                    self._version += 1
+            """)
+        assert lint_source(
+            source, "g.py", R011, module="repro.wfix.g",
+        ) == []
+
+
+class TestSpecPurity:
+    def _spec_source(self, compute_body):
+        header = textwrap.dedent("""\
+            import random
+            import time
+
+
+            class MetricSpec:
+                def __init__(self, name, compute):
+                    self.name = name
+                    self.compute = compute
+
+
+            def _compute(spec, ctx):
+            """)
+        footer = '\n\nSPEC = MetricSpec(name="m", compute=_compute)\n'
+        return header + textwrap.indent(compute_body, "    ") + footer
+
+    def test_unseeded_rng_in_call_tree_is_flagged(self):
+        source = self._spec_source("return random.random()\n")
+        flagged = lint_source(
+            source, "spec.py", R012, module="repro.wfix.spec",
+        )
+        assert [f.rule_id for f in flagged] == ["R012"]
+        assert "rng" in flagged[0].message.lower()
+
+    def test_clock_outside_allowlist_is_flagged(self):
+        source = self._spec_source("return time.perf_counter()\n")
+        flagged = lint_source(
+            source, "spec.py", R012, module="repro.wfix.spec",
+        )
+        assert [f.rule_id for f in flagged] == ["R012"]
+
+    def test_clock_in_obs_module_is_allowed(self):
+        source = self._spec_source("return time.perf_counter()\n")
+        assert lint_source(
+            source, "spec.py", R012, module="repro.obs.spec",
+        ) == []
+
+    def test_pure_compute_is_quiet(self):
+        source = self._spec_source(
+            "rng = random.Random(7)\n"
+            "return sorted(v + rng.random() for v in ctx)\n"
+        )
+        assert lint_source(
+            source, "spec.py", R012, module="repro.wfix.spec",
+        ) == []
+
+
+class TestRealTree:
+    """The rules against the actual src/repro tree: R009/R010/R012 pass
+    clean by design (the perf layer already follows the disciplines the
+    rules encode) and R011 exercises the real ASGraph memo-guard."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_lint(
+            ["src/repro"],
+            LintConfig(select=frozenset(
+                {"R009", "R010", "R011", "R012"}
+            )),
+        )
+
+    def test_src_repro_is_clean(self, result):
+        assert result.findings == []
+        assert result.files_scanned > 40

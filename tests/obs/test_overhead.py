@@ -26,11 +26,13 @@ class TestNullPrimitivesAreCheap:
     N = 100_000
 
     def test_null_span_loop(self):
-        start = time.perf_counter()
+        # timing IS this test's subject: it measures the disabled-mode
+        # span overhead itself, so the R002 clock discipline is lifted
+        start = time.perf_counter()  # repro: noqa[R002]
         for _ in range(self.N):
             with NULL_TRACER.span("hot"):
                 pass
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start  # repro: noqa[R002]
         # ~3 attribute lookups + 2 method calls per iteration; anything
         # near 10 µs/call means real work leaked onto the disabled path.
         assert elapsed < self.N * 10e-6
@@ -42,11 +44,12 @@ class TestNullPrimitivesAreCheap:
     def test_null_metrics_loop(self):
         counter = NULL_TRACER.metrics.counter("hot.counter")
         hist = NULL_TRACER.metrics.histogram("hot.hist")
-        start = time.perf_counter()
+        # timing IS this test's subject (see test_null_span_loop)
+        start = time.perf_counter()  # repro: noqa[R002]
         for index in range(self.N):
             counter.inc()
             hist.observe(index)
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start  # repro: noqa[R002]
         assert elapsed < self.N * 10e-6
 
 
