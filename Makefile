@@ -1,18 +1,20 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-wp lint-sarif faults bench bench-smoke watch-smoke profile
+.PHONY: test lint lint-wp lint-sarif faults bench bench-smoke bench-serve watch-smoke serve-smoke profile
 
 ## Default verification: static analysis first (per-file and
 ## whole-program tiers, then the R009-R012 self-check and the SARIF
 ## artifact), then the test suite (which includes the fault-injection
 ## suite), then the fault suite once more on its own so a recovery
 ## regression is named explicitly, then the watch smoke (monitoring
-## engine end-to-end + event schema).
+## engine end-to-end + event schema), then the serve smoke (daemon
+## end-to-end over a real socket + warm-hit floor).
 test: lint lint-wp lint-sarif
 	$(PYTHON) -m pytest -x -q
 	$(MAKE) faults
 	$(MAKE) watch-smoke
+	$(MAKE) serve-smoke
 
 ## Fault-injection suite: deterministic worker kills, hung chunks,
 ## mid-sweep crashes, and corrupted dump lines, each required to
@@ -52,9 +54,19 @@ lint-sarif:
 
 ## Full scaling benchmark (small + medium worlds); writes
 ## BENCH_pipeline.json at the repo root and fails below the 3x
-## indexed-vs-naive floor on the medium world.
+## indexed-vs-naive floor on the medium world. The parallel floor is
+## enforced on hosts with >= 2 usable CPUs and recorded as an explicit
+## `parallel_gate: skipped / insufficient_cpus` entry otherwise.
 bench:
-	$(PYTHON) benchmarks/bench_pipeline_scaling.py --min-speedup 2.5
+	$(PYTHON) benchmarks/bench_pipeline_scaling.py --min-speedup 2.5 \
+		--parallel-floor 1.0
+
+## Serving benchmark (medium world): cold-vs-warm /rank latency, QPS,
+## and the store hit rate through a real daemon on an ephemeral port;
+## writes BENCH_serve.json at the repo root and fails when a warm hit
+## is not >= 100x faster than a cold compute.
+bench-serve:
+	$(PYTHON) benchmarks/bench_serve.py --warm-floor 100
 
 ## Quick perf gate: small world under a time ceiling, plus the
 ## parallel >= serial floor at workers=2 (auto-skipped on hosts with
@@ -74,3 +86,10 @@ profile:
 ## benchmarks/watch_smoke.sh); writes benchmarks/output/watch_smoke.jsonl.
 watch-smoke:
 	sh benchmarks/watch_smoke.sh
+
+## Serving gate: a real repro-serve daemon on the small world under a
+## time ceiling, driven cold then warm; every response's `source` is
+## verified and warm hits must not lose to cold computes (see
+## benchmarks/serve_smoke.sh); writes benchmarks/output/BENCH_serve_smoke.json.
+serve-smoke:
+	sh benchmarks/serve_smoke.sh

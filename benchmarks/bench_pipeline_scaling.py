@@ -14,7 +14,9 @@ Times, per world (small / medium):
   fan-out on route propagation, served by one persistent broadcast
   pool (its spawn/broadcast stats land in the report; on a single-core
   box parallel is expected to be slower, not faster, and the
-  ``--parallel-floor`` gate auto-skips there).
+  ``--parallel-floor`` gate auto-skips there — recorded explicitly as
+  a ``parallel_gate`` entry with ``status: skipped`` and
+  ``reason: insufficient_cpus``, never silently omitted).
 
 Each world entry also records a per-stage wall-clock breakdown from a
 traced serial run, and the report carries host provenance (logical
@@ -132,6 +134,38 @@ def usable_cpus() -> int:
     if hasattr(os, "sched_getaffinity"):
         return len(os.sched_getaffinity(0))
     return os.cpu_count() or 1
+
+
+def parallel_gate_record(
+    floor: float, cpus_usable: int, measured: float
+) -> dict:
+    """The structured ``parallel_gate`` entry for the report.
+
+    Always present (so a reader never has to guess whether the gate
+    ran), with an explicit ``status``:
+
+    * ``disabled`` — no floor requested (``--parallel-floor 0``);
+    * ``skipped`` / ``reason: insufficient_cpus`` — a floor was
+      requested but the host has fewer than 2 usable CPUs, where the
+      fan-out's processes time-slice one core and parallel is expected
+      to trail serial: the gate cannot be meaningful, and the record
+      says so instead of silently omitting the result;
+    * ``passed`` / ``failed`` — the floor was enforced against the
+      measured parallel-vs-serial speedup.
+    """
+    record: dict = {"floor": floor, "cpus_usable": cpus_usable}
+    if not floor:
+        return {**record, "status": "disabled"}
+    if cpus_usable < 2:
+        return {
+            **record,
+            "status": "skipped",
+            "reason": "insufficient_cpus",
+            "needs_cpus": 2,
+        }
+    record["measured"] = measured
+    record["status"] = "passed" if measured >= floor else "failed"
+    return record
 
 
 def stage_timings(tracer: Tracer) -> dict[str, float]:
@@ -285,7 +319,7 @@ def main(argv: list[str] | None = None) -> int:
 
     cpus = usable_cpus()
     report = {
-        "schema": "bench_pipeline/2",
+        "schema": "bench_pipeline/3",
         "cpus": os.cpu_count(),
         "cpus_usable": cpus,
         "python": platform.python_version(),
@@ -327,25 +361,20 @@ def main(argv: list[str] | None = None) -> int:
             f"indexed sweep speedup {last_speedup:.2f}x is below the "
             f"{args.min_speedup:.2f}x floor"
         )
-    if args.parallel_floor:
-        if cpus < 2:
-            # the gate cannot be meaningful on a single-CPU host: the
-            # fan-out's processes time-slice one core, so parallel is
-            # expected to trail serial there
-            report["parallel_gate"] = (
-                f"skipped: {cpus} usable CPU(s), gate needs >= 2"
-            )
-            print(f"[gate] {report['parallel_gate']}", flush=True)
-        else:
-            report["parallel_gate"] = (
-                f"enforced: floor {args.parallel_floor:.2f}x, "
-                f"measured {last_parallel:.2f}x"
-            )
-            if last_parallel < args.parallel_floor:
-                failures.append(
-                    f"parallel pipeline speedup {last_parallel:.2f}x is "
-                    f"below the {args.parallel_floor:.2f}x floor"
-                )
+    gate = parallel_gate_record(args.parallel_floor, cpus, last_parallel)
+    report["parallel_gate"] = gate
+    if gate["status"] != "disabled":
+        detail = (
+            f"{gate['reason']} ({cpus} usable, needs {gate['needs_cpus']})"
+            if gate["status"] == "skipped"
+            else f"floor {gate['floor']:.2f}x, measured {gate['measured']:.2f}x"
+        )
+        print(f"[gate] parallel {gate['status']}: {detail}", flush=True)
+    if gate["status"] == "failed":
+        failures.append(
+            f"parallel pipeline speedup {last_parallel:.2f}x is "
+            f"below the {args.parallel_floor:.2f}x floor"
+        )
 
     out = Path(args.output)
     out.write_text(json.dumps(report, indent=2) + "\n")

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Serving gate: a real repro-serve daemon (ephemeral port) on the
+# small world under a hard time ceiling, driven cold then warm by the
+# bench_serve load generator. Fails loudly when a response's `source`
+# is wrong (a warm query that recomputed, or a cold one that claimed a
+# store hit), when the warm-hit speedup drops below the floor, or when
+# the run regresses past the ceiling.
+#
+# Usage:  sh benchmarks/serve_smoke.sh [ceiling-seconds]
+#
+# The floor is left at 1.0 here: on the small world a cold compute is
+# ~2 ms, so HTTP/JSON overhead dominates both sides and sharper ratios
+# are noise — `make bench-serve` runs the medium world with the real
+# 100x warm-hit floor.
+set -eu
+
+CEILING="${1:-120}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT="$ROOT/benchmarks/output"
+mkdir -p "$OUT"
+
+status=0
+timeout "$CEILING" env PYTHONPATH="$ROOT/src" python \
+    "$ROOT/benchmarks/bench_serve.py" \
+    --world small --rounds 5 --warm-floor 1.0 \
+    --output "$OUT/BENCH_serve_smoke.json" || status=$?
+
+if [ "$status" -eq 124 ]; then
+    echo "FAIL: serve smoke exceeded the ${CEILING}s ceiling" >&2
+    exit 1
+elif [ "$status" -ne 0 ]; then
+    echo "FAIL: serve smoke exited with status $status" >&2
+    exit "$status"
+fi
+echo "serve smoke OK (ceiling ${CEILING}s)"

@@ -22,6 +22,10 @@ Subcommands mirror the paper's workflow:
 * ``lint``        — run the repro-lint static analyzer (determinism /
   purity / metric-correctness rules R001–R008) against the baseline;
   ``--trace`` appends the obs stage report with the ``lint.*`` metrics;
+* ``serve``       — load the world once and answer ``/rank`` /
+  ``/report`` / ``/case-study`` / ``/healthz`` over HTTP, warm queries
+  served from the content-keyed artifact store (also installed as the
+  standalone ``repro-serve`` script; see :mod:`repro.serve.cli`);
 * ``sweep``       — batch rankings: every requested metric × country in
   one pass through the shared path index and cross-metric caches
   (Tables 9–12 style output at scale);
@@ -373,6 +377,13 @@ def main(argv: list[str] | None = None) -> int:
         help="append the obs stage report with the monitor.* metrics",
     )
 
+    serve = sub.add_parser(
+        "serve", help="serve rankings over HTTP from one loaded world"
+    )
+    from repro.serve.cli import add_serve_arguments, run_serve
+
+    add_serve_arguments(serve)
+
     lint = sub.add_parser(
         "lint", help="run the repro-lint static analyzer (rules R001-R012, "
                      "including the whole-program tier)"
@@ -392,6 +403,12 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     args = parser.parse_args(argv)
+
+    # -- flag sanity (before any file or pipeline work) ----------------------
+    if getattr(args, "k", None) is not None and args.k < 1:
+        return _fail(f"-k must be >= 1 (got {args.k})")
+    if args.command == "stability" and args.trials < 1:
+        return _fail(f"--trials must be >= 1 (got {args.trials})")
 
     if args.command == "replay":
         spec = maybe_spec(args.metric)
@@ -417,6 +434,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "watch":
         return _run_watch(args)
+
+    if args.command == "serve":
+        return run_serve(args, prog="repro-rank")
 
     if args.command == "lint":
         baseline = (

@@ -275,6 +275,16 @@ def stage_report(tracer: Tracer, title: str = "pipeline stage report") -> str:
             if key.startswith("monitor."):
                 lines.append(f"  {key:<28}{value:>10g}")
 
+    serve_counters = [key for key in counters if key.startswith("serve.")]
+    if serve_counters:
+        lines.append("")
+        lines.append("-- serve (daemon run stats) --")
+        for key in serve_counters:
+            lines.append(f"  {key:<28}{counters[key]:>10}")
+        for key, value in gauges.items():
+            if key.startswith("serve."):
+                lines.append(f"  {key:<28}{value:>10g}")
+
     histograms = tracer.metrics.histograms()
     if histograms:
         lines.append("")

@@ -25,6 +25,7 @@ fault-free run produces over the same surviving input.
 from repro.resilience.checkpoint import (
     Checkpoint,
     CheckpointError,
+    config_knobs,
     ranking_from_payload,
     ranking_to_payload,
     sweep_key,
@@ -50,6 +51,7 @@ __all__ = [
     "Quarantine",
     "QuarantinedLine",
     "RetryPolicy",
+    "config_knobs",
     "ranking_from_payload",
     "ranking_to_payload",
     "resilient_map",

@@ -24,6 +24,8 @@ File format (one JSON object per line)::
 from __future__ import annotations
 
 import json
+import os
+import warnings
 from pathlib import Path
 from typing import IO, Mapping
 
@@ -75,12 +77,15 @@ class Checkpoint:
         return self._done.get(unit)
 
     def put(self, unit: str, payload: object) -> None:
-        """Record one completed unit (appended and flushed)."""
+        """Record one completed unit (appended, flushed, and fsynced —
+        a crash loses at most the unit in flight, and :meth:`_load`
+        truncates any torn trailing line that write leaves behind)."""
         handle = self._ensure_handle()
         handle.write(json.dumps({
             "type": "unit", "unit": unit, "payload": payload,
         }, sort_keys=True) + "\n")
         handle.flush()
+        os.fsync(handle.fileno())
         self._done[unit] = payload
 
     def close(self) -> None:
@@ -97,27 +102,60 @@ class Checkpoint:
     # -- internals ------------------------------------------------------------
 
     def _load(self) -> None:
-        if not self.path.is_file():
-            return
+        """Load every unit recorded under this key, tolerating a torn
+        trailing line.
+
+        A crash mid-append leaves a final line with no terminating
+        newline (possibly partial JSON). That tail is *dropped and the
+        file truncated* to the last complete line before any append —
+        otherwise the next :meth:`put` would concatenate onto the torn
+        fragment and corrupt two records at once. The recoverable
+        newline-terminated prefix is kept, so resume still replays
+        every fully-banked unit; the unit in flight is simply
+        recomputed. Corruption *before* the final line is not a
+        crash-append signature, so the whole file is distrusted and
+        resume starts fresh.
+        """
         try:
-            with open(self.path, "rt", encoding="utf-8") as handle:
-                header = json.loads(handle.readline())
-                if (
-                    not isinstance(header, dict)
-                    or header.get("format") != FORMAT_NAME
-                    or header.get("version") != FORMAT_VERSION
-                    or header.get("key") != self.key
-                ):
-                    return  # foreign or stale checkpoint: start fresh
-                for line in handle:
-                    entry = json.loads(line)
-                    if entry.get("type") == "unit":
-                        self._done[entry["unit"]] = entry["payload"]
-        except (OSError, ValueError, KeyError):
-            # unreadable or torn file (e.g. a crash mid-write): the
-            # recoverable prefix was already banked line-by-line above,
-            # and anything unparsed is simply recomputed
+            raw = self.path.read_bytes()
+        except OSError:
             return
+        if not raw:
+            return
+        body, _, torn = raw.rpartition(b"\n")  # torn == b"" for a clean file
+        entries: list[object] = []
+        for line in body.split(b"\n") if body else []:
+            try:
+                entries.append(json.loads(line))
+            except ValueError:
+                return  # mid-file corruption: distrust the whole file
+        header = entries[0] if entries else None
+        if (
+            isinstance(header, dict)
+            and header.get("format") == FORMAT_NAME
+            and header.get("version") == FORMAT_VERSION
+            and header.get("key") == self.key
+        ):
+            for entry in entries[1:]:
+                if isinstance(entry, dict) and entry.get("type") == "unit":
+                    self._done[entry["unit"]] = entry.get("payload")
+        if torn:
+            warnings.warn(
+                f"checkpoint {self.path}: dropped a torn trailing line "
+                f"({len(torn)} bytes, crash mid-append?) — "
+                f"{len(self._done)} banked unit(s) kept, the unit in "
+                "flight will be recomputed",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            try:
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(len(body) + 1 if body else 0)
+                    os.fsync(handle.fileno())
+            except OSError:
+                # cannot repair in place: appending would corrupt, so
+                # distrust the file and start fresh (first put rewrites)
+                self._done.clear()
 
     def _ensure_handle(self) -> IO[str]:
         if self._handle is None:
@@ -131,10 +169,30 @@ class Checkpoint:
                     "version": FORMAT_VERSION, "key": self.key,
                 }, sort_keys=True) + "\n")
                 self._handle.flush()
+                os.fsync(self._handle.fileno())
         return self._handle
 
 
 # -- content keys -------------------------------------------------------------
+
+#: Config attributes that shape ranking *values*. Telemetry, fan-out
+#: (``workers``), and resilience knobs are deliberately excluded — they
+#: never change output bytes. Shared by every content key (sweep,
+#: trials, and the serving layer's artifact store).
+SEMANTIC_KNOBS = (
+    "rib", "geo_noise_rate", "geo_miss_rate", "geo_threshold", "trim",
+    "use_inferred_relationships", "tiebreak", "path_diversity",
+    "family", "seed",
+)
+
+
+def config_knobs(config: object) -> str:
+    """The semantic-knob fragment of a content key (value-exact:
+    floats go through ``repr``)."""
+    return ";".join(
+        f"{name}={getattr(config, name)!r}"
+        for name in SEMANTIC_KNOBS if hasattr(config, name)
+    )
 
 
 def sweep_key(
@@ -144,18 +202,8 @@ def sweep_key(
     countries: tuple[str, ...] | list[str] | None,
 ) -> str:
     """The content key for a ``rank_all`` sweep: world + every config
-    knob that shapes ranking values + the request itself. Telemetry,
-    worker-count, and resilience knobs are deliberately excluded — they
-    never change outputs."""
-    semantic = (
-        "rib", "geo_noise_rate", "geo_miss_rate", "geo_threshold", "trim",
-        "use_inferred_relationships", "tiebreak", "path_diversity",
-        "family", "seed",
-    )
-    knobs = ";".join(
-        f"{name}={getattr(config, name)!r}"
-        for name in semantic if hasattr(config, name)
-    )
+    knob that shapes ranking values + the request itself."""
+    knobs = config_knobs(config)
     wanted = ",".join(metrics)
     where = ",".join(countries) if countries is not None else "<auto>"
     return f"sweep/world={world_name}/{knobs}/metrics={wanted}/countries={where}"

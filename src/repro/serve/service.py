@@ -1,0 +1,256 @@
+"""The serving application layer: queries over one loaded world.
+
+:class:`RankingService` is the pure API beneath the HTTP presentation
+(:mod:`repro.serve.http`): plain methods taking query arguments and
+returning JSON-safe dicts, unit-testable without sockets. The layering
+mirrors the domain/application/presentation split the serving ROADMAP
+item calls for — the service owns validation, store lookup, on-demand
+compute, and telemetry; the HTTP handler owns nothing but parsing and
+status codes.
+
+Contract (pinned by ``tests/serve/``):
+
+* the ``text`` field of a :meth:`rank` response is **byte-identical**
+  to ``repro-rank rank METRIC COUNTRY`` output for every registered
+  metric — whether it was computed on demand or served from the store
+  (:func:`~repro.resilience.checkpoint.ranking_to_payload` is
+  value-exact, so a round-tripped ranking renders the same bytes);
+* a store hit answers without touching the pipeline: no propagation,
+  no view construction, no metric math (``serve.store.hits``
+  increments, ``PipelineResult`` memos stay cold);
+* responses are deterministic under concurrency: N threads issuing
+  the same query receive identical bodies (one lock serialises
+  compute; the store makes the repeats cheap).
+
+Telemetry (all under the obs layer, observe-only):
+``serve.requests`` / ``serve.computed`` / ``serve.errors`` counters,
+``serve.store.hits`` / ``serve.store.misses`` from the store, and a
+``serve.latency_ms`` histogram fed from the request span's duration —
+the clock stays inside :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.analysis.case_studies import case_study_table, render_case_study
+from repro.analysis.reports import country_report
+from repro.core.pipeline import PipelineResult
+from repro.core.registry import (
+    MetricSpec,
+    get_spec,
+    maybe_spec,
+    metric_names,
+    normalize_country,
+)
+from repro.obs.trace import NULL_TRACER, AnyTracer
+from repro.serve.store import ArtifactStore
+
+
+class QueryError(ValueError):
+    """An invalid query: HTTP 400 at the presentation layer, exit 2
+    at the CLI."""
+
+
+class RankingService:
+    """Answers ranking/report/case-study queries over one pipeline run.
+
+    The service never recomputes the world: the
+    :class:`~repro.core.pipeline.PipelineResult` is loaded once (at
+    daemon startup) and every query is a store lookup first, an
+    on-demand registry-dispatched compute on miss. Repeated queries
+    share the result's path index and cross-metric
+    :class:`~repro.perf.cache.ViewComputation` caches, so even misses
+    amortise across metrics on the same view.
+    """
+
+    def __init__(
+        self,
+        result: PipelineResult,
+        store: ArtifactStore,
+        tracer: AnyTracer = NULL_TRACER,
+    ) -> None:
+        self.result = result
+        self.store = store
+        self.fingerprint = result.world.fingerprint()
+        self._tracer = tracer
+        self._lock = threading.Lock()
+        self.requests = 0
+
+    # -- queries -------------------------------------------------------------
+
+    def rank(
+        self, metric: str, country: str | None = None, k: int = 10
+    ) -> dict:
+        """One metric's top-k, store-first.
+
+        ``source`` in the response says where the ranking came from:
+        ``"store"`` (warm hit) or ``"computed"`` (miss, computed
+        through the registry and banked).
+        """
+        with self._lock:
+            return self._observed(
+                "rank", lambda: self._rank(metric, country, k)
+            )
+
+    def report(self, country: str | None) -> dict:
+        """The full markdown country profile."""
+        with self._lock:
+            return self._observed("report", lambda: self._report(country))
+
+    def case_study(self, country: str | None) -> dict:
+        """The Table-5-style four-metric case-study table."""
+        with self._lock:
+            return self._observed(
+                "case-study", lambda: self._case_study(country)
+            )
+
+    def health(self) -> dict:
+        """Liveness plus store/world identity (cheap: no compute)."""
+        with self._lock:
+            return self._observed("healthz", self._health)
+
+    def precompute(
+        self,
+        metrics: tuple[str, ...] | list[str] | None = None,
+        countries: tuple[str, ...] | list[str] | None = None,
+    ) -> int:
+        """Bank a full sweep into the store (the warm-start path a
+        daemon runs before binding). Returns the number of units
+        banked. Counters are untouched — precompute is provisioning,
+        not traffic."""
+        with self._lock:
+            rankings = self.result.rank_all(metrics, countries)
+            for (metric, country), ranking in rankings.items():
+                self.store.put(get_spec(metric), country, ranking)
+            return len(rankings)
+
+    # -- internals -----------------------------------------------------------
+
+    def _observed(self, endpoint: str, thunk: Callable[[], dict]) -> dict:
+        """Run one query under the request span/counters; the latency
+        histogram is fed from the span's own duration so the service
+        never reads a clock itself."""
+        tracer = self._tracer
+        self.requests += 1
+        tracer.metrics.counter("serve.requests").inc()
+        tracer.metrics.counter(f"serve.requests.{endpoint}").inc()
+        try:
+            with tracer.span("serve.request", endpoint=endpoint):
+                payload = thunk()
+        except QueryError:
+            tracer.metrics.counter("serve.errors").inc()
+            raise
+        if tracer.enabled:
+            tracer.metrics.histogram("serve.latency_ms").observe(
+                tracer.spans[-1].dur_s * 1000.0
+            )
+        return payload
+
+    def _rank(self, metric: str, country: str | None, k: int) -> dict:
+        spec = self._spec(metric)
+        code = self._metric_country(spec, country)
+        if k < 1:
+            raise QueryError(f"k must be >= 1 (got {k})")
+        ranking = self.store.get(spec, code)
+        source = "store"
+        if ranking is None:
+            ranking = self.result.ranking(spec.name, code)
+            self.store.put(spec, code, ranking)
+            source = "computed"
+            self._tracer.metrics.counter("serve.computed").inc()
+        return {
+            "metric": spec.name,
+            "country": code,
+            "k": k,
+            "source": source,
+            "label": spec.label_for(code),
+            "entries": [
+                {
+                    "rank": entry.rank,
+                    "asn": entry.asn,
+                    "value": entry.value,
+                    "share": entry.share,
+                    "name": self.result.as_name(entry.asn),
+                }
+                for entry in ranking.top(k)
+            ],
+            "text": ranking.render(k, self.result.as_name),
+        }
+
+    def _report(self, country: str | None) -> dict:
+        code = self._known_country(country)
+        return {
+            "country": code,
+            "markdown": country_report(self.result, code).markdown,
+        }
+
+    def _case_study(self, country: str | None) -> dict:
+        code = self._known_country(country)
+        rows = case_study_table(self.result, code)
+        return {
+            "country": code,
+            "rows": [
+                {
+                    "asn": row.asn,
+                    "name": row.name,
+                    "registry_country": row.registry_country,
+                    "ccg_rank": row.ccg_rank,
+                    "cells": {
+                        metric: [rank, share]
+                        for metric, (rank, share) in row.cells.items()
+                    },
+                }
+                for row in rows
+            ],
+            "text": render_case_study(rows, code),
+        }
+
+    def _health(self) -> dict:
+        return {
+            "status": "ok",
+            "world": self.result.world.name,
+            "fingerprint": self.fingerprint,
+            "records": len(self.result.paths.records),
+            "metrics": list(metric_names()),
+            "requests": self.requests,
+            "store": {
+                "hits": self.store.hits,
+                "misses": self.store.misses,
+                "entries": len(self.store),
+                "persisted": self.store.persisted,
+            },
+        }
+
+    # -- validation ----------------------------------------------------------
+
+    def _spec(self, metric: str) -> MetricSpec:
+        spec = maybe_spec(metric)
+        if spec is None:
+            raise QueryError(
+                f"unknown metric {metric!r} "
+                f"(valid: {', '.join(metric_names())})"
+            )
+        return spec
+
+    def _metric_country(
+        self, spec: MetricSpec, country: str | None
+    ) -> str | None:
+        if not spec.needs_country:
+            return None
+        if country is None:
+            raise QueryError(f"metric {spec.name} requires a country code")
+        return self._known_country(country)
+
+    def _known_country(self, country: str | None) -> str:
+        if country is None:
+            raise QueryError("this query requires a country code")
+        code = normalize_country(country)
+        world = self.result.world
+        if code not in world.countries:
+            raise QueryError(
+                f"unknown country {country!r} for world {world.name!r} "
+                f"(valid: {', '.join(world.countries.codes())})"
+            )
+        return code

@@ -8,6 +8,8 @@ sanitization, rankings — consumes a world.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 from repro.bgp.collectors import CollectorSet
@@ -67,6 +69,56 @@ class World:
                     f"AS{asn} origination {record.prefix} references unknown "
                     f"country {record.foreign_country}"
                 )
+
+    def fingerprint(self) -> str:
+        """A digest of the world's *content* — everything that shapes
+        rankings: the AS graph (nodes, roles, originations), the edge
+        set with relationship labels, the country registry, and the
+        collector/VP fabric.
+
+        ``name`` is deliberately excluded: two worlds with the same
+        catalog label but different content must fingerprint apart
+        (the serving layer's artifact store keys on this, so a
+        regenerated ``name@seed`` world with different content misses
+        the cache instead of serving stale rankings), and two
+        identical worlds under different labels fingerprint together.
+        Floats round-trip through ``repr`` so the digest is value-exact.
+        """
+        graph = self.graph
+        content = {
+            "countries": sorted(self.countries.codes()),
+            "ases": [
+                [
+                    node.asn, node.name, node.registry_country,
+                    node.role.value,
+                    [
+                        [
+                            str(record.prefix), record.country,
+                            repr(record.foreign_share),
+                            record.foreign_country or "",
+                        ]
+                        for record in node.prefixes
+                    ],
+                ]
+                for node in sorted(graph.nodes(), key=lambda n: n.asn)
+            ],
+            "edges": sorted(
+                [left, right, relationship.value]
+                for left, right, relationship in graph.edges()
+            ),
+            "collectors": [
+                [
+                    collector.name, collector.project.value,
+                    collector.country, collector.multihop,
+                    [[vp.ip, vp.asn] for vp in collector.vps],
+                ]
+                for collector in sorted(self.collectors, key=lambda c: c.name)
+            ],
+        }
+        serialized = json.dumps(
+            content, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        return hashlib.sha256(serialized).hexdigest()[:16]
 
     def summary(self) -> dict[str, int]:
         """Headline sizes for logging and reports."""

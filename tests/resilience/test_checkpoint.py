@@ -55,19 +55,100 @@ class TestCheckpoint:
         assert fresh.loaded == 0
 
     def test_torn_tail_keeps_prefix(self, tmp_path):
+        import warnings
+
         path = tmp_path / "ck.jsonl"
         with Checkpoint.open(path, "key-a") as ck:
             ck.put("unit:1", 1)
             ck.put("unit:2", 2)
         with open(path, "at", encoding="utf-8") as handle:
             handle.write('{"type": "unit", "unit": "unit:3", "payl')
-        resumed = Checkpoint.open(path, "key-a")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            resumed = Checkpoint.open(path, "key-a")
         assert resumed.loaded == 2
         assert resumed.get("unit:3") is None
 
     def test_missing_file_is_empty(self, tmp_path):
         ck = Checkpoint.open(tmp_path / "absent.jsonl", "key-a")
         assert ck.loaded == 0
+
+    def test_torn_tail_warns(self, tmp_path):
+        import pytest
+
+        path = tmp_path / "ck.jsonl"
+        with Checkpoint.open(path, "key-a") as ck:
+            ck.put("unit:1", 1)
+        with open(path, "ab") as handle:
+            handle.write(b'{"type": "unit", "un')
+        with pytest.warns(RuntimeWarning, match="torn trailing line"):
+            resumed = Checkpoint.open(path, "key-a")
+        assert resumed.loaded == 1
+
+    def test_torn_tail_truncated_before_append(self, tmp_path):
+        """The regression: resume used to leave the torn fragment in
+        the file, so the next ``put`` concatenated onto it and
+        corrupted two records at once. The torn tail must be gone
+        from disk before any append."""
+        import warnings
+
+        path = tmp_path / "ck.jsonl"
+        with Checkpoint.open(path, "key-a") as ck:
+            ck.put("unit:1", 1)
+            ck.put("unit:2", 2)
+        with open(path, "ab") as handle:
+            handle.write(b'{"type": "unit", "unit": "unit:3", "payl')
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with Checkpoint.open(path, "key-a") as resumed:
+                assert resumed.loaded == 2
+                resumed.put("unit:3", 3)
+        # every line on disk must now parse — no concatenated garbage
+        lines = path.read_bytes().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert [e["unit"] for e in parsed if e["type"] == "unit"] == [
+            "unit:1", "unit:2", "unit:3",
+        ]
+        # and a fresh resume sees all three units
+        final = Checkpoint.open(path, "key-a")
+        assert final.loaded == 3
+        assert final.get("unit:3") == 3
+
+    def test_torn_tail_any_byte_length(self, tmp_path):
+        """Byte-wise sweep: a crash can tear the final append at any
+        byte. Every prefix of the last line must resume to exactly the
+        complete lines before it, and the file must be repaired."""
+        import warnings
+
+        path = tmp_path / "ck.jsonl"
+        with Checkpoint.open(path, "key-a") as ck:
+            ck.put("unit:1", {"x": 1})
+            ck.put("unit:2", {"y": 2})
+        raw = path.read_bytes()
+        last_line_start = raw.rstrip(b"\n").rfind(b"\n") + 1
+        for cut in range(last_line_start + 1, len(raw)):
+            torn = tmp_path / f"torn-{cut}.jsonl"
+            torn.write_bytes(raw[:cut])
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                resumed = Checkpoint.open(torn, "key-a")
+            expected = raw[:cut].count(b"\n") - 1  # minus the header
+            assert resumed.loaded == expected, f"cut at byte {cut}"
+            assert torn.read_bytes() == raw[: raw[:cut].rfind(b"\n") + 1]
+
+    def test_mid_file_corruption_distrusts_whole_file(self, tmp_path):
+        """A flipped byte *before* the final line is not a crash-append
+        signature — resume must start fresh rather than trust the rest."""
+        path = tmp_path / "ck.jsonl"
+        with Checkpoint.open(path, "key-a") as ck:
+            ck.put("unit:1", 1)
+            ck.put("unit:2", 2)
+        raw = bytearray(path.read_bytes())
+        middle = raw.index(b'"unit:1"')
+        raw[middle] = 0x00
+        path.write_bytes(bytes(raw))
+        resumed = Checkpoint.open(path, "key-a")
+        assert resumed.loaded == 0
 
     def test_fresh_open_truncates_on_first_put(self, tmp_path):
         path = tmp_path / "ck.jsonl"

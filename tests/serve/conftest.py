@@ -1,0 +1,12 @@
+"""Shared fixtures: one small pipeline run for the whole serve suite."""
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig, run_pipeline
+from repro.topology.catalog import build_world
+
+
+@pytest.fixture(scope="session")
+def small_result():
+    world = build_world("small", 0)
+    return run_pipeline(world, PipelineConfig(seed=0))

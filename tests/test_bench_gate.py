@@ -1,0 +1,53 @@
+"""Tests for the benchmark's parallel-floor gate record.
+
+The 1-CPU bugfix: a host too small to enforce the gate must emit an
+explicit ``status: skipped`` / ``reason: insufficient_cpus`` record
+into ``BENCH_pipeline.json`` — never silently omit the gate, which
+read as "everything passed" on single-core CI boxes.
+"""
+
+import importlib.util
+from pathlib import Path
+
+_BENCH = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location(
+        "bench_pipeline_scaling", _BENCH / "bench_pipeline_scaling.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestParallelGateRecord:
+    def setup_method(self):
+        self.record = _load_bench().parallel_gate_record
+
+    def test_disabled_when_no_floor(self):
+        gate = self.record(0.0, 8, 2.5)
+        assert gate["status"] == "disabled"
+        assert gate["cpus_usable"] == 8
+
+    def test_skipped_on_single_cpu(self):
+        gate = self.record(1.0, 1, 0.4)
+        assert gate == {
+            "floor": 1.0,
+            "cpus_usable": 1,
+            "status": "skipped",
+            "reason": "insufficient_cpus",
+            "needs_cpus": 2,
+        }
+        assert "measured" not in gate  # an unenforceable number is noise
+
+    def test_passed_at_floor(self):
+        gate = self.record(1.0, 4, 1.0)
+        assert gate["status"] == "passed"
+        assert gate["measured"] == 1.0
+
+    def test_failed_below_floor(self):
+        gate = self.record(2.0, 4, 1.3)
+        assert gate["status"] == "failed"
+        assert gate["floor"] == 2.0
+        assert gate["measured"] == 1.3

@@ -151,6 +151,26 @@ class TestSweepCheckpoint:
         assert main(self.ARGS + ["--resume"]) == 2
         assert "--resume requires --checkpoint" in capsys.readouterr().err
 
+    def test_torn_checkpoint_resume_byte_identical(self, capsys, tmp_path):
+        """A crash mid-append leaves a torn trailing line; the resumed
+        sweep must still produce byte-identical output."""
+        import warnings
+
+        args = [
+            "--world", "small", "sweep",
+            "--metrics", "AHN,CCI", "--countries", "AU", "-k", "2",
+        ]
+        path = tmp_path / "sweep.ck"
+        assert main(args + ["--checkpoint", str(path)]) == 0
+        first = capsys.readouterr().out
+        raw = path.read_bytes()
+        torn_at = raw.rstrip(b"\n").rfind(b"\n") + 1
+        path.write_bytes(raw[: (torn_at + len(raw)) // 2])  # tear mid-line
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            assert main(args + ["--checkpoint", str(path), "--resume"]) == 0
+        assert capsys.readouterr().out == first
+
 
 class TestWatch:
     ARGS = ["watch", "small@0", "small@1", "--metrics", "AHN", "--countries", "AU"]
@@ -316,3 +336,60 @@ class TestValidation:
             "--world", "small", "release", str(target), "--countries", "AU",
         ]) == 0
         return str(target / "paths.jsonl")
+
+
+class TestFlagSanity:
+    """Malformed numeric flags exit 2 with a message, never a traceback."""
+
+    @pytest.mark.parametrize("argv,message", [
+        (["--world", "small", "rank", "AHN", "AU", "-k", "0"],
+         "-k must be >= 1"),
+        (["--world", "small", "sweep", "--countries", "AU", "-k", "-3"],
+         "-k must be >= 1"),
+        (["replay", "nonexistent.jsonl", "AHN", "AU", "-k", "0"],
+         "-k must be >= 1"),  # rejected before the paths file is touched
+        (["--world", "small", "stability", "AU", "--trials", "0"],
+         "--trials must be >= 1"),
+        (["--world", "small", "--workers", "0", "rank", "AHN", "AU"],
+         "--workers must be >= 1"),
+        (["watch", "small@0", "small@1", "--top", "0"],
+         "top must be >= 1"),
+        (["--workers", "0", "watch", "small@0", "small@1"],
+         "--workers must be >= 1"),
+    ])
+    def test_exit_2_with_message(self, capsys, argv, message):
+        assert main(argv) == 2
+        assert message in capsys.readouterr().err
+
+
+class TestServeValidation:
+    """The serve flags follow the same exit-2 discipline."""
+
+    @pytest.mark.parametrize("argv,message", [
+        (["serve", "--port", "70000"], "--port must be in 0..65535"),
+        (["serve", "--port", "-1"], "--port must be in 0..65535"),
+        (["serve", "--max-requests", "0"], "--max-requests must be >= 1"),
+        (["serve", "--no-resume"], "--no-resume requires --store"),
+        (["serve", "--precompute", ""],
+         "--precompute needs at least one metric"),
+        (["serve", "--precompute", "NOPE"], "unknown metric 'NOPE'"),
+        (["serve", "--precompute", "AHN", "--countries", ","],
+         "--countries needs at least one country"),
+        (["serve", "--precompute", "AHN", "--countries", "AU,ZZ"],
+         "unknown country 'ZZ'"),
+    ])
+    def test_exit_2_with_message(self, capsys, argv, message):
+        assert main(["--world", "small"] + argv) == 2
+        err = capsys.readouterr().err
+        assert "repro-rank: error:" in err
+        assert message in err
+
+    def test_workers_validated_before_serving(self, capsys):
+        assert main(["--world", "small", "--workers", "0", "serve"]) == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_standalone_entry_point(self, capsys):
+        from repro.serve.cli import main as serve_main
+
+        assert serve_main(["--port", "99999"]) == 2
+        assert "repro-serve: error:" in capsys.readouterr().err
