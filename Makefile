@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-wp lint-sarif faults bench bench-smoke bench-serve watch-smoke serve-smoke profile
+.PHONY: test lint lint-wp lint-sarif faults bench bench-smoke bench-serve bench-large bench-large-smoke watch-smoke serve-smoke profile
 
 ## Default verification: static analysis first (per-file and
 ## whole-program tiers, then the R009-R012 self-check and the SARIF
@@ -9,12 +9,15 @@ export PYTHONPATH := src
 ## suite), then the fault suite once more on its own so a recovery
 ## regression is named explicitly, then the watch smoke (monitoring
 ## engine end-to-end + event schema), then the serve smoke (daemon
-## end-to-end over a real socket + warm-hit floor).
+## end-to-end over a real socket + warm-hit floor), then the
+## out-of-core smoke (spill-backed pipeline + RSS gate at reduced
+## scale).
 test: lint lint-wp lint-sarif
 	$(PYTHON) -m pytest -x -q
 	$(MAKE) faults
 	$(MAKE) watch-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) bench-large-smoke
 
 ## Fault-injection suite: deterministic worker kills, hung chunks,
 ## mid-sweep crashes, and corrupted dump lines, each required to
@@ -67,6 +70,23 @@ bench:
 ## is not >= 100x faster than a cold compute.
 bench-serve:
 	$(PYTHON) benchmarks/bench_serve.py --warm-floor 100
+
+## Out-of-core gate, full scale: the catalog's `large` tier (5M+ RIB
+## records) through the mmap spill backend, ranked under a peak-RSS
+## ceiling and a record-count floor; merges a `large_tier` entry into
+## BENCH_pipeline.json. Takes minutes — the smoke variant below is the
+## per-change gate.
+bench-large:
+	$(PYTHON) benchmarks/bench_large_tier.py
+
+## Out-of-core gate, smoke scale: default-world volume through the
+## same spill path and gates (reduced floors), fast enough for `make
+## test`. Writes its entry to benchmarks/output/BENCH_large_smoke.json
+## so the checked-in BENCH_pipeline.json stays the full-tier record.
+bench-large-smoke:
+	mkdir -p benchmarks/output
+	$(PYTHON) benchmarks/bench_large_tier.py --smoke \
+		--output benchmarks/output/BENCH_large_smoke.json
 
 ## Quick perf gate: small world under a time ceiling, plus the
 ## parallel >= serial floor at workers=2 (auto-skipped on hosts with

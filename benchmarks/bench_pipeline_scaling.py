@@ -18,9 +18,11 @@ Times, per world (small / medium):
   a ``parallel_gate`` entry with ``status: skipped`` and
   ``reason: insufficient_cpus``, never silently omitted).
 
-Each world entry also records a per-stage wall-clock breakdown from a
-traced serial run, and the report carries host provenance (logical
-CPUs, *usable* CPUs via ``sched_getaffinity``, Python, platform).
+Each world entry also records a per-stage wall-clock breakdown and
+per-stage process peak-RSS high-water marks (``peak_rss_bytes``, from
+the tracer's ``getrusage`` sampling) from a traced serial run, and the
+report carries host provenance (logical CPUs, *usable* CPUs via
+``sched_getaffinity``, Python, platform).
 
 Also times the monitoring engine (``repro-rank watch``) over a
 3-snapshot small-world stream with the obs layer off and on, recording
@@ -196,6 +198,7 @@ def bench_world(
     tracer = Tracer()
     run_pipeline(world, PipelineConfig(seed=seed), tracer=tracer)
     stages = stage_timings(tracer)
+    stage_rss = dict(sorted(tracer.rss_peaks.items()))
 
     countries = pick_countries(result, countries_wanted)
     pairs = [(m, c) for m in SWEEP_METRICS for c in countries]
@@ -245,6 +248,7 @@ def bench_world(
         "pairs": len(pairs),
         "pipeline_cold_s": round(pipeline_cold_s, 4),
         "pipeline_stages_s": stages,
+        "peak_rss_bytes": stage_rss,
         "pipeline_parallel_s": round(pipeline_parallel_s, 4),
         "speedup_parallel_vs_serial": round(parallel_speedup, 2),
         "workers": workers,
@@ -319,7 +323,7 @@ def main(argv: list[str] | None = None) -> int:
 
     cpus = usable_cpus()
     report = {
-        "schema": "bench_pipeline/3",
+        "schema": "bench_pipeline/4",
         "cpus": os.cpu_count(),
         "cpus_usable": cpus,
         "python": platform.python_version(),

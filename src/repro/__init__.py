@@ -44,8 +44,16 @@ from repro.resilience import (
     RetryPolicy,
     resilient_map,
 )
-from repro.topology.generator import GeneratorConfig, generate_world
-from repro.topology.profiles import default_profiles, small_profiles
+from repro.topology.generator import (
+    GeneratorConfig,
+    generate_world,
+    iter_world_records,
+)
+from repro.topology.profiles import (
+    default_profiles,
+    large_profiles,
+    small_profiles,
+)
 from repro.topology.world import World
 
 __version__ = "1.0.0"
@@ -77,6 +85,8 @@ __all__ = [
     "default_profiles",
     "generate_world",
     "get_spec",
+    "iter_world_records",
+    "large_profiles",
     "metric_names",
     "ndcg",
     "normalize_country",

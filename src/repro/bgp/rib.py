@@ -283,6 +283,19 @@ class RibSeries:
                 path=override if override is not None else path,
             )
 
+    def days(self) -> Iterator["RibDump"]:
+        """The series day by day, lazily.
+
+        Yields one lightweight :class:`RibDump` handle per day — no
+        announcement list is ever materialized; each dump streams its
+        day's announcements on iteration. This is the temporal
+        counterpart of the streaming record protocol: consumers that
+        used to build the full multi-day list (serialization, replay)
+        hold one day handle at a time instead.
+        """
+        for day in range(self.config.days):
+            yield RibDump(self, day)
+
     def total_announcements(self) -> int:
         """Announcement count across all days (Table 1's "total" row)."""
         days = self.config.days

@@ -133,6 +133,8 @@ def run_traced(
     country: str | None = None,
     capture_memory: bool = False,
     world: World | None = None,
+    store_backend: str = "memory",
+    spill_dir: str | None = None,
 ) -> tuple[PipelineResult, Tracer]:
     """Run the full pipeline under a tracer, then compute one ranking
     per metric family (cone, hegemony, AHC, CTI) so the trace covers
@@ -142,7 +144,14 @@ def run_traced(
     if world is None:
         world = build_world(world_kind, seed)
     tracer = Tracer(capture_memory=capture_memory)
-    result = run_pipeline(world, PipelineConfig(seed=seed, trace=True), tracer)
+    result = run_pipeline(
+        world,
+        PipelineConfig(
+            seed=seed, trace=True, store_backend=store_backend,
+            spill_dir=spill_dir,
+        ),
+        tracer,
+    )
     code = country or best_traced_country(result)
     for metric in ("CCI", "AHN", "AHC", "CTI"):
         result.ranking(metric, code)
@@ -236,6 +245,19 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", type=int, default=1,
         help="process fan-out for propagation and stability trials "
              "(results are identical for any value)",
+    )
+    parser.add_argument(
+        "--store", choices=("memory", "mmap"), default="memory",
+        help="path-store backend: 'mmap' spills sanitized records to "
+             "disk and maps them read-only, bounding peak RSS "
+             "(rankings are byte-identical either way)",
+    )
+    parser.add_argument(
+        "--spill-dir", default=None, metavar="DIR",
+        help="spill directory for --store mmap (default: a temporary "
+             "directory, removed when the run finishes; a named "
+             "directory persists and lets an interrupted ingestion "
+             "resume)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -530,6 +552,7 @@ def main(argv: list[str] | None = None) -> int:
         _, tracer = run_traced(
             args.world, args.seed, args.country,
             capture_memory=args.memory, world=world,
+            store_backend=args.store, spill_dir=args.spill_dir,
         )
         if args.json:
             print(to_jsonl(tracer))
@@ -544,7 +567,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     result = run_pipeline(
-        world, PipelineConfig(seed=args.seed, workers=args.workers)
+        world,
+        PipelineConfig(
+            seed=args.seed, workers=args.workers,
+            store_backend=args.store, spill_dir=args.spill_dir,
+        ),
     )
     if args.command == "rank":
         ranking = result.ranking(args.metric, args.country)

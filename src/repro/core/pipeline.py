@@ -95,6 +95,17 @@ class PipelineConfig:
     #: deterministic fault-injection plan (tests and ``make faults``
     #: exercise failure paths with it; None injects nothing)
     faults: "FaultPlan | None" = None
+    #: sanitized-record store backend: ``"memory"`` keeps the record
+    #: list in RAM (the default; numpy SoA mirror with a stdlib-array
+    #: fallback), ``"mmap"`` streams accepted records into an on-disk
+    #: spill and maps it read-only (bounded RSS — the ``large`` tier's
+    #: mode). Output bytes are identical across backends, so neither
+    #: knob is semantic (see ``SEMANTIC_KNOBS``).
+    store_backend: str = "memory"
+    #: spill directory for the mmap backend; ``None`` uses a run-scoped
+    #: temp dir removed by :meth:`PipelineResult.close`. Pass a real
+    #: path to keep the spill (and to resume a torn ingestion).
+    spill_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.path_diversity < 1:
@@ -109,6 +120,11 @@ class PipelineConfig:
         # inputs (dense used to clamp trim >= 0.5 while sparse raised)
         if not 0.0 <= self.trim < 0.5:
             raise ValueError(f"trim out of range: {self.trim}")
+        if self.store_backend not in ("memory", "mmap"):
+            raise ValueError(
+                f"store_backend must be 'memory' or 'mmap', "
+                f"got {self.store_backend!r}"
+            )
 
 
 class PipelineResult:
@@ -129,6 +145,7 @@ class PipelineResult:
         tracer: AnyTracer = NULL_TRACER,
         outcomes: "list[RoutingOutcome] | None" = None,
         pool: "WorkerPool | None" = None,
+        spill_tmp: str | None = None,
     ) -> None:
         self.world = world
         self.config = config
@@ -138,6 +155,9 @@ class PipelineResult:
         #: the persistent worker pool the run's fan-outs shared (None
         #: when the run was serial); stability sweeps reuse it
         self._pool = pool
+        #: run-owned temp spill directory (mmap backend with no
+        #: explicit ``spill_dir``); removed by :meth:`close`
+        self._spill_tmp = spill_tmp
         self.ribs = ribs
         self.geodb = geodb
         self.prefix_geo = prefix_geo
@@ -172,11 +192,19 @@ class PipelineResult:
         return [outcome.basis for outcome in self.outcomes]
 
     def close(self) -> None:
-        """Release the run's worker pool (idempotent; the result's
-        cached views and rankings stay usable)."""
+        """Release the run's worker pool and any run-owned spill temp
+        directory (idempotent; the result's cached views and rankings
+        stay usable — on POSIX even the already-mapped spill columns
+        stay readable until the process exits, but nothing new can be
+        opened from the removed directory)."""
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+        if self._spill_tmp is not None:
+            import shutil
+
+            shutil.rmtree(self._spill_tmp, ignore_errors=True)
+            self._spill_tmp = None
 
     # -- views & batch-engine state -----------------------------------------
 
@@ -492,15 +520,37 @@ class Pipeline:
                 record for record in ribs.records()
                 if record.prefix.version == config.family
             )
-            paths = sanitize(
-                family_records,
-                clique=graph.clique(),
-                is_allocated=graph.asn_registry.is_allocated,
-                route_servers=graph.route_servers(),
-                vp_geo=vp_geo,
-                prefix_geo=prefix_geo,
-                tracer=tracer,
-            )
+            spill_tmp: str | None = None
+            if config.store_backend == "mmap":
+                import tempfile
+
+                from repro.perf.spill import sanitize_to_store
+
+                spill_dir = config.spill_dir
+                if spill_dir is None:
+                    spill_dir = spill_tmp = tempfile.mkdtemp(
+                        prefix="repro-spill-"
+                    )
+                paths = sanitize_to_store(
+                    family_records,
+                    clique=graph.clique(),
+                    is_allocated=graph.asn_registry.is_allocated,
+                    route_servers=graph.route_servers(),
+                    vp_geo=vp_geo,
+                    prefix_geo=prefix_geo,
+                    directory=spill_dir,
+                    tracer=tracer,
+                )
+            else:
+                paths = sanitize(
+                    family_records,
+                    clique=graph.clique(),
+                    is_allocated=graph.asn_registry.is_allocated,
+                    route_servers=graph.route_servers(),
+                    vp_geo=vp_geo,
+                    prefix_geo=prefix_geo,
+                    tracer=tracer,
+                )
             inferred: InferredRelationships | None = None
             oracle: RelationshipOracle = graph
             if config.use_inferred_relationships:
@@ -512,6 +562,7 @@ class Pipeline:
         return PipelineResult(
             world, config, outcome, ribs, geodb, prefix_geo, vp_geo, paths,
             oracle, inferred, tracer, outcomes=outcomes, pool=pool,
+            spill_tmp=spill_tmp,
         )
 
 

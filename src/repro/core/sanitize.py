@@ -24,7 +24,7 @@ matching the paper's accounting of 248M announcements.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Protocol
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Protocol, Sequence
 
 from repro.bgp.announcement import RibRecord
 from repro.bgp.collectors import VantagePoint
@@ -134,9 +134,15 @@ class FilterReport:
 
 @dataclass
 class PathSet:
-    """The sanitized, deduplicated input to every ranking metric."""
+    """The sanitized, deduplicated input to every ranking metric.
 
-    records: list[PathRecord]
+    ``records`` is a plain list for the in-memory backend; the
+    out-of-core path (:func:`repro.perf.spill.sanitize_to_store`) hands
+    in a read-only lazy sequence over mapped columns instead — every
+    consumer treats it as an immutable ``Sequence`` either way.
+    """
+
+    records: Sequence[PathRecord]
     report: FilterReport
     #: lazily-built SoA mirror of the records (see :meth:`store`);
     #: derived state, excluded from equality
@@ -281,7 +287,36 @@ def _sanitize(
     prefix_geo: PrefixGeolocation,
 ) -> PathSet:
     report = FilterReport()
-    out: list[PathRecord] = []
+    out = list(sanitize_stream(
+        records, clique, is_allocated, route_servers, vp_geo, prefix_geo,
+        report,
+    ))
+    return PathSet(records=out, report=report)
+
+
+def sanitize_stream(
+    records: Iterable[RibRecord],
+    clique: frozenset[int],
+    is_allocated: Callable[[int], bool],
+    route_servers: frozenset[int],
+    vp_geo: VPGeolocator,
+    prefix_geo: PrefixGeolocation,
+    report: FilterReport,
+) -> Iterator[PathRecord]:
+    """The Table-1 pass as a generator of accepted records.
+
+    Yields each surviving :class:`PathRecord` as soon as its input
+    record has been judged, mutating ``report`` as a side effect — the
+    streaming protocol the out-of-core spill ingestion
+    (:mod:`repro.perf.spill`) consumes without ever holding the record
+    list. :func:`sanitize` is this generator collected into a
+    :class:`PathSet`; both paths are value-identical record for record.
+
+    A consumer that checkpoints mid-stream may rely on this invariant:
+    whenever a record is yielded, ``report`` accounts for exactly the
+    input records consumed so far (the per-entity memos are pure, so a
+    resumed pass re-derives identical verdicts).
+    """
     # Per-entity memos: path verdicts repeat across records sharing a
     # path object/value, VP location depends only on the collector,
     # and each prefix resolves its (covered, country, addresses) fate
@@ -333,14 +368,11 @@ def _sanitize(
             continue
         assert cleaned is not None and prefix_country is not None
         report.accepted += weight
-        out.append(
-            PathRecord(
-                vp=record.vp,
-                vp_country=vp_country,
-                prefix=prefix,
-                prefix_country=prefix_country,
-                path=cleaned,
-                addresses=addresses,
-            )
+        yield PathRecord(
+            vp=record.vp,
+            vp_country=vp_country,
+            prefix=prefix,
+            prefix_country=prefix_country,
+            path=cleaned,
+            addresses=addresses,
         )
-    return PathSet(records=out, report=report)

@@ -37,6 +37,7 @@ from repro.bgp.announcement import Announcement
 from repro.bgp.collectors import VantagePoint
 from repro.net.aspath import ASPath
 from repro.net.prefix import Prefix
+from repro.obs.trace import NULL_TRACER, AnyTracer
 from repro.resilience.quarantine import Quarantine
 
 if TYPE_CHECKING:  # corruption injection is optional, type-only here
@@ -127,6 +128,7 @@ def load_rib(
     strict: bool = True,
     quarantine: Quarantine | None = None,
     faults: "FaultPlan | None" = None,
+    tracer: "AnyTracer" = NULL_TRACER,
 ) -> Iterator[Announcement]:
     """Stream announcements back out of a dump, verifying the trailer.
 
@@ -140,14 +142,25 @@ def load_rib(
     ``faults`` (a :class:`repro.resilience.FaultPlan` with a
     ``corrupt_rate``) deterministically mangles lines after the read —
     the hook the fault-injection suite uses to exercise this path.
+
+    ``tracer`` mirrors every quarantined line into an
+    ``io.quarantine.<reason>`` counter as it happens, so lenient-mode
+    drop counts surface in the obs stage report instead of vanishing
+    inside the sink.
     """
     path = Path(path)
     sink = quarantine if quarantine is not None else Quarantine()
     source = str(path)
+    metrics = tracer.metrics
     count = 0
     skipped = 0
     line_no = 0
     saw_trailer = False
+
+    def divert(reason: str, detail: str, raw: str = "") -> None:
+        sink.add(source, line_no, reason, detail, raw)
+        metrics.counter(f"io.quarantine.{reason}").inc()
+
     with gzip.open(path, "rt", encoding="utf-8") as handle:
         while True:
             line_no += 1
@@ -158,7 +171,7 @@ def load_rib(
                     raise MrtFormatError(
                         f"{path}:{line_no}: corrupt gzip stream: {error}"
                     ) from error
-                sink.add(source, line_no, "corrupt-stream", str(error))
+                divert("corrupt-stream", str(error))
                 return
             if not line:
                 break
@@ -182,7 +195,7 @@ def load_rib(
                     raise MrtFormatError(
                         f"{path}:{line_no}: invalid JSON: {error.msg}"
                     ) from error
-                sink.add(source, line_no, "invalid-json", error.msg, line)
+                divert("invalid-json", error.msg, line)
                 skipped += 1
                 continue
             kind = entry.get("type") if isinstance(entry, dict) else None
@@ -196,8 +209,8 @@ def load_rib(
                             f"{path}:{line_no}: trailer count {declared} != "
                             f"{count} entries"
                         )
-                    sink.add(
-                        source, line_no, "trailer-mismatch",
+                    divert(
+                        "trailer-mismatch",
                         f"declared {declared}, parsed {count}, "
                         f"quarantined {skipped}", line,
                     )
@@ -209,7 +222,7 @@ def load_rib(
                 )
                 if strict:
                     raise MrtFormatError(f"{path}:{line_no}: {reason}")
-                sink.add(source, line_no, "bad-entry", reason, line)
+                divert("bad-entry", reason, line)
                 skipped += 1
                 continue
             try:
@@ -219,7 +232,7 @@ def load_rib(
                     raise MrtFormatError(
                         f"{path}:{line_no}: malformed rib entry: {error!r}"
                     ) from error
-                sink.add(source, line_no, "bad-entry", repr(error), line)
+                divert("bad-entry", repr(error), line)
                 skipped += 1
                 continue
             count += 1
@@ -227,18 +240,52 @@ def load_rib(
     if not saw_trailer:
         if strict:
             raise MrtFormatError(f"{path}:{line_no}: truncated dump (no trailer)")
-        sink.add(source, line_no, "missing-trailer", f"{count} entries read")
+        divert("missing-trailer", f"{count} entries read")
+
+
+def load_rib_windows(
+    path: str | Path,
+    window: int = 50_000,
+    strict: bool = True,
+    quarantine: Quarantine | None = None,
+    faults: "FaultPlan | None" = None,
+    tracer: "AnyTracer" = NULL_TRACER,
+) -> Iterator[list[Announcement]]:
+    """:func:`load_rib`, delivered as bounded-size batches.
+
+    Yields lists of at most ``window`` announcements in file order —
+    the chunked-ingestion shape the out-of-core spill path
+    (:func:`repro.perf.spill.store_from_dumps`) feeds into incremental
+    :class:`~repro.perf.pathstore.PathStore` construction, so no stage
+    ever holds a dump-sized announcement list. Error handling,
+    quarantine diversion, and the ``io.quarantine.*`` counters are
+    exactly :func:`load_rib`'s (the stream is shared underneath).
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    batch: list[Announcement] = []
+    for announcement in load_rib(
+        path, strict=strict, quarantine=quarantine, faults=faults,
+        tracer=tracer,
+    ):
+        batch.append(announcement)
+        if len(batch) >= window:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
 
 
 def dump_series(series, directory: str | Path, stem: str = "rib") -> list[Path]:
     """Write every day of a :class:`~repro.bgp.rib.RibSeries` to a
-    directory (``rib.day0.jsonl.gz`` …)."""
+    directory (``rib.day0.jsonl.gz`` …), one lazily-streamed day at a
+    time (:meth:`~repro.bgp.rib.RibSeries.days`)."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     written = []
-    for day in range(series.config.days):
-        path = directory / f"{stem}.day{day}.jsonl.gz"
-        dump_rib(series.announcements(day), path, day)
+    for dump in series.days():
+        path = directory / f"{stem}.day{dump.day}.jsonl.gz"
+        dump_rib(dump, path, dump.day)
         written.append(path)
     return written
 

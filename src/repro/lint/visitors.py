@@ -871,7 +871,9 @@ class SwallowedExceptionChecker(BaseChecker):
 
 # -- R007: mutation of shared inputs in repro.perf ---------------------------
 
-_PROTECTED_TYPES = frozenset(("View", "PathSet", "Ranking", "PathStore"))
+_PROTECTED_TYPES = frozenset(
+    ("View", "PathSet", "Ranking", "PathStore", "MmapPathStore")
+)
 _MUTATING_METHODS = frozenset((
     "append", "extend", "insert", "add", "update", "clear", "pop",
     "popitem", "remove", "discard", "sort", "reverse", "setdefault",

@@ -49,7 +49,9 @@ from repro.lint.visitors import _CLOCK_ALLOWED, _MUTATING_METHODS
 _SANCTIONED_MODULES = ("repro.perf.pool",)
 
 #: world objects that must cross the process boundary via broadcast
-_HEAVY_TYPES = frozenset(("ASGraph", "PathSet", "View", "PathStore"))
+_HEAVY_TYPES = frozenset(
+    ("ASGraph", "PathSet", "View", "PathStore", "MmapPathStore")
+)
 
 #: receiver names that smell like an executor/pool for ``.submit``/``.map``
 _POOL_RECEIVER_RE = re.compile(r"(?:^|_)(?:pool|executor|ex)(?:_|$|\d)")

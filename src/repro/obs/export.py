@@ -254,7 +254,26 @@ def stage_report(tracer: Tracer, title: str = "pipeline stage report") -> str:
         for key in geo_keys:
             lines.append(f"  {key:<28}{counters[key]:>10}")
 
+    quarantine_keys = [
+        key for key in counters if key.startswith("io.quarantine.")
+    ]
+    if quarantine_keys:
+        lines.append("")
+        lines.append("-- io quarantine (lenient-mode diverted lines) --")
+        for key in quarantine_keys:
+            lines.append(f"  {key:<28}{counters[key]:>10}")
+
     gauges = tracer.metrics.gauges()
+    memory_keys = [key for key in gauges if key.startswith("obs.memory.")]
+    if memory_keys:
+        lines.append("")
+        lines.append("-- memory (process peak RSS) --")
+        for key in memory_keys:
+            lines.append(f"  {key:<28}{gauges[key] / 1e6:>9.1f}MB")
+        for name, peak in sorted(
+            tracer.rss_peaks.items(), key=lambda item: -item[1]
+        )[:8]:
+            lines.append(f"    at {name:<24}{peak / 1e6:>9.1f}MB")
     lint_counters = [key for key in counters if key.startswith("lint.")]
     if lint_counters:
         lines.append("")

@@ -28,10 +28,32 @@ no allocation per call when tracing is off.
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass, field
 
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+
+try:  # process peak-RSS sampling; absent on some platforms (Windows)
+    import resource as _resource
+except ImportError:  # pragma: no cover - POSIX always has it
+    _resource = None  # type: ignore[assignment]
+
+#: ``ru_maxrss`` is kilobytes on Linux, bytes on macOS.
+_RSS_UNIT = 1 if sys.platform == "darwin" else 1024
+
+
+def peak_rss_bytes() -> int | None:
+    """The process's lifetime peak resident set size, in bytes.
+
+    Read from ``getrusage`` — the kernel's high-water mark, which sees
+    *all* allocations (numpy buffers, mmap'd pages touched, the
+    interpreter itself), unlike ``tracemalloc``'s Python-heap view.
+    Monotone over the process lifetime; ``None`` where unsupported.
+    """
+    if _resource is None:  # pragma: no cover
+        return None
+    return _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss * _RSS_UNIT
 
 
 @dataclass(frozen=True, slots=True)
@@ -114,6 +136,11 @@ class Tracer:
         self.spans: list[SpanRecord] = []
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.capture_memory = capture_memory
+        #: span name → highest process peak-RSS (bytes) sampled at any
+        #: close of a span with that name. Kept out of ``SpanRecord``
+        #: attrs on purpose: attrs are part of the determinism contract
+        #: (identical across runs), RSS is an environment measurement.
+        self.rss_peaks: dict[str, int] = {}
         self._stack: list[Span] = []
         self._next_id = 1
         self._epoch = time.perf_counter()
@@ -186,6 +213,11 @@ class Tracer:
             import tracemalloc
 
             mem_peak = tracemalloc.get_traced_memory()[1]
+        rss = peak_rss_bytes()
+        if rss is not None:
+            if rss > self.rss_peaks.get(span.name, -1):
+                self.rss_peaks[span.name] = rss
+            self.metrics.gauge("obs.memory.peak_rss_bytes").set(rss)
         self.spans.append(
             SpanRecord(
                 span_id=span.span_id,
@@ -228,6 +260,8 @@ class NullTracer:
     metrics = NULL_METRICS
     spans: tuple[SpanRecord, ...] = ()
     capture_memory = False
+    #: interface parity with :class:`Tracer`; never written to
+    rss_peaks: dict[str, int] = {}
 
     __slots__ = ()
 

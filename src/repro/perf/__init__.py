@@ -19,6 +19,10 @@ Three layers, designed to compose (see DESIGN.md §4):
   structure-of-arrays mirror of the sanitized records (flat interned
   token arrays) feeding the suffix bulk-prime and the index's origin
   buckets.
+* :mod:`repro.perf.spill` — the out-of-core variant:
+  :class:`MmapPathStore` maps the same columns read-only from disk
+  (written append-only by streaming ingestion), so worlds far larger
+  than RAM rank with bounded RSS and byte-identical results.
 
 The pipeline (:class:`repro.core.pipeline.PipelineResult`) wires all
 three together; ``rank_all`` / ``repro-rank sweep`` are the batch entry
@@ -30,8 +34,10 @@ from repro.perf.index import PathIndex, ViewSlicer
 from repro.perf.parallel import chunked, propagate_origins, stability_trials
 from repro.perf.pathstore import PathStore
 from repro.perf.pool import WorkerPool, broadcast_get
+from repro.perf.spill import MmapPathStore, open_spill, sanitize_to_store
 
 __all__ = [
+    "MmapPathStore",
     "PathIndex",
     "PathStore",
     "SuffixCache",
@@ -40,6 +46,8 @@ __all__ = [
     "WorkerPool",
     "broadcast_get",
     "chunked",
+    "open_spill",
     "propagate_origins",
+    "sanitize_to_store",
     "stability_trials",
 ]

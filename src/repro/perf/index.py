@@ -54,7 +54,14 @@ class PathIndex:
         records: Sequence[PathRecord],
         store: "PathStore | None" = None,
     ) -> None:
-        self.records: tuple[PathRecord, ...] = tuple(records)
+        # lists/iterables are snapshotted; an immutable lazy sequence
+        # (the mmap store's record view) is kept as-is so indexing a
+        # spilled PathSet never materializes the full record list
+        if isinstance(records, (list, tuple)) or not isinstance(
+            records, Sequence
+        ):
+            records = tuple(records)
+        self.records: Sequence[PathRecord] = records
         #: optional SoA mirror of *exactly these* records; when present
         #: the pair and origin buckets come from its shared groupings
         #: instead of per-index record walks

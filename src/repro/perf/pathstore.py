@@ -107,7 +107,7 @@ class PathStore:
 
     def __len__(self) -> int:
         """Number of distinct paths stored."""
-        return len(self.paths)
+        return len(self.offsets)
 
     @property
     def record_count(self) -> int:
@@ -153,7 +153,7 @@ class PathStore:
         p2c_set = p2c if isinstance(p2c, (set, frozenset)) else frozenset(p2c)
         starts: list[int] = []
         tokens = self.tokens
-        for pid in range(len(self.paths)):
+        for pid in range(len(self.offsets)):
             offset = self.offsets[pid]
             length = self.lengths[pid]
             start = length - 1
@@ -171,7 +171,7 @@ class PathStore:
         then locate each path's last non-p2c pair with a searchsorted
         over the non-p2c positions."""
         np = _np
-        count = len(self.paths)
+        count = len(self.offsets)
         if count == 0:
             return []
         tokens = self.tokens

@@ -213,3 +213,33 @@ def small_profiles() -> dict[str, CountryProfile]:
     )
     profiles["BR"] = _minor("BR", n_stub=4, cross_border_partner=None)
     return profiles
+
+
+def large_profiles(
+    vp_scale: int = 6, block_scale: int = 8
+) -> dict[str, CountryProfile]:
+    """The default profile set scaled for the out-of-core ``large`` tier.
+
+    Record volume is VPs × announced prefixes, so this scales the two
+    knobs that multiply into it — vantage points and address blocks —
+    while leaving every AS count untouched. That keeps propagation
+    state (VP ASes × origin ASes) at the default world's size even
+    though the record stream grows ~``vp_scale * block_scale``× (past
+    five million records at the defaults), which is exactly the
+    asymmetry the streaming ingestion path exploits.
+
+    Each country's address pool is one /8 (256 /16 blocks — see
+    ``_country_base`` in :mod:`repro.topology.generator`), so scaled
+    block counts are clamped to 256 (at the defaults only the largest
+    markets hit the clamp).
+    """
+    if vp_scale < 1 or block_scale < 1:
+        raise ValueError("scale factors must be >= 1")
+    return {
+        code: replace(
+            profile,
+            n_vps=profile.n_vps * vp_scale,
+            address_blocks=min(profile.address_blocks * block_scale, 256),
+        )
+        for code, profile in default_profiles().items()
+    }

@@ -11,6 +11,8 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
+from functools import partial
+from typing import Iterator
 
 from repro.bgp.collectors import CollectorSet
 from repro.net.prefix import Prefix
@@ -83,42 +85,61 @@ class World:
         the cache instead of serving stale rankings), and two
         identical worlds under different labels fingerprint together.
         Floats round-trip through ``repr`` so the digest is value-exact.
+
+        The digest is computed *streamingly* — the canonical JSON is
+        fed to sha256 piecewise (:meth:`_fingerprint_parts`), never
+        held as one string — but the bytes hashed are identical to
+        serializing the whole content dict with
+        ``json.dumps(content, sort_keys=True, separators=(",", ":"))``,
+        so fingerprints (and every artifact-store key derived from
+        them) are unchanged from the materialized implementation.
         """
+        digest = hashlib.sha256()
+        for part in self._fingerprint_parts():
+            digest.update(part.encode("utf-8"))
+        return digest.hexdigest()[:16]
+
+    def _fingerprint_parts(self) -> "Iterator[str]":
+        """Canonical-JSON fragments of the fingerprint content, in
+        exactly the byte order ``json.dumps(..., sort_keys=True)``
+        would emit (top-level keys alphabetical: ases, collectors,
+        countries, edges; one fragment per AS / collector keeps the
+        working set at one node's originations)."""
+        dumps = partial(json.dumps, sort_keys=True, separators=(",", ":"))
         graph = self.graph
-        content = {
-            "countries": sorted(self.countries.codes()),
-            "ases": [
+        yield '{"ases":['
+        for index, node in enumerate(sorted(graph.nodes(), key=lambda n: n.asn)):
+            item = [
+                node.asn, node.name, node.registry_country,
+                node.role.value,
                 [
-                    node.asn, node.name, node.registry_country,
-                    node.role.value,
                     [
-                        [
-                            str(record.prefix), record.country,
-                            repr(record.foreign_share),
-                            record.foreign_country or "",
-                        ]
-                        for record in node.prefixes
-                    ],
-                ]
-                for node in sorted(graph.nodes(), key=lambda n: n.asn)
-            ],
-            "edges": sorted(
-                [left, right, relationship.value]
-                for left, right, relationship in graph.edges()
-            ),
-            "collectors": [
-                [
-                    collector.name, collector.project.value,
-                    collector.country, collector.multihop,
-                    [[vp.ip, vp.asn] for vp in collector.vps],
-                ]
-                for collector in sorted(self.collectors, key=lambda c: c.name)
-            ],
-        }
-        serialized = json.dumps(
-            content, sort_keys=True, separators=(",", ":")
-        ).encode("utf-8")
-        return hashlib.sha256(serialized).hexdigest()[:16]
+                        str(record.prefix), record.country,
+                        repr(record.foreign_share),
+                        record.foreign_country or "",
+                    ]
+                    for record in node.prefixes
+                ],
+            ]
+            yield ("," if index else "") + dumps(item)
+        yield '],"collectors":['
+        for index, collector in enumerate(
+            sorted(self.collectors, key=lambda c: c.name)
+        ):
+            item = [
+                collector.name, collector.project.value,
+                collector.country, collector.multihop,
+                [[vp.ip, vp.asn] for vp in collector.vps],
+            ]
+            yield ("," if index else "") + dumps(item)
+        yield '],"countries":'
+        yield dumps(sorted(self.countries.codes()))
+        yield ',"edges":'
+        yield dumps(sorted(
+            [left, right, relationship.value]
+            for left, right, relationship in graph.edges()
+        ))
+        yield "}"
 
     def summary(self) -> dict[str, int]:
         """Headline sizes for logging and reports."""

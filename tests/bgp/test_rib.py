@@ -115,3 +115,19 @@ class TestSeries:
                 if outcome.path(origin, vp.asn) is not None:
                     reachable += 1
         assert series.num_records() == reachable
+
+
+class TestLazyDays:
+    def test_days_cover_the_series_in_order(self, world, outcome):
+        series = generate_rib_days(world, outcome, seed=2)
+        dumps = list(series.days())
+        assert [dump.day for dump in dumps] == list(range(series.config.days))
+        for dump in dumps:
+            assert list(dump) == list(series.announcements(dump.day))
+
+    def test_days_is_a_generator(self, world, outcome):
+        series = generate_rib_days(world, outcome, seed=2)
+        stream = series.days()
+        first = next(stream)
+        assert first.day == 0
+        assert list(first) == list(series.announcements(0))

@@ -156,3 +156,84 @@ class TestCorruptInputWrapped:
         with pytest.raises(MrtFormatError) as excinfo:
             read_header(path)
         assert f"{path}:1" in str(excinfo.value)
+
+
+class TestWindowedLoading:
+    def test_batches_cover_the_stream_in_order(self, tmp_path):
+        from repro.io.mrt import load_rib_windows
+
+        announcements = sample_announcements(17)
+        path = dump_rib(announcements, tmp_path / "rib.jsonl.gz")
+        batches = list(load_rib_windows(path, window=5))
+        assert [len(batch) for batch in batches] == [5, 5, 5, 2]
+        flattened = [a for batch in batches for a in batch]
+        assert flattened == announcements
+
+    def test_single_batch_when_window_exceeds_stream(self, tmp_path):
+        from repro.io.mrt import load_rib_windows
+
+        announcements = sample_announcements(3)
+        path = dump_rib(announcements, tmp_path / "rib.jsonl.gz")
+        assert list(load_rib_windows(path, window=100)) == [announcements]
+
+    def test_empty_dump_yields_no_batches(self, tmp_path):
+        from repro.io.mrt import load_rib_windows
+
+        path = dump_rib([], tmp_path / "empty.jsonl.gz")
+        assert list(load_rib_windows(path, window=4)) == []
+
+    def test_window_must_be_positive(self, tmp_path):
+        from repro.io.mrt import load_rib_windows
+
+        path = dump_rib(sample_announcements(), tmp_path / "rib.jsonl.gz")
+        with pytest.raises(ValueError):
+            list(load_rib_windows(path, window=0))
+
+
+class TestQuarantineCounters:
+    def _broken_dump(self, tmp_path):
+        """A lenient-mode dump with one bad JSON line and one bad entry."""
+        path = dump_rib(sample_announcements(4), tmp_path / "rib.jsonl.gz")
+        lines = gzip.decompress(path.read_bytes()).decode().splitlines()
+        lines[2] = "{not json"
+        lines[3] = json.dumps({"type": "mystery"})
+        path.write_bytes(gzip.compress(("\n".join(lines) + "\n").encode()))
+        return path
+
+    def test_diverted_lines_surface_as_counters(self, tmp_path):
+        from repro.obs.trace import Tracer
+        from repro.resilience.quarantine import Quarantine
+
+        tracer = Tracer()
+        sink = Quarantine()
+        loaded = list(load_rib(
+            self._broken_dump(tmp_path), strict=False, quarantine=sink,
+            tracer=tracer,
+        ))
+        assert len(loaded) == 2
+        counters = tracer.metrics.counters()
+        assert counters["io.quarantine.invalid-json"] == 1
+        assert counters["io.quarantine.bad-entry"] == 1
+        # counters mirror the sink, they do not replace it
+        assert len(sink) == 2
+
+    def test_counters_appear_in_stage_report(self, tmp_path):
+        from repro.obs.export import stage_report
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        list(load_rib(self._broken_dump(tmp_path), strict=False, tracer=tracer))
+        report = stage_report(tracer)
+        assert "-- io quarantine" in report
+        assert "io.quarantine.invalid-json" in report
+
+    def test_strict_mode_counts_nothing(self, tmp_path):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        path = dump_rib(sample_announcements(2), tmp_path / "rib.jsonl.gz")
+        list(load_rib(path, strict=True, tracer=tracer))
+        assert not any(
+            key.startswith("io.quarantine.")
+            for key in tracer.metrics.counters()
+        )

@@ -209,3 +209,13 @@ class TestStats:
         assert stats["findings"] == 1
         assert stats["findings_by_rule"]["R004"] == 1
         assert stats["findings_by_rule"]["R001"] == 0
+
+
+class TestMmapStoreProtected:
+    def test_r007_covers_the_spill_store(self):
+        source = (
+            "class MmapPathStore:\n    pass\n\n"
+            "def f(store: MmapPathStore):\n    store.tokens.append(1)\n"
+        )
+        flagged = lint_source(source, "x.py", module="repro.perf.spill")
+        assert [f.rule_id for f in flagged] == ["R007"]

@@ -233,3 +233,26 @@ class TestRealTree:
     def test_src_repro_is_clean(self, result):
         assert result.findings == []
         assert result.files_scanned > 40
+
+
+class TestMmapStoreIsHeavy:
+    def test_r010_flags_mmap_store_fanout(self, tmp_path):
+        write(tmp_path, "spill.py", "repro.wfix.spill", """\
+            class MmapPathStore:
+                pass
+            """)
+        write(tmp_path, "jobs.py", "repro.wfix.jobs", """\
+            from repro.wfix.spill import MmapPathStore
+
+            def resilient_map(stage, fn, payloads, workers):
+                return [fn(p) for p in payloads]
+
+            def chunk(store: MmapPathStore):
+                return store
+
+            def run(payloads):
+                return resilient_map("stage", chunk, payloads, 2)
+            """)
+        result = run_lint([str(tmp_path)], R010)
+        assert [f.rule_id for f in result.findings] == ["R010"]
+        assert "MmapPathStore" in result.findings[0].message

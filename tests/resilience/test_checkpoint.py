@@ -226,3 +226,18 @@ class TestRankingPayload:
 
         with pytest.raises(CheckpointError):
             ranking_from_payload({"metric": "AHN", "entries": [[1]]})
+
+
+class TestStoreBackendIsNotSemantic:
+    """The spill backend changes where records live, never what they
+    are — so it must not perturb checkpoint or artifact-store keys."""
+
+    def test_backend_knobs_excluded_from_keys(self):
+        from repro.core.pipeline import PipelineConfig
+        from repro.resilience.checkpoint import SEMANTIC_KNOBS, config_knobs
+
+        assert "store_backend" not in SEMANTIC_KNOBS
+        assert "spill_dir" not in SEMANTIC_KNOBS
+        assert config_knobs(
+            PipelineConfig(store_backend="mmap", spill_dir="/tmp/x")
+        ) == config_knobs(PipelineConfig())

@@ -1,0 +1,117 @@
+"""The streaming record protocol must be invisible: a world's lazily
+streamed RIB record stream is record-for-record identical to running
+generation → propagation → RIB materialization by hand, and the
+catalog's ``large`` tier scales record volume without scaling the AS
+topology."""
+
+from itertools import islice
+
+import pytest
+
+from repro.bgp.propagation import propagate_all
+from repro.bgp.rib import RibGenerationConfig, generate_rib_days
+from repro.topology.catalog import (
+    WORLD_CHOICES,
+    build_world,
+    stream_world_records,
+    world_config,
+)
+from repro.topology.generator import GeneratorConfig, generate_world, iter_world_records
+from repro.topology.profiles import default_profiles, large_profiles, small_profiles
+
+SMALL = GeneratorConfig(
+    profiles=small_profiles(), clique_homes=("US", "US", "SE", "JP")
+)
+
+
+class TestIterWorldRecords:
+    def test_identical_to_materialized_path(self):
+        world = generate_world(SMALL, seed=3, name="small")
+        outcomes = [
+            propagate_all(
+                world.graph, keep=world.vp_asns(), tiebreak="hash", salt=0
+            )
+        ]
+        series = generate_rib_days(world, outcomes, RibGenerationConfig(), 3)
+        materialized = list(series.records())
+        assert list(iter_world_records(SMALL, seed=3)) == materialized
+        assert list(iter_world_records(world=world, seed=3)) == materialized
+
+    def test_is_lazy(self):
+        stream = iter_world_records(SMALL, seed=1)
+        first = list(islice(stream, 10))
+        assert len(first) == 10
+        assert first == list(iter_world_records(SMALL, seed=1))[:10]
+
+    def test_deterministic_across_calls(self):
+        assert (
+            list(iter_world_records(SMALL, seed=5))
+            == list(iter_world_records(SMALL, seed=5))
+        )
+
+    def test_seed_changes_stream(self):
+        assert (
+            list(iter_world_records(SMALL, seed=1))
+            != list(iter_world_records(SMALL, seed=2))
+        )
+
+
+class TestCatalogStreaming:
+    def test_large_is_a_world_choice(self):
+        assert "large" in WORLD_CHOICES
+
+    def test_stream_matches_iter(self):
+        streamed = list(stream_world_records("small", 2))
+        config = world_config("small")
+        direct = list(iter_world_records(config, seed=2, name="small"))
+        assert streamed == direct
+
+    def test_paper_worlds_not_streamable(self):
+        with pytest.raises(ValueError):
+            stream_world_records("paper2023", 0)
+
+    def test_unknown_world_rejected(self):
+        with pytest.raises(ValueError):
+            world_config("galactic")
+        with pytest.raises(ValueError):
+            build_world("galactic", 0)
+
+    def test_build_world_names_match_kind(self):
+        assert build_world("small", 0).name == "small"
+        assert build_world("large", 0).name == "large"
+
+
+class TestLargeProfiles:
+    def test_scales_only_vps_and_blocks(self):
+        base = default_profiles()
+        scaled = large_profiles(vp_scale=6, block_scale=8)
+        assert scaled.keys() == base.keys()
+        for code, profile in scaled.items():
+            reference = base[code]
+            assert profile.n_vps == reference.n_vps * 6
+            assert profile.address_blocks == min(
+                reference.address_blocks * 8, 256
+            )
+            # the AS topology must stay default-world sized
+            assert profile.total_ases() == reference.total_ases()
+
+    def test_blocks_clamped_to_country_pool(self):
+        for profile in large_profiles(block_scale=1000).values():
+            assert profile.address_blocks <= 256
+
+    def test_rejects_bad_scales(self):
+        with pytest.raises(ValueError):
+            large_profiles(vp_scale=0)
+
+    def test_large_topology_stays_laptop_sized(self):
+        # topology cost is default-world scale even though the record
+        # stream is ~16x; this is the asymmetry the tier depends on
+        default = build_world("default", 0)
+        large = build_world("large", 0)
+        assert len(large.graph) == len(default.graph)
+        large_vps = sum(len(c.vps) for c in large.collectors)
+        default_vps = sum(len(c.vps) for c in default.collectors)
+        assert large_vps > default_vps * 4
+        assert len(large.announced_prefixes()) > len(
+            default.announced_prefixes()
+        ) * 2
